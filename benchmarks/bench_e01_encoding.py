@@ -1,0 +1,40 @@
+"""E1 — Figure 1: the unranked-to-binary encoding.
+
+Checks the exact figure and measures encode/decode scaling (both linear:
+|encode(t)| = 4|t| - 1).
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+from repro.data.generators import random_unranked_tree
+from repro.trees import decode, encode, parse_btree, parse_utree
+
+
+def test_figure_1_exact():
+    tree = parse_utree("a(b, b, c(d), e)")
+    expected = parse_btree(
+        "a(-(b(|,|),-(b(|,|),-(c(-(d(|,|),|),|),-(e(|,|),|)))),|)"
+    )
+    assert encode(tree) == expected
+
+
+@pytest.mark.parametrize("size", [100, 1000, 5000])
+def test_encode_scaling(benchmark, size):
+    rng = random.Random(size)
+    tree = random_unranked_tree(list("abcde"), size, rng, max_children=6)
+    encoded = benchmark(encode, tree)
+    assert encoded.size() == 4 * tree.size() - 1
+    assert decode(encoded) == tree
+    report("E1 encode", [("input nodes", tree.size()),
+                         ("encoded nodes", encoded.size())])
+
+
+@pytest.mark.parametrize("size", [100, 1000, 5000])
+def test_decode_scaling(benchmark, size):
+    rng = random.Random(size)
+    tree = random_unranked_tree(list("abcde"), size, rng, max_children=6)
+    encoded = encode(tree)
+    assert benchmark(decode, encoded) == tree

@@ -1,0 +1,20 @@
+"""E2 — Example 3.3: the copy transducer.
+
+Output equals input; evaluation cost is linear in |t|.
+"""
+
+import pytest
+
+from repro.data.generators import full_binary_tree
+from repro.pebble import copy_transducer, evaluate
+from repro.trees import RankedAlphabet
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+@pytest.mark.parametrize("depth", [6, 9, 12])
+def test_copy_scaling(benchmark, depth):
+    machine = copy_transducer(ALPHA)
+    tree = full_binary_tree(ALPHA, depth, "f", "a")
+    output = benchmark(evaluate, machine, tree)
+    assert output == tree

@@ -1,0 +1,69 @@
+"""E3 — Example 3.4: the pre-order "next node" subroutine.
+
+Drives one pebble across the whole tree; a full traversal of an n-node
+tree takes O(n) subroutine invocations and O(n) total moves (every edge
+is crossed at most twice).
+"""
+
+import pytest
+
+from repro.data.generators import full_binary_tree
+from repro.pebble import PebbleTransducer, RuleSet, add_preorder_next
+from repro.pebble.stepping import guard_bits, move_successor
+from repro.trees import BTree, IndexedTree, RankedAlphabet
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"g", "r"})
+
+
+def build_walker() -> PebbleTransducer:
+    rules = RuleSet()
+    extra = add_preorder_next(rules, ALPHA, {"r"}, "go", "done", "end", tag=0)
+    return PebbleTransducer(
+        input_alphabet=ALPHA,
+        output_alphabet=ALPHA,
+        levels=[["go", "done", "end"] + extra],
+        initial="go",
+        rules=rules,
+    )
+
+
+def traverse(machine: PebbleTransducer, tree: BTree) -> tuple[list[int], int]:
+    """Drive the subroutine to exhaustion; return (visit order, #moves)."""
+    indexed = IndexedTree(tree)
+    visited = [0]
+    moves = 0
+    config = ("go", (0,))
+    while True:
+        state, positions = config
+        symbol = indexed.label(positions[-1])
+        actions = machine.actions_for(symbol, state, guard_bits(positions))
+        applicable = [
+            (action, move_successor(indexed, positions, action))
+            for action in actions
+        ]
+        applicable = [(a, p) for a, p in applicable if p is not None]
+        if not applicable:
+            break
+        (action, new_positions), = applicable
+        moves += 1
+        if action.target == "done":
+            visited.append(new_positions[-1])
+            config = ("go", new_positions)
+        elif action.target == "end":
+            break
+        else:
+            config = (action.target, new_positions)
+    return visited, moves
+
+
+@pytest.mark.parametrize("depth", [4, 7, 10])
+def test_preorder_traversal(benchmark, depth):
+    inner = full_binary_tree(
+        RankedAlphabet(leaves={"a", "b"}, internals={"g"}), depth, "g", "a"
+    )
+    tree = BTree("r", inner, BTree("a"))
+    machine = build_walker()
+    visited, moves = benchmark(traverse, machine, tree)
+    n = tree.size()
+    assert visited == list(range(n))   # pre-order ids, each exactly once
+    assert moves <= 4 * n              # amortized O(1) per visited node

@@ -1,0 +1,52 @@
+"""E4 — Example 3.5: pattern matching with pebbles.
+
+The selection transducer (two pebbles, the Example 3.5 technique) must
+find exactly the matches of the declarative pattern evaluator, at a cost
+quadratic-ish in the document (candidate enumeration times the climb).
+"""
+
+import pytest
+
+from conftest import report
+from repro.data.generators import flat_document
+from repro.lang import match_count, pattern, selection_transducer
+from repro.pebble import evaluate
+from repro.trees import UTree, decode, encode
+
+TAGS = {"doc", "sec", "par"}
+
+
+def deep_document(sections: int, pars: int) -> UTree:
+    return UTree(
+        "doc",
+        [UTree("sec", [UTree("par")] * pars) for _ in range(sections)],
+    )
+
+
+def test_selection_typechecking_fast_path(benchmark):
+    """Section 5's practical case: the dedicated selection checker
+    (binding-type inference, [28]) is exact and runs in milliseconds
+    where the generic pipeline would need 2 pebbles."""
+    from repro.data import bibliography_dtd
+    from repro.typecheck import typecheck_selection
+    from repro.xmlio import parse_dtd
+
+    dtd = bibliography_dtd()
+    element = parse_dtd("author :=")
+    result = benchmark(typecheck_selection, "bib.book.author", dtd, element)
+    assert result.ok
+
+
+@pytest.mark.parametrize("sections,pars", [(2, 2), (4, 4), (6, 6)])
+def test_selection_matches_pattern_evaluator(benchmark, sections, pars):
+    document = deep_document(sections, pars)
+    machine = selection_transducer("doc.sec.par", TAGS, {"doc"})
+    encoded = encode(document)
+    output = benchmark(evaluate, machine, encoded)
+    found = len(decode(output).children)
+    expected = match_count(pattern("doc.sec.par"), document)
+    assert found == expected == sections * pars
+    report(
+        "E4 pattern matching",
+        [("document nodes", document.size()), ("matches", found)],
+    )

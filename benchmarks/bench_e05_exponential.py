@@ -1,0 +1,49 @@
+"""E5 — Example 3.6: exponential output, polynomial representations.
+
+The transducer's output is Theta(2^depth) of the input, but both the
+shared-subtree evaluation and the Prop 3.8 automaton stay polynomial:
+the paper's "polynomial-size encoding of T(t) as a DAG".
+"""
+
+import pytest
+
+from conftest import report
+from repro.data.generators import full_binary_tree
+from repro.pebble import evaluate, exponential_transducer, output_automaton
+from repro.trees import RankedAlphabet
+
+ALPHA = RankedAlphabet(leaves={"a"}, internals={"f"})
+
+
+def test_output_growth_is_exponential():
+    machine = exponential_transducer(ALPHA)
+    rows = []
+    previous = None
+    for depth in range(1, 8):
+        tree = full_binary_tree(ALPHA, depth, "f", "a")
+        size = evaluate(machine, tree).size()
+        rows.append((f"depth={depth}", f"input={tree.size()}",
+                     f"output={size}"))
+        if previous is not None:
+            assert size > 2 * previous  # strictly super-exponential blow-up
+        previous = size
+    report("E5 output sizes", rows)
+
+
+@pytest.mark.parametrize("depth", [6, 9, 12])
+def test_dag_evaluation_polynomial(benchmark, depth):
+    """Shared-subtree evaluation touches O(n) configurations even though
+    the output has ~2^depth nodes."""
+    machine = exponential_transducer(ALPHA)
+    tree = full_binary_tree(ALPHA, depth, "f", "a")
+    output = benchmark(evaluate, machine, tree)
+    assert output.size() >= 2 ** (depth + 1)
+
+
+@pytest.mark.parametrize("depth", [6, 9, 12])
+def test_prop38_automaton_polynomial(benchmark, depth):
+    """A_t has O(|Q| * n) states for this 1-pebble machine."""
+    machine = exponential_transducer(ALPHA)
+    tree = full_binary_tree(ALPHA, depth, "f", "a")
+    automaton = benchmark(output_automaton, machine, tree)
+    assert len(automaton.states) <= 4 * tree.size()

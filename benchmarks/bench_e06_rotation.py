@@ -1,0 +1,57 @@
+"""E6 — Figure 2 / Example 3.7: rotation around a pivot leaf.
+
+Reproduces the figure's instances and measures rotation on long
+left-combs (worst case for the climb) plus the string-reversal corollary.
+"""
+
+import pytest
+
+from repro.pebble import evaluate, rotation_transducer
+from repro.trees import BTree, RankedAlphabet, leaf, node
+
+ALPHA = RankedAlphabet(leaves={"s", "b", "c"}, internals={"r", "g"})
+
+
+def comb(depth: int) -> BTree:
+    """r(g(g(...g(s, c)..., c), c), b): pivot at the bottom left."""
+    tree: BTree = leaf("s")
+    for _ in range(depth):
+        tree = node("g", tree, leaf("c"))
+    return node("r", tree, leaf("b"))
+
+
+def test_figure_2_instances():
+    machine = rotation_transducer(ALPHA)
+    assert evaluate(machine, node("r", leaf("s"), leaf("b"))) == \
+        node("r2", leaf("m"), node("r", leaf("b"), leaf("n")))
+    nested = node("r", node("g", leaf("c"), leaf("s")), leaf("b"))
+    assert evaluate(machine, nested) == node(
+        "r2", leaf("m"), node("g", node("r", leaf("b"), leaf("n")),
+                              leaf("c")))
+
+
+@pytest.mark.parametrize("depth", [10, 100, 400])
+def test_rotation_scaling(benchmark, depth):
+    machine = rotation_transducer(ALPHA)
+    tree = comb(depth)
+    output = benchmark(evaluate, machine, tree)
+    assert output is not None
+    assert output.size() == tree.size() + 2
+    assert output.label == "r2"
+
+
+@pytest.mark.parametrize("length", [5, 25, 100])
+def test_string_reversal(benchmark, length):
+    symbols = [f"w{i}" for i in range(length)]
+    alphabet = RankedAlphabet(leaves={"s", "x"}, internals=set(symbols))
+    machine = rotation_transducer(alphabet, root_symbol="w0")
+    tree: BTree = leaf("s")
+    for symbol in reversed(symbols):
+        tree = node(symbol, leaf("x"), tree)
+    output = benchmark(evaluate, machine, tree)
+    spine = []
+    current = output.right
+    while current is not None and not current.is_leaf:
+        spine.append(current.label)
+        current = current.left
+    assert spine == list(reversed(symbols))

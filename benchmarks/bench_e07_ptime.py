@@ -1,0 +1,50 @@
+"""E7 — Proposition 3.8: the output automaton A_t is PTIME in |t|.
+
+Measures A_t construction time and state count against |t| for a fixed
+1-pebble machine and a fixed 2-pebble machine (states are reachable
+configurations: O(|Q| n) and O(|Q| n^2)), and the membership test
+t' ∈ T(t).
+"""
+
+import pytest
+
+from conftest import report
+from repro.data.generators import flat_document, full_binary_tree
+from repro.lang import q1_transducer
+from repro.pebble import (
+    copy_transducer,
+    output_automaton,
+    output_contains,
+)
+from repro.trees import RankedAlphabet, encode
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+@pytest.mark.parametrize("depth", [5, 8, 11])
+def test_one_pebble_states_linear(benchmark, depth):
+    machine = copy_transducer(ALPHA)
+    tree = full_binary_tree(ALPHA, depth, "f", "a")
+    automaton = benchmark(output_automaton, machine, tree)
+    assert len(automaton.states) <= 3 * tree.size() + 3
+    report("E7 k=1", [("n", tree.size()), ("states", len(automaton.states))])
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_two_pebble_states_quadratic(benchmark, n):
+    machine = q1_transducer()
+    tree = encode(flat_document("root", "a", n))
+    automaton = benchmark(output_automaton, machine, tree)
+    nodes = tree.size()
+    assert len(automaton.states) <= 10 * nodes * nodes
+    # the quadratic term is real: pairs (X cell, Y cell) appear as configs
+    assert len(automaton.states) >= n * n
+    report("E7 k=2", [("n", nodes), ("states", len(automaton.states))])
+
+
+@pytest.mark.parametrize("depth", [5, 8])
+def test_membership_check(benchmark, depth):
+    """t' ∈ T(t) in PTIME in |t| and |t'|."""
+    machine = copy_transducer(ALPHA)
+    tree = full_binary_tree(ALPHA, depth, "f", "a")
+    assert benchmark(output_contains, machine, tree, tree)

@@ -1,0 +1,68 @@
+"""E8 — Example 4.2: forward inference fails, inverse inference succeeds.
+
+Q1 maps a^n to b^(n^2):
+
+* the image is not regular — checked on samples: outputs are exactly the
+  perfect squares, which no DTD captures (the paper's argument);
+* the inverse of the output type (b.b)* restricted to root := a* is
+  (a.a)* — verified here semantically, input by input, through the
+  Prop 3.8 machinery (the 2-pebble *symbolic* inverse construction is
+  Theorem 4.8 territory; its cost is measured in bench_e11/e10).
+"""
+
+import pytest
+
+from conftest import report
+from repro.data import q1_input_dtd, q1_inverse_dtd, q1_output_even_dtd
+from repro.data.generators import flat_document
+from repro.lang import q1_transducer
+from repro.pebble import evaluate, output_language
+from repro.trees import decode, encode
+from repro.typecheck import as_automaton, typecheck
+
+
+def test_image_is_squares():
+    machine = q1_transducer()
+    rows = []
+    for n in range(7):
+        output = decode(evaluate(machine, encode(flat_document("root", "a",
+                                                               n))))
+        rows.append((f"a^{n}", f"b^{len(output.children)}"))
+        assert len(output.children) == n * n
+    report("E8 the non-regular image", rows)
+
+
+@pytest.mark.parametrize("n_max", [6, 10])
+def test_inverse_characterization(benchmark, n_max):
+    """T(a^n) ⊆ (b.b)*  iff  n is even — the (a.a)* inverse type."""
+    machine = q1_transducer()
+    not_even = as_automaton(
+        q1_output_even_dtd(), machine.output_alphabet
+    ).complemented()
+
+    def check_all():
+        verdicts = []
+        for n in range(n_max):
+            tree = encode(flat_document("root", "a", n))
+            bad = output_language(machine, tree).intersection(not_even)
+            verdicts.append(bad.is_empty())
+        return verdicts
+
+    verdicts = benchmark(check_all)
+    assert verdicts == [n % 2 == 0 for n in range(n_max)]
+
+
+def test_bounded_typechecking_both_directions(benchmark):
+    machine = q1_transducer()
+
+    def run():
+        failing = typecheck(machine, q1_input_dtd(), q1_output_even_dtd(),
+                            method="bounded", max_inputs=8)
+        passing = typecheck(machine, q1_inverse_dtd(), q1_output_even_dtd(),
+                            method="bounded", max_inputs=8)
+        return failing, passing
+
+    failing, passing = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not failing.ok and passing.ok
+    witness = decode(failing.counterexample_input)
+    assert len(witness.children) % 2 == 1

@@ -1,0 +1,63 @@
+"""E9 — Example 4.3: the XSLT query Q2 (b a^n b a^n b a^n).
+
+Measures the stylesheet-to-transducer compilation, evaluation scaling,
+and both typechecking engines against good/tight output DTDs.
+"""
+
+import pytest
+
+from repro.data import q1_input_dtd, q2_good_output_dtd, q2_tight_output_dtd
+from repro.data.generators import flat_document
+from repro.lang import apply_stylesheet, q2_stylesheet, xslt_to_transducer
+from repro.pebble import evaluate
+from repro.trees import decode, encode
+from repro.typecheck import typecheck
+
+
+def compile_q2():
+    return xslt_to_transducer(q2_stylesheet(), tags={"root", "a"},
+                              root_tag="root")
+
+
+def test_compile(benchmark):
+    machine = benchmark(compile_q2)
+    assert machine.k == 1
+
+
+@pytest.mark.parametrize("n", [5, 25, 100])
+def test_evaluation_scaling(benchmark, n):
+    machine = compile_q2()
+    document = flat_document("root", "a", n)
+    output = benchmark(evaluate, machine, encode(document))
+    decoded = decode(output)
+    assert decoded == apply_stylesheet(q2_stylesheet(), document)
+    assert len(decoded.children) == 3 * n + 3
+
+
+def test_exact_typecheck_good(once):
+    machine = compile_q2()
+    result = once(typecheck, machine, q1_input_dtd(), q2_good_output_dtd(),
+                  method="exact")
+    assert result.ok
+
+
+def test_exact_typecheck_tight_with_counterexample(once):
+    machine = compile_q2()
+    result = once(typecheck, machine, q1_input_dtd(), q2_tight_output_dtd(),
+                  method="exact")
+    assert not result.ok
+    assert decode(result.counterexample_input).label == "root"
+    assert not q2_tight_output_dtd().is_valid(
+        decode(result.counterexample_output)
+    )
+
+
+def test_bounded_typecheck(benchmark):
+    machine = compile_q2()
+    result = benchmark.pedantic(
+        typecheck,
+        args=(machine, q1_input_dtd(), q2_good_output_dtd()),
+        kwargs={"method": "bounded", "max_inputs": 6},
+        rounds=1, iterations=1,
+    )
+    assert result.ok

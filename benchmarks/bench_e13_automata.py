@@ -1,0 +1,80 @@
+"""E13 — Section 2.3: DTDs, tree automata, and the boolean algebra.
+
+DTD-to-automaton construction and validation agreement, plus the costs
+of the closure operations the typechecker leans on (determinization,
+complement, product, inclusion).
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+from repro.automata import dtd_to_automaton
+from repro.data import paper_dtd
+from repro.data.generators import random_unranked_tree
+from repro.trees import encode
+from repro.xmlio import parse_dtd
+
+
+def layered_dtd(depth: int):
+    lines = []
+    for i in range(depth):
+        nxt = f"x{i + 1}" if i + 1 < depth else "leafy"
+        lines.append(f"x{i} := ({nxt}.{nxt})|{nxt}?")
+    lines.append("leafy :=")
+    return parse_dtd("\n".join(lines))
+
+
+@pytest.mark.parametrize("depth", [2, 4, 6])
+def test_dtd_to_automaton_scaling(benchmark, depth):
+    dtd = layered_dtd(depth)
+    automaton = benchmark(dtd_to_automaton, dtd)
+    report("E13 DTD->TA", [("elements", len(dtd.content)),
+                           ("states", len(automaton.states)),
+                           ("rules", automaton.n_rules())])
+    for document in dtd.instances(5):
+        assert automaton.accepts(encode(document))
+
+
+def test_validation_agreement(benchmark):
+    """inst(A) = encode(inst(D)) on a random mixed workload."""
+    dtd = paper_dtd()
+    automaton = dtd_to_automaton(dtd)
+    rng = random.Random(99)
+    workload = [
+        random_unranked_tree(list("abcde"), rng.randint(1, 10), rng)
+        for _ in range(100)
+    ]
+
+    def check():
+        agreements = 0
+        for document in workload:
+            if automaton.accepts(encode(document)) == dtd.is_valid(document):
+                agreements += 1
+        return agreements
+
+    assert benchmark(check) == len(workload)
+
+
+def test_boolean_closure_costs(once):
+    dtd_a = parse_dtd("a := b*.c.e\nb :=\nc := d*\nd :=\ne :=")
+    dtd_b = parse_dtd("a := b*.c?.e\nb :=\nc := d.d\nd :=\ne :=")
+    one = dtd_to_automaton(dtd_a)
+    two = dtd_to_automaton(dtd_b)
+
+    def closure():
+        det = one.determinized()
+        comp = one.complemented()
+        inter = one.intersection(two)
+        return {
+            "determinized": len(det.states),
+            "complemented": len(comp.states),
+            "intersection": len(inter.states),
+            "includes": one.includes(inter) and two.includes(inter),
+            "minimized": len(one.minimized().states),
+        }
+
+    sizes = once(closure)
+    assert sizes["includes"]
+    report("E13 closure sizes", sorted(sizes.items()))

@@ -1,0 +1,120 @@
+"""E14 — Theorem 4.7: MSO, pebble automata, and regular languages.
+
+Measures the MSO compiler on the paper's warm-up formulas, and the two
+regularization routes for pebble automata (the walking summary
+construction and the general quantifier-block construction) against the
+AGAP semantics.
+"""
+
+import random
+
+import pytest
+
+from conftest import report
+from repro.mso import (
+    And,
+    In,
+    Label,
+    Not,
+    Root,
+    Succ,
+    conj,
+    exists_fo,
+    forall_fo,
+    forall_so,
+    sentence_automaton,
+)
+from repro.pebble import (
+    Branch0,
+    Branch2,
+    Move,
+    PebbleAutomaton,
+    RuleSet,
+    pebble_automaton_to_mso,
+    pebble_automaton_to_ta,
+    walking_automaton_to_ta,
+)
+from repro.trees import RankedAlphabet, random_btree
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def and_or_formula():
+    reverse_closed = conj(
+        forall_fo(["x", "y"], Not(conj(
+            Label("O", "x"),
+            And(Succ(1, "x", "y"), In("y", "S"))
+            | And(Succ(2, "x", "y"), In("y", "S")),
+            Not(In("x", "S"))))),
+        forall_fo(["x", "y", "z"], Not(conj(
+            Label("A", "x"), Succ(1, "x", "y"), Succ(2, "x", "z"),
+            In("y", "S"), In("z", "S"), Not(In("x", "S"))))),
+        forall_fo("x", Not(conj(Label("1", "x"), Not(In("x", "S"))))),
+    )
+    return forall_so("S", Not(And(
+        reverse_closed,
+        exists_fo("r", And(Root("r"), Not(In("r", "S")))),
+    )))
+
+
+def test_mso_compile_and_or_trees(once):
+    alphabet = RankedAlphabet(leaves={"0", "1"}, internals={"A", "O"})
+    automaton = once(sentence_automaton, and_or_formula(), alphabet)
+    report("E14 and/or-tree automaton",
+           [("states", len(automaton.states))])
+    rng = random.Random(1)
+    for _ in range(20):
+        tree = random_btree(alphabet, rng.randint(1, 9), rng)
+
+        def eval_circuit(node):
+            if node.is_leaf:
+                return node.label == "1"
+            left, right = eval_circuit(node.left), eval_circuit(node.right)
+            return (left and right) if node.label == "A" else (left or right)
+
+        assert automaton.accepts(tree) == eval_circuit(tree)
+
+
+def spine_machine() -> PebbleAutomaton:
+    """A genuinely two-way walking machine with branching."""
+    rules = RuleSet()
+    rules.add(["f", "g"], "q", Branch2("l", "dn"))
+    rules.add(None, "l", Move("down-left", "chk"))
+    rules.add("a", "chk", Branch0())
+    rules.add(None, "dn", Move("down-right", "q"))
+    rules.add(["a", "b"], "q", Branch0())
+    return PebbleAutomaton(ALPHA, [["q", "l", "dn", "chk"]], "q", rules)
+
+
+def test_walking_summary_construction(benchmark):
+    automaton = spine_machine()
+    regular = benchmark(walking_automaton_to_ta, automaton)
+    rng = random.Random(2)
+    for _ in range(30):
+        tree = random_btree(ALPHA, rng.randint(1, 9), rng)
+        assert regular.accepts(tree) == automaton.accepts(tree)
+    report("E14 summary construction", [("states", len(regular.states))])
+
+
+def test_literal_mso_route(once):
+    """The proof's literal formula, compiled generically — feasible only
+    for tiny machines, agreeing with the fast route."""
+    rules = RuleSet()
+    rules.add(None, "q", Move("down-left", "q"))
+    rules.add("b", "q", Branch0())
+    automaton = PebbleAutomaton(ALPHA, [["q"]], "q", rules)
+
+    def both_routes():
+        formula = pebble_automaton_to_mso(automaton)
+        slow = sentence_automaton(formula, ALPHA)
+        fast = pebble_automaton_to_ta(automaton)
+        return slow, fast
+
+    slow, fast = once(both_routes)
+    rng = random.Random(3)
+    for _ in range(25):
+        tree = random_btree(ALPHA, rng.randint(1, 8), rng)
+        assert slow.accepts(tree) == fast.accepts(tree) == \
+            automaton.accepts(tree)
+    report("E14 routes", [("literal-MSO states", len(slow.states)),
+                          ("summary states", len(fast.states))])

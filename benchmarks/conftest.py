@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark prints the series it measures (the paper has no numeric
+tables — its "evaluation" is figures, worked examples and complexity
+claims; see EXPERIMENTS.md for the mapping), and asserts the *shape*
+the paper predicts (who wins, what grows how).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print a small aligned table under a title."""
+    print(f"\n== {title} ==")
+    for row in rows:
+        print("   " + "  ".join(str(cell) for cell in row))
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive callable exactly once under pytest-benchmark."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

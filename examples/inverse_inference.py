@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Example 4.2, reproduced: forward type inference fails, inverse
+type inference succeeds.
+
+Q1 is the XML-QL query::
+
+    <result> WHERE <root> <a> $X </a> <a> $Y </a> </root>
+    CONSTRUCT <b/> </result>
+
+It maps a^n to b^(n^2) — a non-regular image, so *no* DTD describes the
+output exactly (forward inference must approximate).  But the *inverse*
+is regular: the inputs whose outputs have an even number of b's
+(output DTD ``result := (b.b)*``) are exactly ``root := (a.a)*``.
+
+This script demonstrates both facts with the 2-pebble transducer for Q1.
+
+Run:  python examples/inverse_inference.py
+"""
+
+from repro.data import q1_input_dtd, q1_inverse_dtd, q1_output_even_dtd
+from repro.data.generators import flat_document
+from repro.lang import q1_transducer
+from repro.pebble import evaluate
+from repro.trees import decode, encode
+from repro.typecheck import typecheck
+
+
+def main() -> None:
+    machine = q1_transducer()
+    print("Q1 as a k-pebble transducer:", machine.stats())
+
+    # -- the non-regular image: a^n -> b^(n^2) ------------------------------
+    print("\nforward image (not a regular set — no exact output DTD):")
+    for n in range(6):
+        document = flat_document("root", "a", n)
+        output = decode(evaluate(machine, encode(document)))
+        print(f"  a^{n} -> b^{len(output.children)}")
+
+    # -- inverse inference: which inputs give an even number of b's? --------
+    even = q1_output_even_dtd()      # result := (b.b)*
+    print("\nbounded typecheck of Q1 : (root := a*) -> (result := (b.b)*):")
+    result = typecheck(machine, q1_input_dtd(), even,
+                       method="bounded", max_inputs=8)
+    print("  ok:", result.ok)
+    witness = decode(result.counterexample_input)
+    print(f"  counterexample: a^{len(witness.children)} "
+          f"(odd n makes n^2 odd)")
+
+    print("\n...but from the paper's inverse type (root := (a.a)*):")
+    result = typecheck(machine, q1_inverse_dtd(), even,
+                       method="bounded", max_inputs=8)
+    print("  ok:", result.ok,
+          f"({result.stats['inputs_checked']} even-length inputs checked)")
+
+    # spot-check the inverse-type characterization input by input
+    print("\nper-input check T(a^n) ⊆ (b.b)* vs n even:")
+    from repro.pebble import output_language
+    from repro.typecheck import as_automaton
+
+    not_even = as_automaton(even, machine.output_alphabet).complemented()
+    for n in range(8):
+        document = encode(flat_document("root", "a", n))
+        bad = output_language(machine, document).intersection(not_even)
+        conforms = bad.is_empty()
+        print(f"  n={n}: conforms={conforms}  (n even: {n % 2 == 0})")
+        assert conforms == (n % 2 == 0)
+
+
+if __name__ == "__main__":
+    main()

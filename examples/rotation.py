@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Figure 2 / Example 3.7: rotating a tree around a pivot leaf.
+
+A single pebble suffices for this "complex tree transformation": the
+machine finds the first leaf labeled ``s`` in pre-order, makes it the
+new root, and re-emits the tree inside-out while climbing, inserting the
+two fresh nodes ``m`` and ``n``.  As the paper notes, on right-linear
+trees this reverses strings.
+
+Run:  python examples/rotation.py
+"""
+
+from repro.pebble import evaluate, rotation_transducer
+from repro.trees import RankedAlphabet, leaf, node
+
+
+def main() -> None:
+    alphabet = RankedAlphabet(leaves={"s", "b", "c"}, internals={"r", "g"})
+    machine = rotation_transducer(alphabet)
+    print("rotation transducer:", machine.stats())
+
+    print("\nFigure 2 instances:")
+    for tree in [
+        node("r", leaf("s"), leaf("b")),
+        node("r", node("g", leaf("c"), leaf("s")), leaf("b")),
+        node("r", node("g", node("g", leaf("s"), leaf("c")), leaf("b")),
+             leaf("c")),
+    ]:
+        output = evaluate(machine, tree)
+        print(f"  {tree}\n    -> {output}")
+        assert output.size() == tree.size() + 2  # exactly m and n added
+
+    print("\nstring reversal (right-linear encoding):")
+    strings = RankedAlphabet(leaves={"s", "x"},
+                             internals={"r", "c1", "c2", "c3"})
+    reverser = rotation_transducer(strings)
+    word = ["r", "c1", "c2", "c3"]
+    tree = leaf("s")
+    for symbol in reversed(word):
+        tree = node(symbol, leaf("x"), tree)
+    output = evaluate(reverser, tree)
+    spine = []
+    current = output.right
+    while current is not None and not current.is_leaf:
+        spine.append(current.label)
+        current = current.left
+    print(f"  {''.join(word)}  ->  {''.join(spine)}")
+    assert spine == list(reversed(word))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — a reproduction of *Typechecking for XML Transformers*
+(Milo, Suciu, Vianu; PODS 2000).
+
+The library implements the paper's entire stack from scratch:
+
+* unranked/ranked trees and the binary encoding (Section 2.1),
+* regular expressions, path expressions, DTDs and specialized DTDs
+  (Sections 2.1–2.3),
+* regular tree automata with the full boolean algebra (Section 2.3),
+* MSO on binary trees compiled to tree automata (engine of Theorem 4.7),
+* k-pebble tree transducers and k-pebble tree automata (Sections 3–4),
+* the decidable typechecking pipeline of Theorem 4.4, and
+* the star-free machinery of the non-elementary lower bound (Theorem 4.8).
+
+Quickstart::
+
+    from repro import parse_xml, parse_dtd, typecheck
+    from repro.pebble.builders import copy_transducer
+
+See ``examples/quickstart.py`` and the README for a tour.
+"""
+
+__version__ = "1.0.0"
+
+# Re-export the most commonly used names.  Subsystem modules stay importable
+# on their own (repro.trees, repro.regex, repro.automata, repro.mso,
+# repro.pebble, repro.typecheck, repro.lang, repro.ext, repro.data).
+from repro.errors import (
+    AlphabetError,
+    AutomatonError,
+    DTDError,
+    MSOError,
+    PebbleMachineError,
+    RegexError,
+    ReproError,
+    TransducerRuntimeError,
+    TreeError,
+    TypecheckError,
+    UndecidableError,
+    XMLParseError,
+)
+from repro.trees import (
+    BTree,
+    RankedAlphabet,
+    UTree,
+    decode,
+    encode,
+    encoded_alphabet,
+    u,
+)
+from repro.xmlio import DTD, SpecializedDTD, parse_dtd, parse_dtd_xml, \
+    parse_xml, to_xml
+from repro.typecheck import (
+    TypecheckResult,
+    inverse_type,
+    typecheck,
+    typecheck_forward,
+)
+
+__all__ = [
+    "DTD",
+    "SpecializedDTD",
+    "parse_dtd",
+    "parse_dtd_xml",
+    "parse_xml",
+    "to_xml",
+    "TypecheckResult",
+    "inverse_type",
+    "typecheck",
+    "typecheck_forward",
+    "__version__",
+    "AlphabetError",
+    "AutomatonError",
+    "DTDError",
+    "MSOError",
+    "PebbleMachineError",
+    "RegexError",
+    "ReproError",
+    "TransducerRuntimeError",
+    "TreeError",
+    "TypecheckError",
+    "UndecidableError",
+    "XMLParseError",
+    "BTree",
+    "RankedAlphabet",
+    "UTree",
+    "decode",
+    "encode",
+    "encoded_alphabet",
+    "u",
+]

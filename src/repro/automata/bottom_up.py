@@ -1,0 +1,550 @@
+"""Bottom-up (frontier-to-root) tree automata and the boolean algebra of
+regular tree languages (paper, Section 2.3).
+
+Bottom-up nondeterministic automata are equivalent to top-down ones and are
+the convenient form for determinization, complementation, products,
+emptiness and inclusion — everything the typechecking pipeline needs
+("inclusion of regular tree languages is decidable", Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Optional
+
+from repro.errors import AutomatonError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.ranked import BTree, IndexedTree
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class BottomUpTA:
+    """A nondeterministic bottom-up tree automaton.
+
+    Attributes:
+        alphabet: the ranked alphabet.
+        states: the finite state set.
+        leaf_rules: ``a -> set of states`` for leaf symbols.
+        rules: ``(a, q_left, q_right) -> set of states`` for internal symbols.
+        accepting: root states that accept.
+    """
+
+    alphabet: RankedAlphabet
+    states: frozenset[State]
+    leaf_rules: dict[str, frozenset[State]]
+    rules: dict[tuple[str, State, State], frozenset[State]]
+    accepting: frozenset[State]
+
+    def __init__(
+        self,
+        alphabet: RankedAlphabet,
+        states: Iterable[State],
+        leaf_rules: Mapping[str, Iterable[State]],
+        rules: Mapping[tuple[str, State, State], Iterable[State]],
+        accepting: Iterable[State],
+    ) -> None:
+        object.__setattr__(self, "alphabet", alphabet)
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(
+            self,
+            "leaf_rules",
+            {symbol: frozenset(qs) for symbol, qs in leaf_rules.items() if qs},
+        )
+        object.__setattr__(
+            self,
+            "rules",
+            {key: frozenset(qs) for key, qs in rules.items() if qs},
+        )
+        object.__setattr__(self, "accepting", frozenset(accepting))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be states")
+        for symbol, targets in self.leaf_rules.items():
+            if symbol not in self.alphabet.leaves:
+                raise AutomatonError(f"leaf rule on non-leaf symbol {symbol!r}")
+            if not targets <= self.states:
+                raise AutomatonError("leaf rule targets unknown state")
+        for (symbol, left, right), targets in self.rules.items():
+            if symbol not in self.alphabet.internals:
+                raise AutomatonError(f"rule on non-internal symbol {symbol!r}")
+            if left not in self.states or right not in self.states:
+                raise AutomatonError("rule reads unknown state")
+            if not targets <= self.states:
+                raise AutomatonError("rule targets unknown state")
+
+    def n_rules(self) -> int:
+        """Total number of transition rules."""
+        return sum(len(t) for t in self.leaf_rules.values()) + sum(
+            len(t) for t in self.rules.values()
+        )
+
+    # -- running ---------------------------------------------------------------
+
+    def states_at_root(self, tree: BTree) -> frozenset[State]:
+        """The set of states the automaton can reach at the root."""
+        indexed = IndexedTree(tree)
+        reach: list[frozenset[State]] = [frozenset()] * indexed.n
+        empty: frozenset[State] = frozenset()
+        for node_id in range(indexed.n - 1, -1, -1):
+            symbol = indexed.label(node_id)
+            if indexed.is_leaf(node_id):
+                reach[node_id] = self.leaf_rules.get(symbol, empty)
+            else:
+                gathered: set[State] = set()
+                for left in reach[indexed.left[node_id]]:
+                    for right in reach[indexed.right[node_id]]:
+                        gathered |= self.rules.get((symbol, left, right), empty)
+                reach[node_id] = frozenset(gathered)
+        return reach[0]
+
+    def accepts(self, tree: BTree) -> bool:
+        """True when the automaton accepts ``tree``."""
+        return bool(self.states_at_root(tree) & self.accepting)
+
+    # -- emptiness and generation -----------------------------------------------
+
+    def reachable_states(self) -> frozenset[State]:
+        """States that label the root of at least one tree (fixpoint)."""
+        reachable: set[State] = set()
+        changed = True
+        while changed:
+            changed = False
+            for targets in self.leaf_rules.values():
+                for state in targets:
+                    if state not in reachable:
+                        reachable.add(state)
+                        changed = True
+            for (_, left, right), targets in self.rules.items():
+                if left in reachable and right in reachable:
+                    for state in targets:
+                        if state not in reachable:
+                            reachable.add(state)
+                            changed = True
+        return frozenset(reachable)
+
+    def is_empty(self) -> bool:
+        """True when the language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def witness(self) -> Optional[BTree]:
+        """A smallest-ish accepted tree, or ``None`` if the language is empty.
+
+        Computed by the standard "cheapest derivation" fixpoint: each state
+        gets the smallest tree known to reach it.
+        """
+        best: dict[State, BTree] = {}
+        changed = True
+        while changed:
+            changed = False
+            for symbol, targets in sorted(self.leaf_rules.items()):
+                for state in targets:
+                    if state not in best:
+                        best[state] = BTree(symbol)
+                        changed = True
+            for (symbol, left, right), targets in sorted(
+                self.rules.items(), key=lambda item: repr(item[0])
+            ):
+                if left in best and right in best:
+                    candidate = BTree(symbol, best[left], best[right])
+                    for state in targets:
+                        if state not in best or (
+                            candidate.size() < best[state].size()
+                        ):
+                            best[state] = candidate
+                            changed = True
+        accepted = [best[q] for q in self.accepting if q in best]
+        if not accepted:
+            return None
+        return min(accepted, key=lambda tree: tree.size())
+
+    def generate(self, limit: int, max_rounds: int = 12) -> Iterator[BTree]:
+        """Yield up to ``limit`` distinct accepted trees, roughly smallest
+        first (round-based bottom-up enumeration)."""
+        per_state: dict[State, list[BTree]] = {q: [] for q in self.states}
+        seen_per_state: dict[State, set[BTree]] = {q: set() for q in self.states}
+        emitted: set[BTree] = set()
+        cap_per_state = max(4, limit)
+
+        def add(state: State, tree: BTree) -> None:
+            if tree in seen_per_state[state]:
+                return
+            if len(per_state[state]) >= cap_per_state:
+                return
+            seen_per_state[state].add(tree)
+            per_state[state].append(tree)
+
+        for symbol, targets in sorted(self.leaf_rules.items()):
+            for state in targets:
+                add(state, BTree(symbol))
+        for _ in range(max_rounds):
+            for state in self.accepting:
+                for tree in list(per_state[state]):
+                    if tree not in emitted:
+                        emitted.add(tree)
+                        yield tree
+                        if len(emitted) >= limit:
+                            return
+            snapshot = {q: list(ts) for q, ts in per_state.items()}
+            for (symbol, left, right), targets in self.rules.items():
+                for left_tree in snapshot[left]:
+                    for right_tree in snapshot[right]:
+                        combined = BTree(symbol, left_tree, right_tree)
+                        for state in targets:
+                            add(state, combined)
+        for state in self.accepting:
+            for tree in per_state[state]:
+                if tree not in emitted:
+                    emitted.add(tree)
+                    yield tree
+                    if len(emitted) >= limit:
+                        return
+
+    # -- determinization and boolean algebra -------------------------------------
+
+    def is_deterministic(self) -> bool:
+        """True when every rule has at most one target state."""
+        return all(len(t) <= 1 for t in self.leaf_rules.values()) and all(
+            len(t) <= 1 for t in self.rules.values()
+        )
+
+    def determinized(self, keep_subsets: bool = False) -> "BottomUpTA":
+        """Subset construction: an equivalent *complete deterministic*
+        automaton whose states are reachable state sets.
+
+        With ``keep_subsets=True`` the states of the result are the actual
+        frozensets rather than opaque integers — the Theorem 4.7 pipeline
+        uses this to derive several acceptance conditions from a single
+        determinization.
+        """
+        empty: frozenset[State] = frozenset()
+        index: dict[frozenset[State], int] = {}
+        leaf_rules: dict[str, set[int]] = {}
+        rules: dict[tuple[str, int, int], set[int]] = {}
+        queue: deque[frozenset[State]] = deque()
+
+        def intern(states: frozenset[State]) -> int:
+            if states not in index:
+                index[states] = len(index)
+                queue.append(states)
+            return index[states]
+
+        for symbol in self.alphabet.leaves:
+            leaf_rules[symbol] = {intern(self.leaf_rules.get(symbol, empty))}
+        while queue:
+            # NOTE: new subsets discovered below re-enter the queue, and the
+            # symbol loops below must consider pairs with *all* known subsets.
+            current = queue.popleft()
+            current_id = index[current]
+            for symbol in self.alphabet.internals:
+                for other in list(index):
+                    other_id = index[other]
+                    for left_set, right_set, lid, rid in (
+                        (current, other, current_id, other_id),
+                        (other, current, other_id, current_id),
+                    ):
+                        key = (symbol, lid, rid)
+                        if key in rules:
+                            continue
+                        gathered: set[State] = set()
+                        for left in left_set:
+                            for right in right_set:
+                                gathered |= self.rules.get(
+                                    (symbol, left, right), empty
+                                )
+                        rules[key] = {intern(frozenset(gathered))}
+        accepting = {
+            state_id
+            for states, state_id in index.items()
+            if states & self.accepting
+        }
+        result = BottomUpTA(
+            alphabet=self.alphabet,
+            states=index.values(),
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting=accepting,
+        )
+        if not keep_subsets:
+            return result
+        subset_of = {state_id: subset for subset, state_id in index.items()}
+
+        def resolve(state_id: int) -> frozenset[State]:
+            return subset_of[state_id]
+
+        return BottomUpTA(
+            alphabet=self.alphabet,
+            states=[resolve(s) for s in result.states],
+            leaf_rules={
+                symbol: {resolve(s) for s in targets}
+                for symbol, targets in result.leaf_rules.items()
+            },
+            rules={
+                (symbol, resolve(left), resolve(right)): {
+                    resolve(s) for s in targets
+                }
+                for (symbol, left, right), targets in result.rules.items()
+            },
+            accepting=[resolve(s) for s in result.accepting],
+        )
+
+    def complemented(self) -> "BottomUpTA":
+        """The automaton for the complement language (over ``alphabet``)."""
+        det = self if self.is_complete_deterministic() else self.determinized()
+        return BottomUpTA(
+            alphabet=det.alphabet,
+            states=det.states,
+            leaf_rules=det.leaf_rules,
+            rules=det.rules,
+            accepting=det.states - det.accepting,
+        )
+
+    def is_complete_deterministic(self) -> bool:
+        """True when every symbol/state combination has exactly one target."""
+        for symbol in self.alphabet.leaves:
+            if len(self.leaf_rules.get(symbol, frozenset())) != 1:
+                return False
+        for symbol in self.alphabet.internals:
+            for left in self.states:
+                for right in self.states:
+                    if len(self.rules.get((symbol, left, right), frozenset())) != 1:
+                        return False
+        return True
+
+    def product(
+        self, other: "BottomUpTA", combine: Callable[[bool, bool], bool]
+    ) -> "BottomUpTA":
+        """Reachable product automaton; ``combine`` decides acceptance.
+
+        For non-complete automata, ``combine`` must be monotone in the sense
+        that ``combine(False, False)`` is ``False`` (intersection, union of
+        runs that exist); use :meth:`complemented` + intersection for
+        difference, which this module's :meth:`difference` does.
+        """
+        if self.alphabet.symbols != other.alphabet.symbols:
+            raise AutomatonError("product requires identical alphabets")
+        empty: frozenset[State] = frozenset()
+        pairs: set[tuple[State, State]] = set()
+        leaf_rules: dict[str, set[tuple[State, State]]] = {}
+        for symbol in self.alphabet.leaves:
+            targets = {
+                (mine, theirs)
+                for mine in self.leaf_rules.get(symbol, empty)
+                for theirs in other.leaf_rules.get(symbol, empty)
+            }
+            leaf_rules[symbol] = targets
+            pairs |= targets
+        rules: dict[tuple[str, tuple[State, State], tuple[State, State]], set] = {}
+        frontier = set(pairs)
+        while frontier:
+            new_pairs: set[tuple[State, State]] = set()
+            for symbol in self.alphabet.internals:
+                known = list(pairs)
+                for left_pair in known:
+                    for right_pair in known:
+                        if (
+                            left_pair not in frontier
+                            and right_pair not in frontier
+                            and (symbol, left_pair, right_pair) in rules
+                        ):
+                            continue
+                        mine = self.rules.get(
+                            (symbol, left_pair[0], right_pair[0]), empty
+                        )
+                        theirs = other.rules.get(
+                            (symbol, left_pair[1], right_pair[1]), empty
+                        )
+                        targets = {(m, t) for m in mine for t in theirs}
+                        if targets:
+                            rules[(symbol, left_pair, right_pair)] = targets
+                            new_pairs |= targets - pairs
+            pairs |= new_pairs
+            frontier = new_pairs
+        accepting = {
+            (mine, theirs)
+            for (mine, theirs) in pairs
+            if combine(mine in self.accepting, theirs in other.accepting)
+        }
+        return BottomUpTA(
+            alphabet=self.alphabet,
+            states=pairs | {("_dead", "_dead")},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting=accepting,
+        )
+
+    def intersection(self, other: "BottomUpTA") -> "BottomUpTA":
+        """Language intersection."""
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other: "BottomUpTA") -> "BottomUpTA":
+        """Language union (via disjoint sum of automata)."""
+        if self.alphabet.symbols != other.alphabet.symbols:
+            raise AutomatonError("union requires identical alphabets")
+        tag = lambda side, q: (side, q)  # noqa: E731 - tiny local helper
+        leaf_rules: dict[str, set[State]] = {}
+        for symbol in self.alphabet.leaves:
+            leaf_rules[symbol] = {
+                tag(0, q) for q in self.leaf_rules.get(symbol, frozenset())
+            } | {tag(1, q) for q in other.leaf_rules.get(symbol, frozenset())}
+        rules: dict[tuple[str, State, State], set[State]] = {}
+        for (symbol, left, right), targets in self.rules.items():
+            rules[(symbol, tag(0, left), tag(0, right))] = {
+                tag(0, q) for q in targets
+            }
+        for (symbol, left, right), targets in other.rules.items():
+            rules[(symbol, tag(1, left), tag(1, right))] = {
+                tag(1, q) for q in targets
+            }
+        return BottomUpTA(
+            alphabet=self.alphabet,
+            states={tag(0, q) for q in self.states}
+            | {tag(1, q) for q in other.states},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={tag(0, q) for q in self.accepting}
+            | {tag(1, q) for q in other.accepting},
+        )
+
+    def difference(self, other: "BottomUpTA") -> "BottomUpTA":
+        """Language difference ``L(self) - L(other)``."""
+        return self.intersection(other.complemented())
+
+    def includes(self, other: "BottomUpTA") -> bool:
+        """True when ``L(other) ⊆ L(self)`` (decidable; Section 4.1)."""
+        return other.difference(self).is_empty()
+
+    def equivalent(self, other: "BottomUpTA") -> bool:
+        """Language equality."""
+        return self.includes(other) and other.includes(self)
+
+    # -- normalization ------------------------------------------------------------
+
+    def trimmed(self) -> "BottomUpTA":
+        """Drop states that are unreachable or useless (cannot reach an
+        accepting root context).  Keeps the language."""
+        reachable = self.reachable_states()
+        # co-reachability: a state is useful if some context takes it to
+        # acceptance; computed by a backward fixpoint.
+        useful: set[State] = set(self.accepting & reachable)
+        changed = True
+        while changed:
+            changed = False
+            for (symbol, left, right), targets in self.rules.items():
+                if left not in reachable or right not in reachable:
+                    continue
+                if targets & useful:
+                    for state in (left, right):
+                        if state not in useful:
+                            useful.add(state)
+                            changed = True
+        keep = reachable & (useful | self.accepting)
+        leaf_rules = {
+            symbol: targets & keep for symbol, targets in self.leaf_rules.items()
+        }
+        rules = {
+            key: targets & keep
+            for key, targets in self.rules.items()
+            if key[1] in keep and key[2] in keep
+        }
+        return BottomUpTA(
+            alphabet=self.alphabet,
+            states=keep or {"_dead"},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting=self.accepting & keep,
+        )
+
+    def minimized(self) -> "BottomUpTA":
+        """Myhill–Nerode style minimization.
+
+        Determinizes first if needed, then merges equivalent states by
+        partition refinement.  The result is the canonical complete
+        deterministic automaton (up to renaming) for the language.
+        """
+        det = self if self.is_complete_deterministic() else self.determinized()
+        states = sorted(det.states, key=repr)
+        block_of: dict[State, int] = {
+            q: (1 if q in det.accepting else 0) for q in states
+        }
+
+        def the(targets: frozenset[State]) -> State:
+            (only,) = targets
+            return only
+
+        leaf_symbols = sorted(det.alphabet.leaves)
+        internal_symbols = sorted(det.alphabet.internals)
+        while True:
+            signatures: dict[tuple, int] = {}
+            new_block_of: dict[State, int] = {}
+            for q in states:
+                row = [block_of[q]]
+                for symbol in internal_symbols:
+                    for other in states:
+                        row.append(
+                            block_of[the(det.rules[(symbol, q, other)])]
+                        )
+                        row.append(
+                            block_of[the(det.rules[(symbol, other, q)])]
+                        )
+                signature = tuple(row)
+                if signature not in signatures:
+                    signatures[signature] = len(signatures)
+                new_block_of[q] = signatures[signature]
+            if len(signatures) == len(set(block_of.values())):
+                block_of = new_block_of
+                break
+            block_of = new_block_of
+        leaf_rules = {
+            symbol: {block_of[the(det.leaf_rules[symbol])]}
+            for symbol in leaf_symbols
+        }
+        rules = {
+            (symbol, block_of[left], block_of[right]): {
+                block_of[the(det.rules[(symbol, left, right)])]
+            }
+            for symbol in internal_symbols
+            for left in states
+            for right in states
+        }
+        return BottomUpTA(
+            alphabet=det.alphabet,
+            states=set(block_of.values()),
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={block_of[q] for q in det.accepting},
+        )
+
+    def renamed(self) -> "BottomUpTA":
+        """Rename states to consecutive integers (canonical-ish form)."""
+        mapping = {
+            state: index
+            for index, state in enumerate(sorted(self.states, key=repr))
+        }
+        return BottomUpTA(
+            alphabet=self.alphabet,
+            states=mapping.values(),
+            leaf_rules={
+                symbol: {mapping[q] for q in targets}
+                for symbol, targets in self.leaf_rules.items()
+            },
+            rules={
+                (symbol, mapping[left], mapping[right]): {
+                    mapping[q] for q in targets
+                }
+                for (symbol, left, right), targets in self.rules.items()
+            },
+            accepting={mapping[q] for q in self.accepting},
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics (used by the complexity benchmarks)."""
+        return {
+            "states": len(self.states),
+            "rules": self.n_rules(),
+            "accepting": len(self.accepting),
+        }

@@ -1,0 +1,65 @@
+"""Conversions between top-down and bottom-up tree automata.
+
+Nondeterministic top-down and bottom-up automata are equivalent (paper,
+Section 2.3); the two constructions here witness the equivalence and are
+property-tested against each other.
+"""
+
+from __future__ import annotations
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.automata.top_down import TopDownTA
+
+
+def td_to_bu(automaton: TopDownTA) -> BottomUpTA:
+    """Convert a top-down automaton to an equivalent bottom-up one.
+
+    A bottom-up state ``q`` at a node means "this subtree is acceptable
+    when the top-down automaton arrives here in state ``q``"; the rules are
+    the top-down rules read frontier-to-root.
+    """
+    automaton = automaton.without_silent()
+    leaf_rules: dict[str, set] = {}
+    for symbol, state in automaton.final:
+        leaf_rules.setdefault(symbol, set()).add(state)
+    rules: dict[tuple[str, object, object], set] = {}
+    for (symbol, state), targets in automaton.transitions.items():
+        for left, right in targets:
+            rules.setdefault((symbol, left, right), set()).add(state)
+    return BottomUpTA(
+        alphabet=automaton.alphabet,
+        states=automaton.states,
+        leaf_rules=leaf_rules,
+        rules=rules,
+        accepting={automaton.initial},
+    )
+
+
+def bu_to_td(automaton: BottomUpTA) -> TopDownTA:
+    """Convert a bottom-up automaton to an equivalent top-down one.
+
+    A fresh initial state stands for "any accepting root state"; silent
+    transitions dispatch from it, and the paper's elimination then removes
+    them.
+    """
+    initial = ("_init",)
+    states = set(automaton.states) | {initial}
+    transitions: dict[tuple[str, object], set[tuple[object, object]]] = {}
+    final: set[tuple[str, object]] = set()
+    silent: dict[tuple[str, object], set[object]] = {}
+    for (symbol, left, right), targets in automaton.rules.items():
+        for state in targets:
+            transitions.setdefault((symbol, state), set()).add((left, right))
+    for symbol, targets in automaton.leaf_rules.items():
+        for state in targets:
+            final.add((symbol, state))
+    for symbol in automaton.alphabet.symbols:
+        silent[(symbol, initial)] = set(automaton.accepting)
+    return TopDownTA(
+        alphabet=automaton.alphabet,
+        states=states,
+        initial=initial,
+        final=final,
+        transitions=transitions,
+        silent=silent,
+    ).without_silent()

@@ -1,0 +1,65 @@
+"""From (specialized) DTDs to tree automata over encoded binary trees.
+
+Section 2.3 of the paper: "Given a DTD D it is straightforward to
+construct a tree automaton A such that inst(A) = {encode(t) | t ∈
+inst(D)}", and specialized DTDs are *exactly* the regular tree languages.
+This module is that construction.
+
+The bottom-up automaton tracks, on each cons cell of a child chain, the
+set-of-one DFA fact "from DFA state q, the remaining suffix of children
+types drives the parent's content model to acceptance":
+
+* state ``('pad',)`` — the nil that pads every element's right child;
+* state ``('suf', t, q)`` — a chain whose types-word ``w`` satisfies
+  ``delta*(q, w) ∈ F_t`` for type ``t``'s content DFA;
+* state ``('elem', t)`` — the encoding of an element of type ``t``.
+"""
+
+from __future__ import annotations
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.trees.alphabet import CONS, NIL, encoded_alphabet
+from repro.xmlio.dtd import DTD
+from repro.xmlio.specialized import SpecializedDTD
+
+PAD = ("pad",)
+
+
+def specialized_to_automaton(sdtd: SpecializedDTD) -> BottomUpTA:
+    """Bottom-up automaton accepting ``{encode(t) | t ∈ inst(sdtd)}``."""
+    alphabet = encoded_alphabet(sdtd.tags)
+    dfas = {t: sdtd.content_dfa(t) for t in sorted(sdtd.types)}
+
+    states: set = {PAD}
+    leaf_targets: set = {PAD}
+    rules: dict[tuple[str, object, object], set] = {}
+
+    for type_name, dfa in dfas.items():
+        for q in range(dfa.n_states):
+            states.add(("suf", type_name, q))
+        # nil ends a chain: the suffix is epsilon, accepted from any final q.
+        for q in dfa.accepting:
+            leaf_targets.add(("suf", type_name, q))
+        # a cons cell prepends an element of some child type t' to a chain.
+        for q in range(dfa.n_states):
+            for child_type in sorted(sdtd.types):
+                q_next = dfa.delta[(q, child_type)]
+                key = (CONS, ("elem", child_type), ("suf", type_name, q_next))
+                rules.setdefault(key, set()).add(("suf", type_name, q))
+        # an element of type t: tag over (chain started at q0, pad).
+        key = (sdtd.tag_of[type_name], ("suf", type_name, dfa.start), PAD)
+        rules.setdefault(key, set()).add(("elem", type_name))
+        states.add(("elem", type_name))
+
+    return BottomUpTA(
+        alphabet=alphabet,
+        states=states,
+        leaf_rules={NIL: leaf_targets},
+        rules=rules,
+        accepting={("elem", t) for t in sdtd.roots},
+    )
+
+
+def dtd_to_automaton(dtd: DTD) -> BottomUpTA:
+    """Bottom-up automaton accepting ``{encode(t) | t ∈ inst(dtd)}``."""
+    return specialized_to_automaton(SpecializedDTD.from_dtd(dtd))

@@ -1,0 +1,183 @@
+"""Hedge automata: regular tree languages directly on *unranked* trees.
+
+Section 2.3 cites the unranked-case automata of Brüggemann-Klein, Murata
+and Wood [8] alongside the ranked ones; the paper itself works over the
+binary encoding ("All results carry over to unranked trees via the
+encoding").  This module provides the unranked side of that equivalence:
+
+* a :class:`HedgeAutomaton` assigns a state to each node when the word of
+  its children's states belongs to a regular *horizontal language* for
+  the node's symbol and state;
+* :func:`hedge_to_binary` compiles it to a bottom-up automaton over the
+  encoded alphabet with the same (encoded) language;
+* :func:`specialized_to_hedge` views a specialized DTD as a hedge
+  automaton.
+
+The tests verify the triangle: hedge acceptance on ``t`` agrees with the
+binary automaton on ``encode(t)``, and with (specialized) DTD validity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.errors import AutomatonError
+from repro.regex.dfa import DFA, compile_regex
+from repro.regex.syntax import Regex
+from repro.trees.alphabet import CONS, NIL, encoded_alphabet
+from repro.trees.unranked import UTree
+from repro.xmlio.specialized import SpecializedDTD
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class HedgeAutomaton:
+    """A nondeterministic hedge automaton over unranked trees.
+
+    ``horizontal`` maps ``(symbol, state)`` to a regular expression over
+    *states*: a node labeled ``a`` may take state ``q`` when the word of
+    its children's states belongs to ``lang(horizontal[(a, q)])``.
+    A tree is accepted when its root can take an accepting state.
+    """
+
+    symbols: frozenset[str]
+    states: frozenset[State]
+    horizontal: dict[tuple[str, State], Regex]
+    accepting: frozenset[State]
+
+    def __init__(
+        self,
+        symbols: Iterable[str],
+        states: Iterable[State],
+        horizontal: Mapping[tuple[str, State], Regex],
+        accepting: Iterable[State],
+    ) -> None:
+        object.__setattr__(self, "symbols", frozenset(symbols))
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "horizontal", dict(horizontal))
+        object.__setattr__(self, "accepting", frozenset(accepting))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be states")
+        state_names = {self._state_symbol(q) for q in self.states}
+        if len(state_names) != len(self.states):
+            raise AutomatonError(
+                "states must have distinct string representations "
+                "(they are used as regex symbols)"
+            )
+        for (symbol, state), expr in self.horizontal.items():
+            if symbol not in self.symbols:
+                raise AutomatonError(f"unknown symbol {symbol!r}")
+            if state not in self.states:
+                raise AutomatonError(f"unknown state {state!r}")
+            if not expr.is_plain():
+                raise AutomatonError("horizontal languages are plain regexes")
+            unknown = expr.symbols() - state_names
+            if unknown:
+                raise AutomatonError(
+                    f"horizontal language mentions non-states: {unknown}"
+                )
+
+    @staticmethod
+    def _state_symbol(state: State) -> str:
+        return state if isinstance(state, str) else repr(state)
+
+    def _dfas(self) -> dict[tuple[str, State], DFA]:
+        alphabet = {self._state_symbol(q) for q in self.states}
+        return {
+            key: compile_regex(expr, alphabet)
+            for key, expr in self.horizontal.items()
+        }
+
+    # -- running -------------------------------------------------------------
+
+    def states_of(self, tree: UTree) -> frozenset[State]:
+        """All states assignable to the root of ``tree``."""
+        dfas = self._dfas()
+        return self._states_of(tree, dfas)
+
+    def _states_of(self, tree: UTree, dfas) -> frozenset[State]:
+        child_options = [self._states_of(child, dfas)
+                         for child in tree.children]
+        result: set[State] = set()
+        for state in self.states:
+            dfa = dfas.get((tree.label, state))
+            if dfa is None:
+                continue
+            current = {dfa.start}
+            for options in child_options:
+                current = {
+                    dfa.step(q, self._state_symbol(option))
+                    for q in current
+                    for option in options
+                }
+                if not current:
+                    break
+            if current & dfa.accepting:
+                result.add(state)
+        return frozenset(result)
+
+    def accepts(self, tree: UTree) -> bool:
+        """True when the hedge automaton accepts the unranked tree."""
+        return bool(self.states_of(tree) & self.accepting)
+
+
+def specialized_to_hedge(sdtd: SpecializedDTD) -> HedgeAutomaton:
+    """View a specialized DTD as a hedge automaton (states = types)."""
+    return HedgeAutomaton(
+        symbols=sdtd.tags,
+        states=sdtd.types,
+        horizontal={
+            (sdtd.tag_of[type_name], type_name): sdtd.content[type_name]
+            for type_name in sdtd.types
+        },
+        accepting=sdtd.roots,
+    )
+
+
+def hedge_to_binary(automaton: HedgeAutomaton) -> BottomUpTA:
+    """Compile to a bottom-up automaton over the encoded alphabet with
+    language ``{encode(t) | automaton accepts t}``.
+
+    Same chain construction as for specialized DTDs: a state on a cons
+    cell tracks the horizontal DFA's suffix acceptance.
+    """
+    alphabet = encoded_alphabet(automaton.symbols)
+    dfas = automaton._dfas()
+
+    pad = ("pad",)
+    states: set = {pad}
+    leaf_targets: set = {pad}
+    rules: dict = {}
+
+    for (symbol, state), dfa in sorted(dfas.items(), key=repr):
+        key_base = (symbol, state)
+        for q in range(dfa.n_states):
+            states.add(("suf", key_base, q))
+        for q in dfa.accepting:
+            leaf_targets.add(("suf", key_base, q))
+        for q in range(dfa.n_states):
+            for child in sorted(automaton.states, key=repr):
+                child_symbol = HedgeAutomaton._state_symbol(child)
+                q_next = dfa.delta[(q, child_symbol)]
+                rules.setdefault(
+                    (CONS, ("node", child), ("suf", key_base, q_next)),
+                    set(),
+                ).add(("suf", key_base, q))
+        rules.setdefault(
+            (symbol, ("suf", key_base, dfa.start), pad), set()
+        ).add(("node", state))
+        states.add(("node", state))
+
+    return BottomUpTA(
+        alphabet=alphabet,
+        states=states,
+        leaf_rules={NIL: leaf_targets},
+        rules=rules,
+        accepting={("node", q) for q in automaton.accepting},
+    )

@@ -1,0 +1,208 @@
+"""Nondeterministic top-down tree automata (paper, Definition 2.1).
+
+A top-down automaton ``A = (Sigma, Q, q0, QF, P)`` starts at the root in
+state ``q0``; a transition ``(a, q) -> (q1, q2)`` spawns two branches on
+the children, and a branch on a leaf accepts when ``(a, q) ∈ QF``.
+
+The paper also needs *silent transitions* ``(a, q) -> q'`` (Section 2.3 and
+Proposition 3.8): the head stays put while the state changes.  The
+elimination construction of Section 2.3 is :meth:`TopDownTA.without_silent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import AutomatonError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.ranked import BTree, IndexedTree
+
+State = Hashable
+
+
+def _freeze_pairs(
+    mapping: Mapping[tuple[str, State], Iterable[tuple[State, State]]],
+) -> dict[tuple[str, State], frozenset[tuple[State, State]]]:
+    return {key: frozenset(value) for key, value in mapping.items() if value}
+
+
+def _freeze_states(
+    mapping: Mapping[tuple[str, State], Iterable[State]],
+) -> dict[tuple[str, State], frozenset[State]]:
+    return {key: frozenset(value) for key, value in mapping.items() if value}
+
+
+@dataclass(frozen=True)
+class TopDownTA:
+    """A nondeterministic top-down (root-to-frontier) tree automaton.
+
+    Attributes:
+        alphabet: the ranked alphabet ``Sigma_0 ∪ Sigma_2``.
+        states: the finite state set ``Q``.
+        initial: the initial state ``q0``.
+        final: the accepting symbol/state pairs ``QF ⊆ Sigma_0 × Q``.
+        transitions: ``(a, q) -> set of (q1, q2)`` for ``a ∈ Sigma_2``.
+        silent: optional silent transitions ``(a, q) -> set of q'`` for
+            any ``a ∈ Sigma``.
+    """
+
+    alphabet: RankedAlphabet
+    states: frozenset[State]
+    initial: State
+    final: frozenset[tuple[str, State]]
+    transitions: dict[tuple[str, State], frozenset[tuple[State, State]]]
+    silent: dict[tuple[str, State], frozenset[State]] = field(default_factory=dict)
+
+    def __init__(
+        self,
+        alphabet: RankedAlphabet,
+        states: Iterable[State],
+        initial: State,
+        final: Iterable[tuple[str, State]],
+        transitions: Mapping[tuple[str, State], Iterable[tuple[State, State]]],
+        silent: Mapping[tuple[str, State], Iterable[State]] | None = None,
+    ) -> None:
+        object.__setattr__(self, "alphabet", alphabet)
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "initial", initial)
+        object.__setattr__(self, "final", frozenset(final))
+        object.__setattr__(self, "transitions", _freeze_pairs(transitions))
+        object.__setattr__(self, "silent", _freeze_states(silent or {}))
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state is not in the state set")
+        for symbol, state in self.final:
+            if symbol not in self.alphabet.leaves:
+                raise AutomatonError(
+                    f"final pair uses non-leaf symbol {symbol!r}"
+                )
+            if state not in self.states:
+                raise AutomatonError(f"final pair uses unknown state {state!r}")
+        for (symbol, state), targets in self.transitions.items():
+            if symbol not in self.alphabet.internals:
+                raise AutomatonError(
+                    f"transition on non-internal symbol {symbol!r}"
+                )
+            if state not in self.states:
+                raise AutomatonError(f"transition from unknown state {state!r}")
+            for left, right in targets:
+                if left not in self.states or right not in self.states:
+                    raise AutomatonError("transition to unknown state")
+        for (symbol, state), targets in self.silent.items():
+            if symbol not in self.alphabet:
+                raise AutomatonError(f"silent transition on {symbol!r}")
+            if state not in self.states or not targets <= self.states:
+                raise AutomatonError("silent transition uses unknown state")
+
+    @property
+    def has_silent(self) -> bool:
+        """True when the automaton has silent transitions."""
+        return bool(self.silent)
+
+    # -- silent-transition elimination (paper, end of Section 2.3) ----------
+
+    def _silent_closure(self, symbol: str, state: State) -> frozenset[State]:
+        """States reachable from ``state`` via silent moves on ``symbol``."""
+        closure = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for succ in self.silent.get((symbol, current), ()):
+                if succ not in closure:
+                    closure.add(succ)
+                    stack.append(succ)
+        return frozenset(closure)
+
+    def without_silent(self) -> "TopDownTA":
+        """The equivalent automaton ``A0`` without silent transitions.
+
+        ``P' = {(a,q) -> (q1,q2) | q ->*_a q', (a,q') -> (q1,q2) ∈ P}`` and
+        ``QF' = {(a,q) | q ->*_a q', (a,q') ∈ QF}``.
+        """
+        if not self.silent:
+            return self
+        transitions: dict[tuple[str, State], set[tuple[State, State]]] = {}
+        final: set[tuple[str, State]] = set()
+        for symbol in self.alphabet.internals:
+            for state in self.states:
+                gathered: set[tuple[State, State]] = set()
+                for closed in self._silent_closure(symbol, state):
+                    gathered |= self.transitions.get((symbol, closed), frozenset())
+                if gathered:
+                    transitions[(symbol, state)] = gathered
+        for symbol in self.alphabet.leaves:
+            for state in self.states:
+                for closed in self._silent_closure(symbol, state):
+                    if (symbol, closed) in self.final:
+                        final.add((symbol, state))
+                        break
+        return TopDownTA(
+            alphabet=self.alphabet,
+            states=self.states,
+            initial=self.initial,
+            final=final,
+            transitions=transitions,
+        )
+
+    # -- acceptance ----------------------------------------------------------
+
+    def accepts(self, tree: BTree) -> bool:
+        """True when the automaton accepts ``tree``."""
+        automaton = self.without_silent()
+        indexed = IndexedTree(tree)
+        # memo[(state, node)] -> bool, computed bottom-up per node.
+        acceptable: list[set[State]] = [set() for _ in range(indexed.n)]
+        # process nodes in reverse pre-order so children precede parents
+        for node_id in range(indexed.n - 1, -1, -1):
+            symbol = indexed.label(node_id)
+            if indexed.is_leaf(node_id):
+                for state in automaton.states:
+                    if (symbol, state) in automaton.final:
+                        acceptable[node_id].add(state)
+            else:
+                left_ok = acceptable[indexed.left[node_id]]
+                right_ok = acceptable[indexed.right[node_id]]
+                for state in automaton.states:
+                    targets = automaton.transitions.get((symbol, state))
+                    if not targets:
+                        continue
+                    for left, right in targets:
+                        if left in left_ok and right in right_ok:
+                            acceptable[node_id].add(state)
+                            break
+        return automaton.initial in acceptable[0]
+
+    def renamed(self) -> "TopDownTA":
+        """Rename states to consecutive integers (canonical form)."""
+        mapping = {state: index for index, state in enumerate(sorted(
+            self.states, key=repr))}
+        return TopDownTA(
+            alphabet=self.alphabet,
+            states=mapping.values(),
+            initial=mapping[self.initial],
+            final=[(symbol, mapping[q]) for symbol, q in self.final],
+            transitions={
+                (symbol, mapping[q]): {
+                    (mapping[l], mapping[r]) for l, r in targets
+                }
+                for (symbol, q), targets in self.transitions.items()
+            },
+            silent={
+                (symbol, mapping[q]): {mapping[t] for t in targets}
+                for (symbol, q), targets in self.silent.items()
+            },
+        )
+
+    def stats(self) -> dict[str, int]:
+        """Size statistics (used by the complexity benchmarks)."""
+        n_transitions = sum(len(t) for t in self.transitions.values())
+        n_silent = sum(len(t) for t in self.silent.values())
+        return {
+            "states": len(self.states),
+            "transitions": n_transitions,
+            "silent": n_silent,
+            "final": len(self.final),
+        }

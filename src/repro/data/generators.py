@@ -1,0 +1,78 @@
+"""Deterministic workload generators for tests and benchmarks."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.ranked import BTree, random_btree
+from repro.trees.unranked import UTree
+
+
+def random_unranked_tree(
+    labels: list[str],
+    size: int,
+    rng: random.Random,
+    max_children: int = 4,
+) -> UTree:
+    """A random unranked tree with about ``size`` nodes."""
+    budget = [max(1, size)]
+
+    def grow(depth: int) -> UTree:
+        budget[0] -= 1
+        label = rng.choice(labels)
+        if budget[0] <= 0 or depth > 8 or rng.random() < 0.3:
+            return UTree(label)
+        n_children = rng.randint(0, min(max_children, budget[0]))
+        return UTree(label, [grow(depth + 1) for _ in range(n_children)])
+
+    return grow(0)
+
+
+def flat_document(root: str, child: str, n_children: int) -> UTree:
+    """``root(child, child, ..., child)`` — the Example 4.2 input shape."""
+    return UTree(root, [UTree(child)] * n_children)
+
+
+def full_binary_tree(
+    alphabet: RankedAlphabet, depth: int, internal: str, leaf: str
+) -> BTree:
+    """A perfect binary tree of the given depth."""
+    alphabet.check_internal(internal)
+    alphabet.check_leaf(leaf)
+    tree = BTree(leaf)
+    for _ in range(depth):
+        tree = BTree(internal, tree, tree)
+    return tree
+
+
+def right_spine(
+    alphabet: RankedAlphabet, length: int, internal: str, leaf: str
+) -> BTree:
+    """A right-linear tree (a string shape) of the given length."""
+    alphabet.check_internal(internal)
+    alphabet.check_leaf(leaf)
+    tree = BTree(leaf)
+    for _ in range(length):
+        tree = BTree(internal, BTree(leaf), tree)
+    return tree
+
+
+def random_binary_trees(
+    alphabet: RankedAlphabet, count: int, max_size: int, seed: int = 0
+) -> Iterator[BTree]:
+    """A reproducible stream of random binary trees."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield random_btree(alphabet, rng.randint(1, max_size), rng)
+
+
+def random_words(
+    symbols: list[str], count: int, max_length: int, seed: int = 0
+) -> Iterator[list[str]]:
+    """A reproducible stream of random non-empty words."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        length = rng.randint(1, max_length)
+        yield [rng.choice(symbols) for _ in range(length)]

@@ -1,0 +1,71 @@
+"""Named sample DTDs and documents used by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from repro.trees.unranked import UTree, parse_utree
+from repro.xmlio.dtd import DTD, parse_dtd
+
+#: The paper's running example (Section 2.3): the DTD validating Fig. 1.
+PAPER_DTD_TEXT = """
+a := b*.c.e
+b :=
+c := d*
+d :=
+e :=
+"""
+
+
+def paper_dtd() -> DTD:
+    """``a := b*.c.e; b := e; c := d*; d := e; e := e`` (Section 2.3)."""
+    return parse_dtd(PAPER_DTD_TEXT)
+
+
+def paper_tree() -> UTree:
+    """The unranked tree of Figure 1: ``a(b, b, c(d), e)``."""
+    return parse_utree("a(b, b, c(d), e)")
+
+
+def q1_input_dtd() -> DTD:
+    """Example 4.2's input DTD: ``root := a*``."""
+    return parse_dtd("root := a*\na :=")
+
+
+def q1_output_even_dtd() -> DTD:
+    """Example 4.2's output DTD requiring an even number of ``b``'s."""
+    return parse_dtd("result := (b.b)*\nb :=")
+
+
+def q1_inverse_dtd() -> DTD:
+    """The inverse type the paper derives: ``root := (a.a)*``."""
+    return parse_dtd("root := (a.a)*\na :=")
+
+
+def q2_good_output_dtd() -> DTD:
+    """An output DTD that Q2 (Example 4.3) satisfies."""
+    return parse_dtd("result := b.a*.b.a*.b.a*\na :=\nb :=")
+
+
+def q2_tight_output_dtd() -> DTD:
+    """An output DTD Q2 violates (only two ``a`` groups allowed)."""
+    return parse_dtd("result := b.a*.b.a*.b\na :=\nb :=")
+
+
+def bibliography_dtd() -> DTD:
+    """A mediator-flavored document DTD for the selection examples."""
+    return parse_dtd(
+        """
+        bib := book*
+        book := title.author*.publisher?
+        title :=
+        author :=
+        publisher :=
+        """
+    )
+
+
+def bibliography_doc() -> UTree:
+    """A small valid bibliography."""
+    return parse_utree(
+        "bib(book(title, author, author, publisher), "
+        "book(title, author), book(title))"
+    )

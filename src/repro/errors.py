@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+clients can catch one base class.  The subclasses mirror the subsystems:
+trees, regexes, XML/DTD handling, automata, MSO, pebble machines and the
+typechecker.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TreeError(ReproError):
+    """Malformed tree, bad node address, or invalid tree operation."""
+
+
+class AlphabetError(ReproError):
+    """Symbol used with the wrong rank or outside the declared alphabet."""
+
+
+class RegexError(ReproError):
+    """Malformed regular expression or parse failure."""
+
+
+class RegexParseError(RegexError):
+    """Syntax error while parsing a regular-expression string."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class XMLParseError(ReproError):
+    """Syntax error while parsing an XML document."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class DTDError(ReproError):
+    """Malformed DTD: unknown element, bad content model, parse failure."""
+
+
+class AutomatonError(ReproError):
+    """Malformed tree automaton or invalid automaton operation."""
+
+
+class MSOError(ReproError):
+    """Malformed MSO formula: unbound variable, sort mismatch, etc."""
+
+
+class PebbleMachineError(ReproError):
+    """Malformed k-pebble transducer/automaton definition."""
+
+
+class TransducerRuntimeError(ReproError):
+    """Raised when evaluating a transducer fails.
+
+    Typical causes: non-terminating computation exceeding the configured
+    step budget, or asking for *the* output of a nondeterministic
+    transducer that has several.
+    """
+
+
+class TypecheckError(ReproError):
+    """Raised when a typechecking request cannot be carried out.
+
+    For example: asking for exact typechecking of a machine with
+    data-value joins (undecidable, see Section 5 of the paper).
+    """
+
+
+class UndecidableError(TypecheckError):
+    """The requested analysis is undecidable for the given machine class."""

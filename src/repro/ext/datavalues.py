@@ -1,0 +1,199 @@
+"""Section 5 extensions: data values (#PCDATA).
+
+The core model has no data values; Section 5 sketches how far
+typechecking stretches when leaves carry values from an infinite domain:
+
+* **unary predicates** (``x > 5``, ``x like 'Smith'``) are handled by the
+  technique of [Abiteboul-Vianu 1997]: with ``m`` predicates, replace the
+  infinite value domain by ``2^m`` constants — one per predicate truth
+  vector (:func:`abstract_by_predicates`).  Typechecking then proceeds on
+  the finite alphabet.
+
+* **equality joins** (``x = y``) make typechecking *undecidable* in
+  general (reduction from FO finite satisfiability); the library refuses
+  with :class:`~repro.errors.UndecidableError`
+  (:func:`require_join_free`).
+
+* **independent joins** remain typecheckable: when every comparison's
+  outcome is consistent with all previous ones (the paper's three-way
+  ``Person ⋈ WorksIn ⋈ Dept`` export), the comparisons can be replaced by
+  nondeterministic guesses.  :class:`ExtendedPebbleTransducer` carries
+  comparisons alongside a plain transducer; :meth:`abstract` performs the
+  guess-replacement, producing an ordinary (nondeterministic) transducer
+  over ``T_Sigma({d})`` to which the Section 4 machinery applies; the
+  relational export of the paper's example is in
+  :mod:`repro.ext.relational`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import UndecidableError
+from repro.pebble.transducer import (
+    Action,
+    GuardKey,
+    Move,
+    PebbleTransducer,
+    State,
+)
+from repro.trees.unranked import NodeAddress, UTree
+
+#: The abstract data-value leaf symbol of Section 5 (`trees in T_Sigma({d})`).
+DATA_LEAF = "d"
+
+
+@dataclass(frozen=True)
+class DataDocument:
+    """An unranked tree whose leaves may carry data values.
+
+    ``values`` maps leaf addresses to strings; unmapped leaves are plain
+    element leaves.
+    """
+
+    tree: UTree
+    values: dict[NodeAddress, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for address in self.values:
+            if not self.tree.subtree(address).is_leaf:
+                raise ValueError(
+                    f"data value attached to non-leaf node {address}"
+                )
+
+
+def abstract_by_predicates(
+    document: DataDocument,
+    predicates: Sequence[Callable[[str], bool]],
+    prefix: str = "d",
+) -> UTree:
+    """The 2^m-constants reduction for unary predicates.
+
+    Every valued leaf is relabeled with the constant naming its predicate
+    truth vector (``d#101`` for predicates 1 and 3 true); the rest of the
+    tree is unchanged.  Machines testing only these predicates behave
+    identically on the abstraction, so typechecking over the finite
+    alphabet of ``2^m`` constants is faithful.
+    """
+
+    def relabel(node: UTree, address: NodeAddress) -> UTree:
+        if address in document.values:
+            value = document.values[address]
+            bits = "".join(
+                "1" if predicate(value) else "0" for predicate in predicates
+            )
+            return UTree(f"{prefix}#{bits}")
+        return UTree(
+            node.label,
+            [
+                relabel(child, address + (index,))
+                for index, child in enumerate(node.children)
+            ],
+        )
+
+    return relabel(document.tree, ())
+
+
+def predicate_constants(
+    n_predicates: int, prefix: str = "d"
+) -> frozenset[str]:
+    """The ``2^m`` constants the abstraction can produce."""
+    return frozenset(
+        f"{prefix}#{format(i, f'0{n_predicates}b')}" if n_predicates else prefix
+        for i in range(2**n_predicates or 1)
+    )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An equality comparison transition ``x = y`` between the data
+    values under two pebbles: from ``state``, enter ``if_equal`` or
+    ``if_different`` (paper, Section 5).
+
+    ``other_pebble`` names the lower pebble whose value is compared with
+    the current pebble's value.
+    """
+
+    state: State
+    other_pebble: int
+    if_equal: State
+    if_different: State
+
+
+@dataclass(frozen=True)
+class ExtendedPebbleTransducer:
+    """A k-pebble transducer extended with data-value equality tests.
+
+    ``independent=True`` asserts the paper's independence property: every
+    comparison outcome is consistent with all previous outcomes (e.g. the
+    stop-at-first-match nested-loop join).  Only then is the
+    nondeterministic abstraction sound for typechecking.
+    """
+
+    base: PebbleTransducer
+    comparisons: tuple[Comparison, ...]
+    independent: bool = False
+
+    def __init__(
+        self,
+        base: PebbleTransducer,
+        comparisons: Iterable[Comparison],
+        independent: bool = False,
+    ) -> None:
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "comparisons", tuple(comparisons))
+        object.__setattr__(self, "independent", independent)
+
+    def abstract(self) -> PebbleTransducer:
+        """Replace every comparison by a nondeterministic guess.
+
+        This is the paper's ``T'`` over ``T_Sigma({d})``: every run of
+        ``T`` on concrete data corresponds to a run of ``T'``; for
+        *independent* machines every run of ``T'`` also arises from some
+        data, so typechecking ``T'`` is exact — otherwise it is sound but
+        may reject programs that are correct on real data.
+        """
+        import itertools
+
+        rules: dict[GuardKey, list[Action]] = {
+            key: list(actions) for key, actions in self.base.rules.items()
+        }
+        for comparison in self.comparisons:
+            level = self.base.level_of[comparison.state]
+            for symbol in sorted(self.base.input_alphabet.symbols):
+                # guess both outcomes wherever the comparing state reads
+                for bits in itertools.product((0, 1), repeat=level - 1):
+                    key = (symbol, comparison.state, bits)
+                    bucket = rules.setdefault(key, [])
+                    for target in (
+                        comparison.if_equal, comparison.if_different
+                    ):
+                        action = Move("stay", target)
+                        if action not in bucket:
+                            bucket.append(action)
+        return PebbleTransducer(
+            input_alphabet=self.base.input_alphabet,
+            output_alphabet=self.base.output_alphabet,
+            levels=[sorted(level, key=repr) for level in self.base.levels],
+            initial=self.base.initial,
+            rules={key: tuple(actions) for key, actions in rules.items()},
+        )
+
+    def require_independent_for_typechecking(self) -> None:
+        """Guard used by the typechecking entry points."""
+        if self.comparisons and not self.independent:
+            raise UndecidableError(
+                "typechecking transducers with non-independent data-value "
+                "joins is undecidable (Section 5: reduction from the "
+                "finite satisfiability problem for first-order logic); "
+                "mark the machine independent=True if every comparison "
+                "outcome is consistent with all previous ones"
+            )
+
+
+def require_join_free(machine) -> None:
+    """Raise when a machine carries data-value joins that the exact
+    typechecker cannot handle."""
+    if isinstance(machine, ExtendedPebbleTransducer):
+        machine.require_independent_for_typechecking()

@@ -1,0 +1,217 @@
+"""Section 5's worked example: exporting a relational join to XML.
+
+Schema: ``Person(pid, name)``, ``WorksIn(pid, did)``, ``Dept(did,
+name)``, with ``pid``/``did`` keys; the query is the three-way join
+``Q = Person ⋈ WorksIn ⋈ Dept`` — "such joins are typical in XML-QL
+queries exporting a relational database to an XML view [SilkRoute]".
+
+The module provides:
+
+* the relational data model and the reference join evaluator producing
+  the XML view (:func:`export_join`);
+* the canonical *view DTD* (:func:`view_dtd`);
+* the nondeterministic *abstraction* of the paper's independent-join
+  transducer ``T'`` over data-value leaves ``d``
+  (:func:`abstract_view_transducer`): comparisons replaced by guesses,
+  so the Section 4 typechecking machinery applies to it directly.
+
+The independence argument (paper, Section 5): the nested-loop
+implementation stops each inner loop at its first match, so every
+comparison's outcome is consistent with all previous ones; hence every
+run of ``T'`` corresponds to a run on some database instance and
+typechecking ``T'`` is exact for the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import UndecidableError
+from repro.ext.datavalues import DATA_LEAF
+from repro.pebble.transducer import PebbleTransducer
+from repro.trees.unranked import UTree
+from repro.xmlio.dtd import DTD, parse_dtd
+
+
+@dataclass(frozen=True)
+class Person:
+    pid: str
+    name: str
+
+
+@dataclass(frozen=True)
+class WorksIn:
+    pid: str
+    did: str
+
+
+@dataclass(frozen=True)
+class Dept:
+    did: str
+    name: str
+
+
+@dataclass(frozen=True)
+class Database:
+    """A tiny relational instance with key checking."""
+
+    persons: tuple[Person, ...]
+    worksin: tuple[WorksIn, ...]
+    depts: tuple[Dept, ...]
+
+    def __init__(
+        self,
+        persons: Iterable[Person],
+        worksin: Iterable[WorksIn],
+        depts: Iterable[Dept],
+    ) -> None:
+        persons = tuple(persons)
+        worksin = tuple(worksin)
+        depts = tuple(depts)
+        if len({p.pid for p in persons}) != len(persons):
+            raise ValueError("pid is a key of Person")
+        if len({d.did for d in depts}) != len(depts):
+            raise ValueError("did is a key of Dept")
+        object.__setattr__(self, "persons", persons)
+        object.__setattr__(self, "worksin", worksin)
+        object.__setattr__(self, "depts", depts)
+
+
+def export_join(database: Database) -> UTree:
+    """The reference implementation of ``Q = Person ⋈ WorksIn ⋈ Dept``.
+
+    It mirrors the paper's independent-comparison nested loops: the outer
+    loop ranges over WorksIn; the inner loops stop at the first match —
+    sound because ``pid``/``did`` are keys.  The view shape is::
+
+        view( row( person(d), dept(d) )* )
+
+    with data values abstracted to ``d`` leaves in the tree (the actual
+    strings travel alongside, but the type only sees ``d``).
+    """
+    rows: list[UTree] = []
+    for work in database.worksin:
+        person = next(
+            (p for p in database.persons if p.pid == work.pid), None
+        )
+        if person is None:
+            continue
+        dept = next((d for d in database.depts if d.did == work.did), None)
+        if dept is None:
+            continue
+        rows.append(
+            UTree(
+                "row",
+                [
+                    UTree("person", [UTree(DATA_LEAF)]),
+                    UTree("dept", [UTree(DATA_LEAF)]),
+                ],
+            )
+        )
+    return UTree("view", rows)
+
+
+def view_dtd() -> DTD:
+    """The output DTD the export is typechecked against."""
+    return parse_dtd(
+        """
+        view := row*
+        row := person.dept
+        person := d
+        dept := d
+        d :=
+        """
+    )
+
+
+def input_dtd() -> DTD:
+    """A DTD for the canonical XML encoding of the database:
+    ``db(persons(person*), works(work*), depts(dept*))`` with ``d``
+    value leaves."""
+    return parse_dtd(
+        """
+        db := persons.works.depts
+        persons := person*
+        works := work*
+        depts := dept*
+        person := d.d
+        work := d.d
+        dept := d.d
+        d :=
+        """
+    )
+
+
+def database_document(database: Database) -> UTree:
+    """Encode a database instance as an XML document of :func:`input_dtd`
+    (values abstracted to ``d``)."""
+
+    def pair() -> list[UTree]:
+        return [UTree(DATA_LEAF), UTree(DATA_LEAF)]
+
+    return UTree(
+        "db",
+        [
+            UTree("persons", [UTree("person", pair()) for _ in database.persons]),
+            UTree("works", [UTree("work", pair()) for _ in database.worksin]),
+            UTree("depts", [UTree("dept", pair()) for _ in database.depts]),
+        ],
+    )
+
+
+def abstract_view_transducer() -> PebbleTransducer:
+    """The nondeterministic abstraction ``T'`` of the export (Section 5).
+
+    ``T'`` walks the encoded ``db`` document with two pebbles: pebble 1
+    iterates over ``work`` rows (the outer loop); for each it *guesses*
+    the outcome of the Person and Dept lookups (a comparison replaced by
+    nondeterminism): on a successful guess it emits one ``row``; on a
+    failed guess it skips the work row.  The possible outputs of ``T'``
+    on a ``db`` with n work rows are therefore the views with any subset
+    of rows — exactly the images of the concrete query over all databases
+    with those cardinalities, which is what makes typechecking ``T'``
+    faithful for the view.
+    """
+    from repro.pebble.transducer import Emit0, Emit2, Move, RuleSet
+    from repro.trees.alphabet import CONS, NIL, encoded_alphabet
+
+    tags = {"db", "persons", "works", "depts", "person", "work", "dept", "d"}
+    alphabet = encoded_alphabet(tags)
+    output = encoded_alphabet({"view", "row", "person", "dept", "d"})
+    rules = RuleSet()
+    # navigate to the works list: db -> chain(persons, works, depts)
+    rules.add("db", "init", Emit2("view", "go-chain", "nil"))
+    rules.add(None, "nil", Emit0(NIL))
+    rules.add("db", "go-chain", Move("down-left", "skip-persons"))
+    rules.add(CONS, "skip-persons", Move("down-right", "at-works-cell"))
+    rules.add(CONS, "at-works-cell", Move("down-left", "at-works"))
+    rules.add("works", "at-works", Move("down-left", "work-iter"))
+    # iterate work rows; guess join success per row (the abstraction)
+    rules.add(NIL, "work-iter", Emit0(NIL))
+    rules.add(CONS, "work-iter", Move("stay", "guess-hit"))
+    rules.add(CONS, "work-iter", Move("stay", "guess-miss"))
+    rules.add(CONS, "guess-miss", Move("down-right", "work-iter"))
+    rules.add(CONS, "guess-hit", Emit2(CONS, "emit-row", "advance"))
+    rules.add(CONS, "advance", Move("down-right", "work-iter"))
+    # one row: row(person(d), dept(d)) in encoded form
+    rules.add(None, "emit-row", Emit2("row", "row-chain", "nil"))
+    rules.add(None, "row-chain", Emit2(CONS, "emit-person", "row-rest"))
+    rules.add(None, "row-rest", Emit2(CONS, "emit-dept", "nil"))
+    rules.add(None, "emit-person", Emit2("person", "emit-dchain", "nil"))
+    rules.add(None, "emit-dept", Emit2("dept", "emit-dchain", "nil"))
+    rules.add(None, "emit-dchain", Emit2(CONS, "emit-d", "nil"))
+    rules.add(None, "emit-d", Emit2("d", "nil", "nil"))
+    states = [
+        "init", "nil", "go-chain", "skip-persons", "at-works-cell",
+        "at-works", "work-iter", "guess-hit", "guess-miss", "advance",
+        "emit-row", "row-chain", "row-rest", "emit-person", "emit-dept",
+        "emit-dchain", "emit-d",
+    ]
+    return PebbleTransducer(
+        input_alphabet=alphabet,
+        output_alphabet=output,
+        levels=[states],
+        initial="init",
+        rules=rules,
+    )

@@ -1,0 +1,100 @@
+"""Tree patterns (paper, Section 2.2 and Example 3.5).
+
+A pattern is a tree labeled with regular expressions over ``Sigma``.  A
+matching binds one input node per pattern node: the root pattern node's
+regex is evaluated from the input root, and each child pattern node's
+regex is evaluated from its parent's binding — exactly the three-condition
+semantics the paper gives for ``p = [a.b]([c.(a|b)], [c*.a])``.
+
+Pattern matching is "the most essential common denominator of existing
+XML query languages" (Section 2.2); the k-pebble encoding of matching
+(Example 3.5) is exercised through the selection compiler in
+:mod:`repro.lang.xmlql`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import RegexError
+from repro.regex.parser import parse_regex
+from repro.regex.paths import eval_regex
+from repro.regex.syntax import Regex
+from repro.trees.unranked import NodeAddress, UTree
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A pattern node: a regular path expression plus child patterns."""
+
+    regex: Regex
+    children: tuple["Pattern", ...] = ()
+
+    def __init__(
+        self, regex: Regex | str, children: Sequence["Pattern"] = ()
+    ) -> None:
+        if isinstance(regex, str):
+            regex = parse_regex(regex)
+        if not regex.is_plain():
+            raise RegexError("patterns use plain regular expressions")
+        object.__setattr__(self, "regex", regex)
+        object.__setattr__(self, "children", tuple(children))
+
+    def n_nodes(self) -> int:
+        """Number of pattern nodes (Example 3.5 uses ``n + 1`` pebbles)."""
+        return 1 + sum(child.n_nodes() for child in self.children)
+
+    def __str__(self) -> str:
+        if not self.children:
+            return f"[{self.regex}]"
+        inner = ", ".join(str(child) for child in self.children)
+        return f"[{self.regex}]({inner})"
+
+
+def pattern(regex: Regex | str, *children: Pattern) -> Pattern:
+    """Terse constructor mirroring the paper's notation."""
+    return Pattern(regex, children)
+
+
+def match(pattern_root: Pattern, tree: UTree) -> Iterator[tuple[NodeAddress, ...]]:
+    """Enumerate all matchings of a pattern in a tree.
+
+    Yields tuples of node addresses in pre-order of the pattern nodes
+    (``x1, x2, ...`` in the paper's numbering).
+    """
+
+    def expand(
+        node_pattern: Pattern, base: NodeAddress
+    ) -> Iterator[tuple[NodeAddress, ...]]:
+        subtree = tree.subtree(base)
+        for relative in sorted(eval_regex(node_pattern.regex, subtree)):
+            binding = base + relative
+            yield from attach(node_pattern.children, 0, binding, (binding,))
+
+    def attach(
+        children: tuple[Pattern, ...],
+        index: int,
+        parent_binding: NodeAddress,
+        acc: tuple[NodeAddress, ...],
+    ) -> Iterator[tuple[NodeAddress, ...]]:
+        if index == len(children):
+            yield acc
+            return
+        child = children[index]
+        subtree = tree.subtree(parent_binding)
+        for relative in sorted(eval_regex(child.regex, subtree)):
+            binding = parent_binding + relative
+            for tail in attach(
+                child.children, 0, binding, (binding,)
+            ):
+                yield from attach(
+                    children, index + 1, parent_binding, acc + tail
+                )
+
+    yield from expand(pattern_root, ())
+
+
+def match_count(pattern_root: Pattern, tree: UTree) -> int:
+    """The number of matchings."""
+    return sum(1 for _ in match(pattern_root, tree))

@@ -1,0 +1,188 @@
+"""An XML-QL fragment compiled to k-pebble transducers (Sections 3.2, 4.1).
+
+Two query shapes are implemented, both operating on *encoded* binary
+trees (so they compose directly with DTD types):
+
+* :func:`selection_transducer` — the Example 3.5 / Section 5 shape:
+  ``WHERE <path regex binds $X> CONSTRUCT <result> $X* </result>``.
+  A two-pebble machine: pebble 1 enumerates candidate nodes in pre-order;
+  pebble 2 verifies the root-to-candidate path against the (translated,
+  reversed) regex by climbing, then copies the matched subtree.
+
+* :func:`q1_transducer` — Example 4.2's query Q1:
+  ``WHERE <root><a>$X</a><a>$Y</a></root> CONSTRUCT <b/>`` per binding,
+  mapping ``a^n`` to ``b^(n*n)``; the star witness that forward type
+  inference fails while inverse type inference succeeds.
+
+The machines rely on the paper's standing assumption that the root symbol
+labels the root only (cf. Example 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import PebbleMachineError
+from repro.pebble.builders import add_preorder_next
+from repro.pebble.transducer import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    Pick,
+    Place,
+    RuleSet,
+)
+from repro.regex.dfa import determinize
+from repro.regex.nfa import nfa_from_regex
+from repro.regex.parser import parse_regex
+from repro.regex.paths import translate
+from repro.regex.syntax import Regex
+from repro.trees.alphabet import CONS, NIL, RankedAlphabet, encoded_alphabet
+
+RESULT = "result"
+
+
+def selection_transducer(
+    path: Regex | str,
+    tags: Iterable[str],
+    root_symbols: Iterable[str],
+    result_tag: str = RESULT,
+) -> PebbleTransducer:
+    """Compile a selection query into a 2-pebble transducer.
+
+    ``path`` is a regular path expression over the element tags; the
+    machine reads ``encode(t)`` and writes the encoding of
+    ``<result> copies of all nodes in eval(path, t) </result>`` in
+    document order.
+
+    ``root_symbols`` must label the root only (they terminate both the
+    pre-order walk and the upward regex check — the paper's Example 3.4
+    assumption).
+    """
+    if isinstance(path, str):
+        path = parse_regex(path)
+    tags = frozenset(tags)
+    roots = frozenset(root_symbols)
+    if not roots <= tags:
+        raise PebbleMachineError("root symbols must be element tags")
+    alphabet = encoded_alphabet(tags)
+    output = RankedAlphabet(
+        leaves=alphabet.leaves,
+        internals=alphabet.internals | {result_tag},
+    )
+    # The climb feeds the root-to-node word in reverse: compile the
+    # *reversed* translated regex to a DFA over the internal symbols.
+    reversed_dfa = determinize(
+        nfa_from_regex(translate(path)).reversed(), alphabet.internals
+    ).minimized()
+
+    rules = RuleSet()
+    internals = sorted(alphabet.internals)
+    elements = sorted(tags)
+    root_list = sorted(roots)
+    level1: list = []
+    level2: list = []
+
+    # ---- level 1: enumerate candidates, emit the match list --------------
+    rules.add(root_list, "init", Emit2(result_tag, "visit", "nil"))
+    rules.add(None, "nil", Emit0(NIL))
+    # only element nodes can match (translated path words end on elements)
+    rules.add(elements, "visit", Place("chk-disp"))
+    rules.add([CONS, NIL], "visit", Move("stay", "advance"))
+    rules.add(None, "yes", Emit2(CONS, "copy-place", "advance"))
+    rules.add(None, "no", Move("stay", "advance"))
+    rules.add(None, "copy-place", Place("copy-disp"))
+    extra1 = add_preorder_next(
+        rules, alphabet, roots, "advance", "visit", "done", tag="sel"
+    )
+    rules.add(None, "done", Emit0(NIL))
+    level1 += ["init", "nil", "visit", "yes", "no", "copy-place",
+               "advance", "done"] + extra1
+
+    # ---- level 2, phase A: find pebble 1, then climb-check ----------------
+    def chk(state: int) -> tuple:
+        return ("chk", state)
+
+    rules.add(None, "chk-disp", Move("stay", chk(reversed_dfa.start)),
+              pebbles=(1,))
+    rules.add(None, "chk-disp", Move("stay", "chk-step"), pebbles=(0,))
+    extra2 = add_preorder_next(
+        rules, alphabet, roots, "chk-step", "chk-disp", "chk-fail",
+        tag="chk-search",
+    )
+    level2 += ["chk-disp", "chk-step", "chk-fail"] + extra2
+    for d in range(reversed_dfa.n_states):
+        level2.append(chk(d))
+        for symbol in internals:
+            succ = reversed_dfa.delta[(d, symbol)]
+            if symbol in roots:
+                verdict = "yes" if succ in reversed_dfa.accepting else "no"
+                rules.add(symbol, chk(d), Pick(verdict))
+            else:
+                rules.add(symbol, chk(d), Move("up-left", chk(succ)))
+                rules.add(symbol, chk(d), Move("up-right", chk(succ)))
+
+    # ---- level 2, phase B: find pebble 1 again, copy its subtree ----------
+    rules.add(None, "copy-disp", Move("stay", "copy"), pebbles=(1,))
+    rules.add(None, "copy-disp", Move("stay", "copy-step"), pebbles=(0,))
+    extra3 = add_preorder_next(
+        rules, alphabet, roots, "copy-step", "copy-disp", "copy-fail",
+        tag="copy-search",
+    )
+    for symbol in internals:
+        rules.add(symbol, "copy", Emit2(symbol, "copy-left", "copy-right"))
+        rules.add(symbol, "copy-left", Move("down-left", "copy"))
+        rules.add(symbol, "copy-right", Move("down-right", "copy"))
+    rules.add(NIL, "copy", Emit0(NIL))
+    level2 += ["copy-disp", "copy-step", "copy-fail",
+               "copy", "copy-left", "copy-right"] + extra3
+
+    return PebbleTransducer(
+        input_alphabet=alphabet,
+        output_alphabet=output,
+        levels=[level1, level2],
+        initial="init",
+        rules=rules,
+    )
+
+
+def q1_transducer(
+    root_tag: str = "root", item_tag: str = "a", out_tag: str = "b"
+) -> PebbleTransducer:
+    """Example 4.2's query Q1 as a 2-pebble transducer.
+
+    Input: ``encode(root(a, ..., a))`` (the DTD ``root := a*``).  Output:
+    ``encode(result(b, ..., b))`` with one ``b`` per ordered pair of
+    ``a``-children — ``n^2`` of them.
+    """
+    alphabet = encoded_alphabet({root_tag, item_tag})
+    output = encoded_alphabet({RESULT, out_tag})
+    rules = RuleSet()
+
+    # level 1: wrap in result; enumerate X over the cons cells.
+    rules.add(root_tag, "init", Emit2(RESULT, "toX", "nil"))
+    rules.add(None, "nil", Emit0(NIL))
+    rules.add(root_tag, "toX", Move("down-left", "X"))
+    rules.add(NIL, "X", Emit0(NIL))        # no more X: close the list
+    rules.add(CONS, "X", Place("toY"))     # enumerate Y for this X
+    rules.add(CONS, "X-next", Move("down-right", "X"))
+
+    # level 2: walk the chain again; emit one b per Y.
+    rules.add(root_tag, "toY", Move("down-left", "Y"))
+    rules.add(CONS, "Y", Emit2(CONS, "emit-b", "Y-next"))
+    rules.add(None, "Y-next", Move("down-right", "Y"))
+    rules.add(NIL, "Y", Pick("X-next"))    # Y exhausted: advance X
+    rules.add(None, "emit-b", Emit2(out_tag, "emit-nil", "emit-nil"))
+    rules.add(None, "emit-nil", Emit0(NIL))
+
+    return PebbleTransducer(
+        input_alphabet=alphabet,
+        output_alphabet=output,
+        levels=[
+            ["init", "nil", "toX", "X", "X-next"],
+            ["toY", "Y", "Y-next", "emit-b", "emit-nil"],
+        ],
+        initial="init",
+        rules=rules,
+    )

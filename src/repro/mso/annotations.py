@@ -1,0 +1,239 @@
+"""Variable annotations for MSO on binary trees.
+
+The classical Thatcher–Wright/Doner correspondence (used by Theorem 4.7)
+works over trees annotated with variable assignments: a formula with free
+variables ``v1 < v2 < ... < vn`` denotes a tree language over the extended
+alphabet ``Sigma × {0,1}^n``, where bit ``j`` at a node says that the node
+is the value of (first-order) ``vj`` / a member of (second-order) ``vj``.
+
+Because :class:`~repro.trees.ranked.BTree` labels are strings, an annotated
+symbol is packed as ``"a#0110"``.  This module provides the packing, the
+annotated alphabets, tree annotation, and the three structural automaton
+operations the compiler needs:
+
+* :func:`cylindrify` — add variables (replicating rules over new bits);
+* :func:`project` — existentially drop variables (merging rules);
+* :func:`singleton_automaton` — the validity automaton ``SING(v)`` saying
+  that exactly one node carries ``v``'s bit (first-order encodings).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.errors import MSOError
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.ranked import BNodeAddress, BTree
+
+#: Separator between the base symbol and the bit string in packed symbols.
+SEP = "#"
+
+Bits = tuple[int, ...]
+
+
+def pack(base: str, bits: Bits) -> str:
+    """Pack a base symbol and a bit vector into an annotated symbol."""
+    if not bits:
+        return base
+    return base + SEP + "".join(str(bit) for bit in bits)
+
+
+def unpack(symbol: str) -> tuple[str, Bits]:
+    """Invert :func:`pack`."""
+    if SEP not in symbol:
+        return symbol, ()
+    base, _, bit_text = symbol.rpartition(SEP)
+    return base, tuple(int(ch) for ch in bit_text)
+
+
+def all_bits(n: int) -> list[Bits]:
+    """All bit vectors of length ``n``."""
+    return [tuple(bits) for bits in itertools.product((0, 1), repeat=n)]
+
+
+def annotated_alphabet(base: RankedAlphabet, n_vars: int) -> RankedAlphabet:
+    """The alphabet ``Sigma × {0,1}^n`` as packed string symbols."""
+    if n_vars == 0:
+        return base
+    vectors = all_bits(n_vars)
+    return RankedAlphabet(
+        leaves=[pack(a, bits) for a in base.leaves for bits in vectors],
+        internals=[pack(a, bits) for a in base.internals for bits in vectors],
+    )
+
+
+def annotate_tree(
+    tree: BTree,
+    variables: Sequence[str],
+    assignment: Mapping[str, BNodeAddress | Iterable[BNodeAddress]],
+) -> BTree:
+    """Annotate ``tree`` with an assignment.
+
+    First-order variables map to a single node address, second-order
+    variables to an iterable of addresses.  Every variable in
+    ``variables`` must be assigned.
+    """
+    marks: dict[str, set[BNodeAddress]] = {}
+    for variable in variables:
+        if variable not in assignment:
+            raise MSOError(f"variable {variable!r} is not assigned")
+        value = assignment[variable]
+        if isinstance(value, tuple) and all(isinstance(v, int) for v in value):
+            marks[variable] = {value}  # a single address
+        else:
+            marks[variable] = {tuple(addr) for addr in value}  # type: ignore[union-attr]
+
+    def rebuild(node: BTree, address: BNodeAddress) -> BTree:
+        bits = tuple(
+            1 if address in marks[variable] else 0 for variable in variables
+        )
+        label = pack(node.label, bits)
+        if node.is_leaf:
+            return BTree(label)
+        return BTree(
+            label,
+            rebuild(node.left, address + (0,)),  # type: ignore[arg-type]
+            rebuild(node.right, address + (1,)),  # type: ignore[arg-type]
+        )
+
+    return rebuild(tree, ())
+
+
+def strip_annotations(tree: BTree) -> BTree:
+    """Remove all variable bits from an annotated tree."""
+    base, _ = unpack(tree.label)
+    if tree.is_leaf:
+        return BTree(base)
+    return BTree(
+        base,
+        strip_annotations(tree.left),  # type: ignore[arg-type]
+        strip_annotations(tree.right),  # type: ignore[arg-type]
+    )
+
+
+def _positions(
+    variables: Sequence[str], subset: Sequence[str]
+) -> list[int]:
+    index = {variable: i for i, variable in enumerate(variables)}
+    missing = [v for v in subset if v not in index]
+    if missing:
+        raise MSOError(f"unknown variables {missing}")
+    return [index[v] for v in subset]
+
+
+def cylindrify(
+    automaton: BottomUpTA,
+    base: RankedAlphabet,
+    old_vars: Sequence[str],
+    new_vars: Sequence[str],
+) -> BottomUpTA:
+    """Re-embed an automaton over ``old_vars`` into ``new_vars ⊇ old_vars``.
+
+    The new automaton ignores the added bits: every rule is replicated for
+    every combination of new-bit values.  Variable *order* may change; the
+    bits are re-shuffled accordingly.
+    """
+    if set(old_vars) - set(new_vars):
+        raise MSOError("new_vars must contain all old_vars")
+    source_of = {v: i for i, v in enumerate(old_vars)}
+    positions = [source_of.get(v) for v in new_vars]
+
+    def old_bits_of(new_bits: Bits) -> Bits:
+        by_var = dict(zip(new_vars, new_bits))
+        return tuple(by_var[v] for v in old_vars)
+
+    vectors = all_bits(len(new_vars))
+    leaf_rules: dict[str, set] = {}
+    rules: dict[tuple[str, object, object], set] = {}
+    old_leaf: dict[tuple[str, Bits], frozenset] = {}
+    for symbol, targets in automaton.leaf_rules.items():
+        old_leaf[unpack(symbol)] = targets
+    old_rules: dict[tuple[str, Bits, object, object], frozenset] = {}
+    for (symbol, left, right), targets in automaton.rules.items():
+        base_symbol, bits = unpack(symbol)
+        old_rules[(base_symbol, bits, left, right)] = targets
+
+    for a in base.leaves:
+        for new_bits in vectors:
+            targets = old_leaf.get((a, old_bits_of(new_bits)))
+            if targets:
+                leaf_rules[pack(a, new_bits)] = set(targets)
+    for (base_symbol, bits, left, right), targets in old_rules.items():
+        for new_bits in vectors:
+            if old_bits_of(new_bits) == bits:
+                rules[(pack(base_symbol, new_bits), left, right)] = set(targets)
+    return BottomUpTA(
+        alphabet=annotated_alphabet(base, len(new_vars)),
+        states=automaton.states,
+        leaf_rules=leaf_rules,
+        rules=rules,
+        accepting=automaton.accepting,
+    )
+
+
+def project(
+    automaton: BottomUpTA,
+    base: RankedAlphabet,
+    old_vars: Sequence[str],
+    drop_vars: Sequence[str],
+) -> BottomUpTA:
+    """Existentially project away ``drop_vars``: the result accepts an
+    annotated tree iff *some* completion of the dropped bits is accepted."""
+    keep = [v for v in old_vars if v not in set(drop_vars)]
+    _positions(old_vars, drop_vars)  # validation
+    keep_pos = [i for i, v in enumerate(old_vars) if v not in set(drop_vars)]
+
+    def shrink(bits: Bits) -> Bits:
+        return tuple(bits[i] for i in keep_pos)
+
+    leaf_rules: dict[str, set] = {}
+    for symbol, targets in automaton.leaf_rules.items():
+        base_symbol, bits = unpack(symbol)
+        leaf_rules.setdefault(pack(base_symbol, shrink(bits)), set()).update(
+            targets
+        )
+    rules: dict[tuple[str, object, object], set] = {}
+    for (symbol, left, right), targets in automaton.rules.items():
+        base_symbol, bits = unpack(symbol)
+        rules.setdefault(
+            (pack(base_symbol, shrink(bits)), left, right), set()
+        ).update(targets)
+    return BottomUpTA(
+        alphabet=annotated_alphabet(base, len(keep)),
+        states=automaton.states,
+        leaf_rules=leaf_rules,
+        rules=rules,
+        accepting=automaton.accepting,
+    )
+
+
+def singleton_automaton(
+    base: RankedAlphabet, variables: Sequence[str], variable: str
+) -> BottomUpTA:
+    """The validity automaton ``SING(variable)``: exactly one node carries
+    the variable's bit.  Deterministic, two live states."""
+    (position,) = _positions(variables, [variable])
+    vectors = all_bits(len(variables))
+    alphabet = annotated_alphabet(base, len(variables))
+    leaf_rules: dict[str, set] = {}
+    rules: dict[tuple[str, object, object], set] = {}
+    for a in base.leaves:
+        for bits in vectors:
+            leaf_rules[pack(a, bits)] = {bits[position]}
+    for a in base.internals:
+        for bits in vectors:
+            symbol = pack(a, bits)
+            for left in (0, 1):
+                for right in (0, 1):
+                    total = bits[position] + left + right
+                    if total <= 1:
+                        rules[(symbol, left, right)] = {total}
+    return BottomUpTA(
+        alphabet=alphabet,
+        states={0, 1},
+        leaf_rules=leaf_rules,
+        rules=rules,
+        accepting={1},
+    )

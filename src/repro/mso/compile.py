@@ -1,0 +1,421 @@
+"""Compile MSO formulas to bottom-up tree automata.
+
+This is the classical Thatcher–Wright/Doner construction that the proof of
+Theorem 4.7 appeals to ("MSO formulas define precisely the regular tree
+languages [34]"): a formula with free variables denotes a regular language
+of annotated trees; connectives map to boolean automaton operations and
+quantifiers to projection.
+
+The compiler maintains the *validity invariant*: every intermediate
+automaton's language only contains encodings where each free first-order
+variable's bit occurs exactly once.  Negation therefore re-intersects with
+the ``SING`` automata after complementing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.errors import MSOError
+from repro.mso import syntax as f
+from repro.mso.annotations import (
+    all_bits,
+    annotate_tree,
+    annotated_alphabet,
+    cylindrify,
+    pack,
+    project,
+    singleton_automaton,
+)
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.ranked import BTree
+
+#: State-count threshold above which intermediate automata are minimized.
+MINIMIZE_THRESHOLD = 48
+
+
+@dataclass(frozen=True)
+class CompiledFormula:
+    """A formula compiled to an automaton over annotated trees.
+
+    Attributes:
+        base: the base (unannotated) tree alphabet.
+        variables: the free variables, in the fixed (sorted) bit order.
+        sorts: each free variable's sort (``'fo'`` or ``'so'``).
+        automaton: the bottom-up automaton over the annotated alphabet.
+    """
+
+    base: RankedAlphabet
+    variables: tuple[str, ...]
+    sorts: dict[str, str]
+    automaton: BottomUpTA
+
+    def accepts(self, tree: BTree, assignment: Mapping[str, object]) -> bool:
+        """Check ``tree, assignment |= formula`` via the automaton."""
+        annotated = annotate_tree(tree, self.variables, assignment)
+        return self.automaton.accepts(annotated)
+
+
+def compile_formula(
+    formula: f.Formula, base: RankedAlphabet
+) -> CompiledFormula:
+    """Compile an arbitrary MSO formula over the given tree alphabet."""
+    sorts = formula.free_variables()
+    compiler = _Compiler(base)
+    automaton = compiler.compile(formula)
+    return CompiledFormula(
+        base=base,
+        variables=tuple(sorted(sorts)),
+        sorts=dict(sorts),
+        automaton=automaton,
+    )
+
+
+def sentence_automaton(formula: f.Formula, base: RankedAlphabet) -> BottomUpTA:
+    """Compile a *sentence* (no free variables) to an automaton over the
+    base alphabet; its language is exactly the models of the sentence."""
+    if formula.free_variables():
+        raise MSOError("sentence_automaton requires a closed formula")
+    return compile_formula(formula, base).automaton
+
+
+class _Compiler:
+    def __init__(self, base: RankedAlphabet) -> None:
+        self.base = base
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _maybe_shrink(self, automaton: BottomUpTA) -> BottomUpTA:
+        automaton = automaton.trimmed()
+        if len(automaton.states) > MINIMIZE_THRESHOLD:
+            automaton = automaton.minimized().trimmed()
+        return automaton
+
+    def _align(
+        self,
+        automaton: BottomUpTA,
+        old_vars: Sequence[str],
+        new_vars: Sequence[str],
+        sorts: Mapping[str, str],
+    ) -> BottomUpTA:
+        """Cylindrify to ``new_vars`` and re-enforce SING for added FO vars."""
+        if tuple(old_vars) == tuple(new_vars):
+            return automaton
+        result = cylindrify(automaton, self.base, old_vars, new_vars)
+        for variable in new_vars:
+            if variable not in old_vars and sorts.get(variable) == f.FO:
+                sing = singleton_automaton(self.base, new_vars, variable)
+                result = result.intersection(sing).trimmed()
+        return result
+
+    def _enforce_validity(
+        self, automaton: BottomUpTA, variables: Sequence[str],
+        sorts: Mapping[str, str],
+    ) -> BottomUpTA:
+        for variable in variables:
+            if sorts.get(variable) == f.FO:
+                sing = singleton_automaton(self.base, variables, variable)
+                automaton = automaton.intersection(sing).trimmed()
+        return automaton
+
+    # -- the recursion ------------------------------------------------------------
+
+    def compile(self, formula: f.Formula) -> BottomUpTA:
+        sorts = formula.free_variables()
+        variables = tuple(sorted(sorts))
+        automaton = self._compile(formula, variables, sorts)
+        return automaton
+
+    def _compile(
+        self,
+        formula: f.Formula,
+        variables: tuple[str, ...],
+        sorts: Mapping[str, str],
+    ) -> BottomUpTA:
+        if isinstance(formula, f.True_):
+            return self._all_trees(variables)
+        if isinstance(formula, f.False_):
+            return self._no_trees(variables)
+        if isinstance(formula, f.Label):
+            return self._atomic_label(formula, variables)
+        if isinstance(formula, f.Succ):
+            return self._atomic_succ(formula, variables)
+        if isinstance(formula, f.Eq):
+            return self._atomic_eq(formula, variables)
+        if isinstance(formula, f.In):
+            return self._atomic_in(formula, variables)
+        if isinstance(formula, f.Subset):
+            return self._atomic_subset(formula, variables)
+        if isinstance(formula, f.Root):
+            return self._atomic_root(formula, variables)
+        if isinstance(formula, f.Leaf):
+            return self._atomic_leaf(formula, variables)
+        if isinstance(formula, f.Not):
+            inner_sorts = formula.inner.free_variables()
+            inner_vars = tuple(sorted(inner_sorts))
+            inner = self._compile(formula.inner, inner_vars, inner_sorts)
+            result = inner.complemented()
+            result = self._enforce_validity(result, inner_vars, inner_sorts)
+            result = self._align(result, inner_vars, variables, sorts)
+            return self._maybe_shrink(result.minimized())
+        if isinstance(formula, (f.And, f.Or)):
+            left_sorts = formula.left.free_variables()
+            right_sorts = formula.right.free_variables()
+            left = self._compile(
+                formula.left, tuple(sorted(left_sorts)), left_sorts
+            )
+            right = self._compile(
+                formula.right, tuple(sorted(right_sorts)), right_sorts
+            )
+            left = self._align(
+                left, tuple(sorted(left_sorts)), variables, sorts
+            )
+            right = self._align(
+                right, tuple(sorted(right_sorts)), variables, sorts
+            )
+            if isinstance(formula, f.And):
+                combined = left.intersection(right)
+            else:
+                combined = left.union(right)
+            return self._maybe_shrink(combined)
+        if isinstance(formula, f.Exists):
+            inner_sorts = dict(formula.inner.free_variables())
+            inner_vars = tuple(sorted(inner_sorts))
+            inner = self._compile(formula.inner, inner_vars, inner_sorts)
+            if formula.var in inner_vars:
+                inner = project(inner, self.base, inner_vars, [formula.var])
+                inner_vars = tuple(v for v in inner_vars if v != formula.var)
+            result = self._align(inner, inner_vars, variables, sorts)
+            return self._maybe_shrink(result)
+        if isinstance(formula, f.Forall):
+            rewritten = f.Not(f.Exists(formula.var, formula.sort,
+                                       f.Not(formula.inner)))
+            return self._compile(rewritten, variables, sorts)
+        raise MSOError(f"unknown formula node {formula!r}")
+
+    # -- atomic automata -------------------------------------------------------
+
+    def _position(self, variables: tuple[str, ...], variable: str) -> int:
+        try:
+            return variables.index(variable)
+        except ValueError:
+            raise MSOError(f"variable {variable!r} missing from {variables}")
+
+    def _all_trees(self, variables: tuple[str, ...]) -> BottomUpTA:
+        vectors = all_bits(len(variables))
+        leaf_rules = {
+            pack(a, bits): {0} for a in self.base.leaves for bits in vectors
+        }
+        rules = {
+            (pack(a, bits), 0, 0): {0}
+            for a in self.base.internals
+            for bits in vectors
+        }
+        return BottomUpTA(
+            alphabet=annotated_alphabet(self.base, len(variables)),
+            states={0},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={0},
+        )
+
+    def _no_trees(self, variables: tuple[str, ...]) -> BottomUpTA:
+        automaton = self._all_trees(variables)
+        return BottomUpTA(
+            alphabet=automaton.alphabet,
+            states=automaton.states,
+            leaf_rules=automaton.leaf_rules,
+            rules=automaton.rules,
+            accepting=set(),
+        )
+
+    def _counting_automaton(
+        self,
+        variables: tuple[str, ...],
+        hit,
+        node_ok=None,
+    ) -> BottomUpTA:
+        """Generic "exactly one node satisfies ``hit``; every node satisfies
+        ``node_ok``" automaton.  States 0/1 count hits so far."""
+        vectors = all_bits(len(variables))
+        leaf_rules: dict[str, set] = {}
+        rules: dict[tuple[str, object, object], set] = {}
+        for is_leaf, symbols in ((True, self.base.leaves),
+                                 (False, self.base.internals)):
+            for a in symbols:
+                for bits in vectors:
+                    if node_ok is not None and not node_ok(a, bits, is_leaf):
+                        continue
+                    count = 1 if hit(a, bits, is_leaf) else 0
+                    symbol = pack(a, bits)
+                    if is_leaf:
+                        leaf_rules[symbol] = {count}
+                    else:
+                        for left in (0, 1):
+                            for right in (0, 1):
+                                total = count + left + right
+                                if total <= 1:
+                                    rules[(symbol, left, right)] = {total}
+        return BottomUpTA(
+            alphabet=annotated_alphabet(self.base, len(variables)),
+            states={0, 1},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={1},
+        )
+
+    def _atomic_label(
+        self, formula: f.Label, variables: tuple[str, ...]
+    ) -> BottomUpTA:
+        position = self._position(variables, formula.var)
+
+        def hit(a, bits, is_leaf):
+            return bits[position] == 1
+
+        def node_ok(a, bits, is_leaf):
+            return bits[position] == 0 or a in formula.symbols
+
+        return self._counting_automaton(variables, hit, node_ok)
+
+    def _atomic_eq(self, formula: f.Eq, variables: tuple[str, ...]) -> BottomUpTA:
+        if formula.left == formula.right:
+            # x = x: any singleton placement of x's bit.
+            position = self._position(variables, formula.left)
+            return self._counting_automaton(
+                variables, lambda a, bits, leaf: bits[position] == 1
+            )
+        pos_l = self._position(variables, formula.left)
+        pos_r = self._position(variables, formula.right)
+
+        def hit(a, bits, is_leaf):
+            return bits[pos_l] == 1 and bits[pos_r] == 1
+
+        def node_ok(a, bits, is_leaf):
+            return bits[pos_l] == bits[pos_r]
+
+        return self._counting_automaton(variables, hit, node_ok)
+
+    def _atomic_in(self, formula: f.In, variables: tuple[str, ...]) -> BottomUpTA:
+        pos_x = self._position(variables, formula.element)
+        pos_s = self._position(variables, formula.set_var)
+
+        def hit(a, bits, is_leaf):
+            return bits[pos_x] == 1
+
+        def node_ok(a, bits, is_leaf):
+            return bits[pos_x] == 0 or bits[pos_s] == 1
+
+        return self._counting_automaton(variables, hit, node_ok)
+
+    def _atomic_leaf(
+        self, formula: f.Leaf, variables: tuple[str, ...]
+    ) -> BottomUpTA:
+        position = self._position(variables, formula.var)
+
+        def hit(a, bits, is_leaf):
+            return bits[position] == 1
+
+        def node_ok(a, bits, is_leaf):
+            return bits[position] == 0 or is_leaf
+
+        return self._counting_automaton(variables, hit, node_ok)
+
+    def _atomic_subset(
+        self, formula: f.Subset, variables: tuple[str, ...]
+    ) -> BottomUpTA:
+        pos_l = self._position(variables, formula.left)
+        pos_r = self._position(variables, formula.right)
+        vectors = [
+            bits
+            for bits in all_bits(len(variables))
+            if bits[pos_l] == 0 or bits[pos_r] == 1
+        ]
+        leaf_rules = {pack(a, bits): {0}
+                      for a in self.base.leaves for bits in vectors}
+        rules = {(pack(a, bits), 0, 0): {0}
+                 for a in self.base.internals for bits in vectors}
+        return BottomUpTA(
+            alphabet=annotated_alphabet(self.base, len(variables)),
+            states={0},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={0},
+        )
+
+    def _atomic_root(
+        self, formula: f.Root, variables: tuple[str, ...]
+    ) -> BottomUpTA:
+        position = self._position(variables, formula.var)
+        vectors = all_bits(len(variables))
+        # states: 0 = subtree has no bit; 1 = bit exactly at subtree root.
+        leaf_rules: dict[str, set] = {}
+        rules: dict[tuple[str, object, object], set] = {}
+        for a in self.base.leaves:
+            for bits in vectors:
+                leaf_rules[pack(a, bits)] = {bits[position]}
+        for a in self.base.internals:
+            for bits in vectors:
+                rules[(pack(a, bits), 0, 0)] = {bits[position]}
+        return BottomUpTA(
+            alphabet=annotated_alphabet(self.base, len(variables)),
+            states={0, 1},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={1},
+        )
+
+    def _atomic_succ(
+        self, formula: f.Succ, variables: tuple[str, ...]
+    ) -> BottomUpTA:
+        pos_p = self._position(variables, formula.parent)
+        pos_c = self._position(variables, formula.child)
+        vectors = all_bits(len(variables))
+        # states: 0 = nothing seen; 'c' = child bit at this subtree's root,
+        # parent not yet seen; 1 = parent/child pair matched.
+        leaf_rules: dict[str, set] = {}
+        rules: dict[tuple[str, object, object], set] = {}
+        for a in self.base.leaves:
+            for bits in vectors:
+                if bits[pos_p] == 1:
+                    continue  # a leaf cannot be the parent
+                if bits[pos_c] == 1:
+                    leaf_rules[pack(a, bits)] = {"c"}
+                else:
+                    leaf_rules[pack(a, bits)] = {0}
+        child_side = 0 if formula.which == 1 else 1
+        for a in self.base.internals:
+            for bits in vectors:
+                symbol = pack(a, bits)
+                for left in (0, "c", 1):
+                    for right in (0, "c", 1):
+                        own_parent = bits[pos_p] == 1
+                        own_child = bits[pos_c] == 1
+                        children = (left, right)
+                        done_children = sum(1 for s in children if s == 1)
+                        c_children = sum(1 for s in children if s == "c")
+                        if own_parent:
+                            # this node is x: its designated child must be y.
+                            designated = children[child_side]
+                            other = children[1 - child_side]
+                            if designated == "c" and other == 0 and not own_child:
+                                rules[(symbol, left, right)] = {1}
+                            continue
+                        if own_child:
+                            # this node is y (parent found higher up later).
+                            if done_children == 0 and c_children == 0:
+                                rules[(symbol, left, right)] = {"c"}
+                            continue
+                        if done_children == 1 and c_children == 0:
+                            rules[(symbol, left, right)] = {1}
+                        elif done_children == 0 and c_children == 0:
+                            rules[(symbol, left, right)] = {0}
+                        # a 'c' child under a non-parent node is a dead end.
+        return BottomUpTA(
+            alphabet=annotated_alphabet(self.base, len(variables)),
+            states={0, "c", 1},
+            leaf_rules=leaf_rules,
+            rules=rules,
+            accepting={1},
+        )

@@ -1,0 +1,117 @@
+"""Direct model checking of MSO formulas on concrete binary trees.
+
+This is the *specification* semantics: quantifiers enumerate nodes and
+node subsets explicitly, so the cost is exponential in the number of
+second-order quantifiers.  It exists to cross-validate the automaton
+compiler (:mod:`repro.mso.compile`) on small trees, which is exactly how
+the tests pin down Theorem 4.7's translation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.errors import MSOError
+from repro.mso import syntax as f
+from repro.trees.ranked import BNodeAddress, BTree
+
+Assignment = dict[str, object]
+
+
+def evaluate(
+    formula: f.Formula,
+    tree: BTree,
+    assignment: Mapping[str, object] | None = None,
+) -> bool:
+    """Evaluate ``formula`` on ``tree`` under ``assignment``.
+
+    First-order variables map to node addresses (tuples of 0/1);
+    second-order variables map to sets of node addresses.
+    """
+    nodes = [address for _, address in tree.walk()]
+    node_set = set(nodes)
+    env: Assignment = dict(assignment or {})
+
+    def label_at(address: BNodeAddress) -> str:
+        return tree.subtree(address).label
+
+    def is_leaf(address: BNodeAddress) -> bool:
+        return tree.subtree(address).is_leaf
+
+    def get_fo(name: str) -> BNodeAddress:
+        if name not in env:
+            raise MSOError(f"unbound first-order variable {name!r}")
+        value = env[name]
+        if not isinstance(value, tuple):
+            raise MSOError(f"variable {name!r} is not first-order")
+        return value
+
+    def get_so(name: str) -> frozenset:
+        if name not in env:
+            raise MSOError(f"unbound set variable {name!r}")
+        value = env[name]
+        if isinstance(value, tuple):
+            raise MSOError(f"variable {name!r} is not second-order")
+        return frozenset(value)  # type: ignore[arg-type]
+
+    def run(formula: f.Formula) -> bool:
+        if isinstance(formula, f.True_):
+            return True
+        if isinstance(formula, f.False_):
+            return False
+        if isinstance(formula, f.Label):
+            return label_at(get_fo(formula.var)) in formula.symbols
+        if isinstance(formula, f.Succ):
+            parent = get_fo(formula.parent)
+            child = get_fo(formula.child)
+            step = 0 if formula.which == 1 else 1
+            return child == parent + (step,) and child in node_set
+        if isinstance(formula, f.Eq):
+            return get_fo(formula.left) == get_fo(formula.right)
+        if isinstance(formula, f.In):
+            return get_fo(formula.element) in get_so(formula.set_var)
+        if isinstance(formula, f.Subset):
+            return get_so(formula.left) <= get_so(formula.right)
+        if isinstance(formula, f.Root):
+            return get_fo(formula.var) == ()
+        if isinstance(formula, f.Leaf):
+            return is_leaf(get_fo(formula.var))
+        if isinstance(formula, f.Not):
+            return not run(formula.inner)
+        if isinstance(formula, f.And):
+            return run(formula.left) and run(formula.right)
+        if isinstance(formula, f.Or):
+            return run(formula.left) or run(formula.right)
+        if isinstance(formula, (f.Exists, f.Forall)):
+            want_all = isinstance(formula, f.Forall)
+            if formula.sort == f.FO:
+                domain: list[object] = list(nodes)
+            else:
+                domain = [
+                    frozenset(combo)
+                    for size in range(len(nodes) + 1)
+                    for combo in itertools.combinations(nodes, size)
+                ]
+            saved = env.get(formula.var, _MISSING)
+            try:
+                results = []
+                for value in domain:
+                    env[formula.var] = value
+                    results.append(run(formula.inner))
+                    if (not want_all) and results[-1]:
+                        return True
+                    if want_all and not results[-1]:
+                        return False
+                return want_all
+            finally:
+                if saved is _MISSING:
+                    env.pop(formula.var, None)
+                else:
+                    env[formula.var] = saved
+        raise MSOError(f"unknown formula node {formula!r}")
+
+    return run(formula)
+
+
+_MISSING = object()

@@ -1,0 +1,368 @@
+"""Monadic second-order logic over binary trees (paper, Theorem 4.7).
+
+The signature is the paper's: a tree ``t`` is the structure
+``(D, succ1, succ2, (R_a)_{a in Sigma})``.  First-order variables range
+over nodes, second-order (set) variables over sets of nodes.
+
+Atomic formulas: ``R_a(x)`` (:class:`Label`), ``succ1(x, y)`` /
+``succ2(x, y)`` (:class:`Succ`), ``x = y`` (:class:`Eq`), ``x ∈ X``
+(:class:`In`), ``X ⊆ Y`` (:class:`Subset`), ``root(x)`` (:class:`Root`)
+and ``leaf(x)`` (:class:`Leaf`) — the last two are definable from the
+others but are primitive here because the Theorem 4.7 formulas use
+``root`` as a constant.
+
+Connectives: and/or/not/implies; quantifiers over both sorts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable
+
+from repro.errors import MSOError
+
+FO = "fo"
+SO = "so"
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of MSO formulas."""
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def free_variables(self) -> dict[str, str]:
+        """Free variables with their sorts (``'fo'`` or ``'so'``)."""
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        """Material implication."""
+        return Or(Not(self), other)
+
+    def size(self) -> int:
+        """Number of AST nodes."""
+        return 1 + sum(child.size() for child in self.children())
+
+
+def _merge(*maps: dict[str, str]) -> dict[str, str]:
+    merged: dict[str, str] = {}
+    for mapping in maps:
+        for name, sort in mapping.items():
+            if merged.get(name, sort) != sort:
+                raise MSOError(
+                    f"variable {name!r} used with two different sorts"
+                )
+            merged[name] = sort
+    return merged
+
+
+@dataclass(frozen=True)
+class True_(Formula):
+    """The constant true."""
+
+    def free_variables(self) -> dict[str, str]:
+        return {}
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class False_(Formula):
+    """The constant false."""
+
+    def free_variables(self) -> dict[str, str]:
+        return {}
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Label(Formula):
+    """``R_a(x)``: node ``x`` is labeled ``a`` (``a`` may be a set)."""
+
+    symbols: frozenset[str]
+    var: str
+
+    def __init__(self, symbols: str | Iterable[str], var: str) -> None:
+        if isinstance(symbols, str):
+            symbols = [symbols]
+        object.__setattr__(self, "symbols", frozenset(symbols))
+        object.__setattr__(self, "var", var)
+
+    def free_variables(self) -> dict[str, str]:
+        return {self.var: FO}
+
+    def __str__(self) -> str:
+        names = "|".join(sorted(self.symbols))
+        return f"R_{{{names}}}({self.var})"
+
+
+@dataclass(frozen=True)
+class Succ(Formula):
+    """``succ_i(x, y)``: ``y`` is the left (i=1) or right (i=2) child of
+    ``x``."""
+
+    which: int
+    parent: str
+    child: str
+
+    def __post_init__(self) -> None:
+        if self.which not in (1, 2):
+            raise MSOError("succ index must be 1 or 2")
+
+    def free_variables(self) -> dict[str, str]:
+        return _merge({self.parent: FO}, {self.child: FO})
+
+    def __str__(self) -> str:
+        return f"succ{self.which}({self.parent},{self.child})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """``x = y`` on first-order variables."""
+
+    left: str
+    right: str
+
+    def free_variables(self) -> dict[str, str]:
+        return _merge({self.left: FO}, {self.right: FO})
+
+    def __str__(self) -> str:
+        return f"{self.left}={self.right}"
+
+
+@dataclass(frozen=True)
+class In(Formula):
+    """``x ∈ X``."""
+
+    element: str
+    set_var: str
+
+    def free_variables(self) -> dict[str, str]:
+        return _merge({self.element: FO}, {self.set_var: SO})
+
+    def __str__(self) -> str:
+        return f"{self.element}∈{self.set_var}"
+
+
+@dataclass(frozen=True)
+class Subset(Formula):
+    """``X ⊆ Y``."""
+
+    left: str
+    right: str
+
+    def free_variables(self) -> dict[str, str]:
+        return _merge({self.left: SO}, {self.right: SO})
+
+    def __str__(self) -> str:
+        return f"{self.left}⊆{self.right}"
+
+
+@dataclass(frozen=True)
+class Root(Formula):
+    """``x`` is the root."""
+
+    var: str
+
+    def free_variables(self) -> dict[str, str]:
+        return {self.var: FO}
+
+    def __str__(self) -> str:
+        return f"root({self.var})"
+
+
+@dataclass(frozen=True)
+class Leaf(Formula):
+    """``x`` is a leaf."""
+
+    var: str
+
+    def free_variables(self) -> dict[str, str]:
+        return {self.var: FO}
+
+    def __str__(self) -> str:
+        return f"leaf({self.var})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    inner: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.inner,)
+
+    def free_variables(self) -> dict[str, str]:
+        return self.inner.free_variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.inner})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def free_variables(self) -> dict[str, str]:
+        return _merge(self.left.free_variables(), self.right.free_variables())
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def free_variables(self) -> dict[str, str]:
+        return _merge(self.left.free_variables(), self.right.free_variables())
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification; ``sort`` is ``'fo'`` or ``'so'``."""
+
+    var: str
+    sort: str
+    inner: Formula
+
+    def __post_init__(self) -> None:
+        if self.sort not in (FO, SO):
+            raise MSOError("sort must be 'fo' or 'so'")
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.inner,)
+
+    def free_variables(self) -> dict[str, str]:
+        free = dict(self.inner.free_variables())
+        if free.get(self.var, self.sort) != self.sort:
+            raise MSOError(
+                f"variable {self.var!r} quantified at the wrong sort"
+            )
+        free.pop(self.var, None)
+        return free
+
+    def __str__(self) -> str:
+        quantifier = "∃" if self.sort == FO else "∃₂"
+        return f"{quantifier}{self.var}.({self.inner})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification; ``sort`` is ``'fo'`` or ``'so'``."""
+
+    var: str
+    sort: str
+    inner: Formula
+
+    def __post_init__(self) -> None:
+        if self.sort not in (FO, SO):
+            raise MSOError("sort must be 'fo' or 'so'")
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.inner,)
+
+    def free_variables(self) -> dict[str, str]:
+        free = dict(self.inner.free_variables())
+        if free.get(self.var, self.sort) != self.sort:
+            raise MSOError(
+                f"variable {self.var!r} quantified at the wrong sort"
+            )
+        free.pop(self.var, None)
+        return free
+
+    def __str__(self) -> str:
+        quantifier = "∀" if self.sort == FO else "∀₂"
+        return f"{quantifier}{self.var}.({self.inner})"
+
+
+# -- convenience builders ------------------------------------------------------
+
+TRUE = True_()
+FALSE = False_()
+
+
+def conj(*parts: Formula) -> Formula:
+    """N-ary conjunction (``true`` for the empty case)."""
+    filtered = [p for p in parts if not isinstance(p, True_)]
+    if not filtered:
+        return TRUE
+    return reduce(And, filtered)
+
+
+def disj(*parts: Formula) -> Formula:
+    """N-ary disjunction (``false`` for the empty case)."""
+    filtered = list(parts)
+    if not filtered:
+        return FALSE
+    return reduce(Or, filtered)
+
+
+def exists_fo(variables: str | Iterable[str], inner: Formula) -> Formula:
+    """``∃x1...∃xn. inner`` over first-order variables."""
+    if isinstance(variables, str):
+        variables = [variables]
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Exists(variable, FO, result)
+    return result
+
+
+def exists_so(variables: str | Iterable[str], inner: Formula) -> Formula:
+    """``∃X1...∃Xn. inner`` over set variables."""
+    if isinstance(variables, str):
+        variables = [variables]
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Exists(variable, SO, result)
+    return result
+
+
+def forall_fo(variables: str | Iterable[str], inner: Formula) -> Formula:
+    """``∀x1...∀xn. inner`` over first-order variables."""
+    if isinstance(variables, str):
+        variables = [variables]
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Forall(variable, FO, result)
+    return result
+
+
+def forall_so(variables: str | Iterable[str], inner: Formula) -> Formula:
+    """``∀X1...∀Xn. inner`` over set variables."""
+    if isinstance(variables, str):
+        variables = [variables]
+    result = inner
+    for variable in reversed(list(variables)):
+        result = Forall(variable, SO, result)
+    return result

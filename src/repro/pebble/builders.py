@@ -1,0 +1,195 @@
+"""The paper's example machines (Section 3.2) and reusable subroutines.
+
+* :func:`copy_transducer` — Example 3.3, the identity transformation;
+* :func:`add_preorder_next` — Example 3.4, the "advance one pebble to the
+  next node in pre-order" subroutine, reused by the pattern/selection
+  machinery and the star-free deciders;
+* :func:`exponential_transducer` — Example 3.6, output exponentially
+  larger than the input;
+* :func:`rotation_transducer` — Example 3.7 / Figure 2, rotating the tree
+  around its first pivot leaf (and, as the paper notes, reversing strings
+  encoded as right-linear trees).
+
+Example 3.5 (pattern matching with k pebbles) lives in
+:mod:`repro.lang.patterns` / :mod:`repro.lang.xmlql`, where patterns have
+their own front-end syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import PebbleMachineError
+from repro.pebble.transducer import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    RuleSet,
+    State,
+)
+from repro.trees.alphabet import RankedAlphabet
+
+
+def copy_transducer(alphabet: RankedAlphabet) -> PebbleTransducer:
+    """Example 3.3: a 1-pebble transducer that copies its input.
+
+    ``(a2,q) -> a2(q1,q2)``; ``q1``/``q2`` walk down-left/down-right and
+    re-enter ``q``; leaves are emitted directly.
+    """
+    rules = RuleSet()
+    for symbol in sorted(alphabet.internals):
+        rules.add(symbol, "q", Emit2(symbol, "q1", "q2"))
+        rules.add(symbol, "q1", Move("down-left", "q"))
+        rules.add(symbol, "q2", Move("down-right", "q"))
+    for symbol in sorted(alphabet.leaves):
+        rules.add(symbol, "q", Emit0(symbol))
+    return PebbleTransducer(
+        input_alphabet=alphabet,
+        output_alphabet=alphabet,
+        levels=[["q", "q1", "q2"]],
+        initial="q",
+        rules=rules,
+    )
+
+
+def add_preorder_next(
+    rules: RuleSet,
+    alphabet: RankedAlphabet,
+    root_symbols: Iterable[str],
+    start: State,
+    done: State,
+    exhausted: State,
+    tag: Hashable,
+) -> list[State]:
+    """Example 3.4: advance the current pebble to the next pre-order node.
+
+    Starting in ``start`` on some node, the added rules drive the pebble
+    to the next node in pre-order and enter ``done``; when the tree is
+    exhausted the pebble parks on the root in state ``exhausted``.
+
+    ``root_symbols`` must label the root *only* (the paper's assumption
+    "r is the root symbol").  Two fresh intermediate states, tagged with
+    ``tag``, are returned so the caller can add them to the right level.
+    """
+    roots = set(root_symbols)
+    if not roots <= alphabet.symbols:
+        raise PebbleMachineError(f"unknown root symbols {roots}")
+    climb: State = ("preorder-climb", tag)
+    after: State = ("preorder-after-up", tag)
+    internal_symbols = sorted(alphabet.internals)
+    leaf_only = sorted(alphabet.leaves - alphabet.internals)
+    # from an internal node, the next node is its left child
+    rules.add(internal_symbols, start, Move("down-left", done))
+    # from a leaf, prepare to climb
+    rules.add(leaf_only, start, Move("stay", climb))
+    # climb while the current node is a right child; on the first
+    # left-child position, step up once more and take the right sibling.
+    non_root = sorted(alphabet.symbols - roots)
+    rules.add(non_root, climb, Move("up-right", climb))
+    rules.add(non_root, climb, Move("up-left", after))
+    rules.add(sorted(roots), climb, Move("stay", exhausted))
+    rules.add(None, after, Move("down-right", done))
+    return [climb, after]
+
+
+def exponential_transducer(
+    alphabet: RankedAlphabet, marker: str = "z"
+) -> PebbleTransducer:
+    """Example 3.6: ``f(a(t1,t2)) = z(a(f(t1),f(t2)), a(f(t1),f(t2)))``.
+
+    The output has size ``Theta(2^depth)`` of the input; evaluating it as
+    a DAG (``repro.pebble.run.evaluate``) or as the Prop 3.8 automaton
+    stays polynomial.
+    """
+    if marker in alphabet.symbols:
+        raise PebbleMachineError(f"marker {marker!r} clashes with the alphabet")
+    output = RankedAlphabet(
+        leaves=alphabet.leaves, internals=alphabet.internals | {marker}
+    )
+    rules = RuleSet()
+    rules.add(None, "q1", Emit2(marker, "q2", "q2"))
+    for symbol in sorted(alphabet.leaves):
+        rules.add(symbol, "q2", Emit0(symbol))
+    for symbol in sorted(alphabet.internals):
+        rules.add(symbol, "q2", Emit2(symbol, "q3", "q4"))
+        rules.add(symbol, "q3", Move("down-left", "q1"))
+        rules.add(symbol, "q4", Move("down-right", "q1"))
+    return PebbleTransducer(
+        input_alphabet=alphabet,
+        output_alphabet=output,
+        levels=[["q1", "q2", "q3", "q4"]],
+        initial="q1",
+        rules=rules,
+    )
+
+
+def rotation_transducer(
+    alphabet: RankedAlphabet,
+    pivot: str = "s",
+    root_symbol: str = "r",
+    new_root: str = "r2",
+    extra_m: str = "m",
+    extra_n: str = "n",
+) -> PebbleTransducer:
+    """Example 3.7 / Figure 2: rotate the tree around its first ``pivot``
+    leaf, making it the new root.
+
+    Phase 1 walks the tree in pre-order until the pebble sits on a
+    ``pivot`` leaf; phase 2 re-emits the tree "inside-out" while climbing
+    to the root, inserting the two fresh nodes ``m`` and ``n`` exactly as
+    in Figure 2.  ``root_symbol`` must label the root only.  As the paper
+    notes, on right-linear string encodings this reverses the string.
+    """
+    for fresh in (new_root, extra_m, extra_n):
+        if fresh in alphabet.symbols:
+            raise PebbleMachineError(
+                f"output symbol {fresh!r} clashes with the input alphabet"
+            )
+    if pivot not in alphabet.leaves:
+        raise PebbleMachineError(f"pivot {pivot!r} must be a leaf symbol")
+    output = RankedAlphabet(
+        leaves=alphabet.leaves | {extra_m, extra_n},
+        internals=alphabet.internals | {new_root},
+    )
+    rules = RuleSet()
+    internals = sorted(alphabet.internals)
+    leaves = sorted(alphabet.leaves)
+    non_pivot_leaves = sorted(alphabet.leaves - {pivot} - alphabet.internals)
+    non_root = sorted(alphabet.symbols - {root_symbol})
+
+    # phase 1: pre-order search for the first pivot leaf
+    rules.add(pivot, "w", Move("stay", "q"))
+    rules.add(internals, "w", Move("down-left", "w"))
+    rules.add(non_pivot_leaves, "w", Move("stay", "w-climb"))
+    rules.add(non_root, "w-climb", Move("up-right", "w-climb"))
+    rules.add(non_root, "w-climb", Move("up-left", "w-after"))
+    rules.add(None, "w-after", Move("down-right", "w"))
+
+    # phase 2: the paper's rotation rules (primed states say which way to
+    # go next; unprimed states say which way the current node was reached)
+    rules.add(pivot, "q", Emit2(new_root, "q-m", "up'"))
+    rules.add(pivot, "q-m", Emit0(extra_m))
+    rules.add(non_root, "up'", Move("up-left", "left"))
+    rules.add(non_root, "up'", Move("up-right", "right"))
+    rules.add(root_symbol, "up'", Emit0(extra_n))
+    for symbol in internals:
+        rules.add(symbol, "left", Emit2(symbol, "right'", "up'"))
+        rules.add(symbol, "right", Emit2(symbol, "up'", "left'"))
+        rules.add(symbol, "up", Emit2(symbol, "left'", "right'"))
+        rules.add(symbol, "left'", Move("down-left", "up"))
+        rules.add(symbol, "right'", Move("down-right", "up"))
+    for symbol in leaves:
+        rules.add(symbol, "up", Emit0(symbol))
+
+    states = [
+        "w", "w-climb", "w-after", "q", "q-m",
+        "up'", "left", "right", "up", "left'", "right'",
+    ]
+    return PebbleTransducer(
+        input_alphabet=alphabet,
+        output_alphabet=output,
+        levels=[states],
+        initial="w",
+        rules=rules,
+    )

@@ -1,0 +1,340 @@
+"""Classical top-down tree transducers (paper, Definition 3.2).
+
+A top-down transducer rule ``(a, q) -> t'`` emits an output fragment
+``t' ∈ T_{Sigma'}({xi1, xi2} × Q)`` whose special leaves ``(xi_i, q')``
+spawn branches on the i-th child in state ``q'``.
+
+The paper observes: "It is easy to see that every top-down transducer
+can be expressed as a 1-pebble transducer."  :func:`to_pebble` is that
+construction, and the tests verify it against the direct semantics
+(:func:`run_top_down`) on random inputs.
+
+(Bottom-up transducers are the open side of the comparison: whether
+k-pebble transducers simulate them is equivalent to the tree-walk
+expressiveness problem, Section 3.1.  :class:`BottomUpTransducer` is
+provided with its direct semantics so the objects of that discussion are
+all present; no conversion is offered — that is the open problem.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.errors import PebbleMachineError, TransducerRuntimeError
+from repro.pebble.transducer import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    RuleSet,
+    State,
+)
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.ranked import BTree
+
+
+@dataclass(frozen=True)
+class Call:
+    """A special leaf ``(xi_child, state)``: continue on the given child
+    (1 = left, 2 = right) in the given state."""
+
+    child: int
+    state: State
+
+    def __post_init__(self) -> None:
+        if self.child not in (1, 2):
+            raise PebbleMachineError("xi index must be 1 or 2")
+
+
+@dataclass(frozen=True)
+class Frag:
+    """An output fragment: a binary tree over ``Sigma'`` whose leaves are
+    either output leaf symbols or :class:`Call` markers."""
+
+    label: Optional[str] = None
+    left: Optional["Frag"] = None
+    right: Optional["Frag"] = None
+    call: Optional[Call] = None
+
+    @classmethod
+    def leaf(cls, symbol: str) -> "Frag":
+        return cls(label=symbol)
+
+    @classmethod
+    def node(cls, symbol: str, left: "Frag", right: "Frag") -> "Frag":
+        return cls(label=symbol, left=left, right=right)
+
+    @classmethod
+    def recurse(cls, child: int, state: State) -> "Frag":
+        return cls(call=Call(child, state))
+
+    @property
+    def is_call(self) -> bool:
+        return self.call is not None
+
+    def calls(self) -> list[Call]:
+        if self.is_call:
+            return [self.call]  # type: ignore[list-item]
+        found: list[Call] = []
+        if self.left is not None:
+            found.extend(self.left.calls())
+        if self.right is not None:
+            found.extend(self.right.calls())
+        return found
+
+
+@dataclass(frozen=True)
+class TopDownTransducer:
+    """Definition 3.2's top-down (root-to-frontier) tree transducer.
+
+    ``internal_rules`` maps ``(a, q)`` for ``a ∈ Sigma2`` to output
+    fragments possibly containing calls; ``leaf_rules`` maps ``(a, q)``
+    for ``a ∈ Sigma0`` to call-free fragments.
+    """
+
+    input_alphabet: RankedAlphabet
+    output_alphabet: RankedAlphabet
+    states: frozenset[State]
+    initial: State
+    internal_rules: dict[tuple[str, State], tuple[Frag, ...]]
+    leaf_rules: dict[tuple[str, State], tuple[Frag, ...]]
+
+    def __init__(
+        self,
+        input_alphabet: RankedAlphabet,
+        output_alphabet: RankedAlphabet,
+        states: Iterable[State],
+        initial: State,
+        internal_rules: Mapping[tuple[str, State], Iterable[Frag]],
+        leaf_rules: Mapping[tuple[str, State], Iterable[Frag]],
+    ) -> None:
+        object.__setattr__(self, "input_alphabet", input_alphabet)
+        object.__setattr__(self, "output_alphabet", output_alphabet)
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "initial", initial)
+        object.__setattr__(
+            self, "internal_rules",
+            {key: tuple(frags) for key, frags in internal_rules.items()},
+        )
+        object.__setattr__(
+            self, "leaf_rules",
+            {key: tuple(frags) for key, frags in leaf_rules.items()},
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.initial not in self.states:
+            raise PebbleMachineError("initial state must be a state")
+        for (symbol, state), frags in self.internal_rules.items():
+            self.input_alphabet.check_internal(symbol)
+            if state not in self.states:
+                raise PebbleMachineError(f"unknown state {state!r}")
+            for frag in frags:
+                self._check_frag(frag, allow_calls=True)
+        for (symbol, state), frags in self.leaf_rules.items():
+            self.input_alphabet.check_leaf(symbol)
+            if state not in self.states:
+                raise PebbleMachineError(f"unknown state {state!r}")
+            for frag in frags:
+                self._check_frag(frag, allow_calls=False)
+
+    def _check_frag(self, frag: Frag, allow_calls: bool) -> None:
+        if frag.is_call:
+            if not allow_calls:
+                raise PebbleMachineError(
+                    "leaf rules must produce closed output trees"
+                )
+            if frag.call.state not in self.states:  # type: ignore[union-attr]
+                raise PebbleMachineError("call to unknown state")
+            return
+        if frag.label is None:
+            raise PebbleMachineError("fragment node without a label")
+        if frag.left is None and frag.right is None:
+            self.output_alphabet.check_leaf(frag.label)
+        elif frag.left is not None and frag.right is not None:
+            self.output_alphabet.check_internal(frag.label)
+            self._check_frag(frag.left, allow_calls)
+            self._check_frag(frag.right, allow_calls)
+        else:
+            raise PebbleMachineError("fragments are complete binary trees")
+
+    def is_deterministic(self) -> bool:
+        """At most one rule per (symbol, state)."""
+        return all(
+            len(frags) <= 1
+            for frags in list(self.internal_rules.values())
+            + list(self.leaf_rules.values())
+        )
+
+
+def run_top_down(
+    transducer: TopDownTransducer, tree: BTree
+) -> Optional[BTree]:
+    """The direct semantics for *deterministic* top-down transducers."""
+    if not transducer.is_deterministic():
+        raise TransducerRuntimeError(
+            "run_top_down requires a deterministic transducer"
+        )
+
+    def instantiate(frag: Frag, node: BTree) -> Optional[BTree]:
+        if frag.is_call:
+            call = frag.call
+            child = node.left if call.child == 1 else node.right
+            if child is None:
+                return None  # call on a leaf: stuck
+            return process(child, call.state)
+        if frag.left is None:
+            return BTree(frag.label)  # type: ignore[arg-type]
+        left = instantiate(frag.left, node)
+        right = instantiate(frag.right, node)  # type: ignore[arg-type]
+        if left is None or right is None:
+            return None
+        return BTree(frag.label, left, right)  # type: ignore[arg-type]
+
+    def process(node: BTree, state: State) -> Optional[BTree]:
+        table = (
+            transducer.leaf_rules if node.is_leaf
+            else transducer.internal_rules
+        )
+        frags = table.get((node.label, state))
+        if not frags:
+            return None
+        return instantiate(frags[0], node)
+
+    return process(tree, transducer.initial)
+
+
+def to_pebble(transducer: TopDownTransducer) -> PebbleTransducer:
+    """The paper's embedding: every top-down transducer is a 1-pebble
+    transducer (Section 3.1).
+
+    Fragment structure is unfolded into fresh emission states; a call
+    ``(xi_i, q')`` becomes a down-move into state ``q'``.  The pebble
+    never moves up — the embedded machine is exactly the "pebble moves
+    only downwards" special case the paper identifies with top-down
+    transducers.
+    """
+    rules = RuleSet()
+    states: set[State] = set()
+    fresh = [0]
+
+    def state_name(base: str) -> State:
+        fresh[0] += 1
+        return ("td", base, fresh[0])
+
+    def emit(frag: Frag, guard_symbol: str, entry: State) -> None:
+        """Add rules so that, entering ``entry`` on a node labeled
+        ``guard_symbol``, the machine emits ``frag``."""
+        states.add(entry)
+        if frag.is_call:
+            call = frag.call
+            direction = "down-left" if call.child == 1 else "down-right"
+            rules.add(guard_symbol, entry,
+                      Move(direction, ("td-q", call.state)))
+            states.add(("td-q", call.state))
+            return
+        if frag.left is None:
+            rules.add(guard_symbol, entry, Emit0(frag.label))
+            return
+        left_entry = state_name("L")
+        right_entry = state_name("R")
+        rules.add(guard_symbol, entry,
+                  Emit2(frag.label, left_entry, right_entry))
+        emit(frag.left, guard_symbol, left_entry)
+        emit(frag.right, guard_symbol, right_entry)  # type: ignore[arg-type]
+
+    for table in (transducer.internal_rules, transducer.leaf_rules):
+        for (symbol, state), frags in table.items():
+            for frag in frags:
+                entry = ("td-q", state)
+                states.add(entry)
+                # dispatch from the shared state by guard symbol
+                start = state_name("E")
+                rules.add(symbol, entry, Move("stay", start))
+                emit(frag, symbol, start)
+
+    states.add(("td-q", transducer.initial))
+    return PebbleTransducer(
+        input_alphabet=transducer.input_alphabet,
+        output_alphabet=transducer.output_alphabet,
+        levels=[sorted(states, key=repr)],
+        initial=("td-q", transducer.initial),
+        rules=rules,
+    )
+
+
+@dataclass(frozen=True)
+class BottomUpTransducer:
+    """A frontier-to-root transducer (for the open-problem discussion of
+    Section 3.1; direct semantics only).
+
+    ``leaf_rules[(a, )]`` gives ``(state, output-tree)`` pairs for a leaf
+    ``a``; ``rules[(a, q1, q2)]`` gives ``(state, fragment)`` pairs where
+    the fragment's calls ``(xi_i, _)`` splice in the i-th child's output
+    (the state component of calls is ignored — bottom-up rules reference
+    already-computed child outputs).
+    """
+
+    input_alphabet: RankedAlphabet
+    output_alphabet: RankedAlphabet
+    states: frozenset[State]
+    accepting: frozenset[State]
+    leaf_rules: dict[str, tuple[tuple[State, Frag], ...]]
+    rules: dict[tuple[str, State, State], tuple[tuple[State, Frag], ...]]
+
+    def __init__(self, input_alphabet, output_alphabet, states, accepting,
+                 leaf_rules, rules) -> None:
+        object.__setattr__(self, "input_alphabet", input_alphabet)
+        object.__setattr__(self, "output_alphabet", output_alphabet)
+        object.__setattr__(self, "states", frozenset(states))
+        object.__setattr__(self, "accepting", frozenset(accepting))
+        object.__setattr__(
+            self, "leaf_rules",
+            {key: tuple(value) for key, value in leaf_rules.items()},
+        )
+        object.__setattr__(
+            self, "rules",
+            {key: tuple(value) for key, value in rules.items()},
+        )
+
+    def run(self, tree: BTree) -> set[tuple[State, BTree]]:
+        """All (state, output) results at the root."""
+        if tree.is_leaf:
+            return {
+                (state, _close(frag, None, None))
+                for state, frag in self.leaf_rules.get(tree.label, ())
+            }
+        lefts = self.run(tree.left)  # type: ignore[arg-type]
+        rights = self.run(tree.right)  # type: ignore[arg-type]
+        results: set[tuple[State, BTree]] = set()
+        for left_state, left_out in lefts:
+            for right_state, right_out in rights:
+                for state, frag in self.rules.get(
+                    (tree.label, left_state, right_state), ()
+                ):
+                    results.add((state, _close(frag, left_out, right_out)))
+        return results
+
+    def outputs(self, tree: BTree) -> set[BTree]:
+        """Accepted outputs."""
+        return {
+            output for state, output in self.run(tree)
+            if state in self.accepting
+        }
+
+
+def _close(frag: Frag, left_out: Optional[BTree],
+           right_out: Optional[BTree]) -> BTree:
+    if frag.is_call:
+        chosen = left_out if frag.call.child == 1 else right_out
+        if chosen is None:
+            raise TransducerRuntimeError("call in a leaf rule")
+        return chosen
+    if frag.left is None:
+        return BTree(frag.label)  # type: ignore[arg-type]
+    return BTree(
+        frag.label,  # type: ignore[arg-type]
+        _close(frag.left, left_out, right_out),
+        _close(frag.right, left_out, right_out),  # type: ignore[arg-type]
+    )

@@ -1,0 +1,128 @@
+"""Proposition 3.8: the per-input output automaton ``A_t``.
+
+For a fixed k-pebble transducer ``T`` and input tree ``t``, the set of
+outputs ``T(t)`` is a *regular tree language*, and a top-down automaton
+``A_t`` recognizing it is computable in PTIME in ``|t|``: its states are
+the (reachable) configurations of ``T`` on ``t``, move transitions become
+silent transitions, ``output0`` becomes acceptance, and ``output2``
+becomes an ordinary top-down transition.
+
+``A_t`` is simultaneously:
+
+* a PTIME *DAG encoding* of the (possibly exponentially larger, possibly
+  infinite) output set — the paper's answer to Example 3.6;
+* a membership oracle ``t' ∈ T(t)``;
+* an enumerator of ``T(t)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.automata.convert import td_to_bu
+from repro.automata.bottom_up import BottomUpTA
+from repro.automata.top_down import TopDownTA
+from repro.pebble.stepping import Config, guard_bits, move_successor
+from repro.pebble.transducer import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    Pick,
+    Place,
+)
+from repro.trees.ranked import BTree, IndexedTree
+
+
+def output_automaton(
+    transducer: PebbleTransducer, tree: BTree
+) -> TopDownTA:
+    """Construct ``A_t`` with silent transitions (Proposition 3.8).
+
+    Only configurations reachable from the initial one are materialized,
+    so the automaton has at most ``O(|Q| * n^k)`` states as in the paper,
+    and usually far fewer.
+    """
+    indexed = IndexedTree(tree)
+    initial: Config = (transducer.initial, (indexed.root,))
+
+    silent: dict[tuple[str, Config], set[Config]] = {}
+    transitions: dict[tuple[str, Config], set[tuple[Config, Config]]] = {}
+    final: set[tuple[str, Config]] = set()
+    seen: set[Config] = {initial}
+    queue: deque[Config] = deque([initial])
+    out = transducer.output_alphabet
+
+    while queue:
+        config = queue.popleft()
+        state, positions = config
+        symbol = indexed.label(positions[-1])
+        bits = guard_bits(positions)
+        for action in transducer.actions_for(symbol, state, bits):
+            if isinstance(action, (Move, Place, Pick)):
+                new_positions = move_successor(indexed, positions, action)
+                if new_positions is None:
+                    continue
+                successor: Config = (action.target, new_positions)
+                # the head of A_t does not move: silent on *every* symbol.
+                for out_symbol in out.symbols:
+                    silent.setdefault((out_symbol, config), set()).add(successor)
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+            elif isinstance(action, Emit0):
+                final.add((action.symbol, config))
+            elif isinstance(action, Emit2):
+                left: Config = (action.left, positions)
+                right: Config = (action.right, positions)
+                transitions.setdefault((action.symbol, config), set()).add(
+                    (left, right)
+                )
+                for successor in (left, right):
+                    if successor not in seen:
+                        seen.add(successor)
+                        queue.append(successor)
+
+    return TopDownTA(
+        alphabet=out,
+        states=seen,
+        initial=initial,
+        final=final,
+        transitions=transitions,
+        silent=silent,
+    )
+
+
+def output_language(
+    transducer: PebbleTransducer, tree: BTree
+) -> BottomUpTA:
+    """``T(t)`` as a trimmed bottom-up automaton (for boolean queries)."""
+    return td_to_bu(output_automaton(transducer, tree)).trimmed()
+
+
+def output_contains(
+    transducer: PebbleTransducer, tree: BTree, candidate: BTree
+) -> bool:
+    """Decide ``candidate ∈ T(tree)`` (PTIME in both sizes, Prop 3.8)."""
+    return output_automaton(transducer, tree).accepts(candidate)
+
+
+def has_output(transducer: PebbleTransducer, tree: BTree) -> bool:
+    """Decide ``T(tree) ≠ ∅``."""
+    return not output_language(transducer, tree).is_empty()
+
+
+def some_output(
+    transducer: PebbleTransducer, tree: BTree
+) -> Optional[BTree]:
+    """A smallest-ish output tree, or ``None`` when ``T(tree)`` is empty."""
+    return output_language(transducer, tree).witness()
+
+
+def enumerate_outputs(
+    transducer: PebbleTransducer, tree: BTree, limit: int
+) -> Iterator[BTree]:
+    """Enumerate up to ``limit`` distinct outputs of ``T`` on ``tree``
+    (the paper's "amortized PTIME" enumeration, via the regular language)."""
+    return output_language(transducer, tree).generate(limit)

@@ -1,0 +1,84 @@
+"""Proposition 4.6: composing a transducer with an output-type automaton.
+
+For a k-pebble transducer ``T`` and a top-down automaton ``B`` over the
+output alphabet, the product k-pebble automaton ``A = T × B`` accepts
+exactly ``{t | T(t) ∩ inst(B) ≠ ∅}``.
+
+In the typechecking pipeline ``B`` is an automaton for the *complement* of
+the output type, so ``A`` accepts the inputs on which the transducer can
+produce an ill-typed output.
+"""
+
+from __future__ import annotations
+
+from repro.automata.top_down import TopDownTA
+from repro.errors import PebbleMachineError
+from repro.pebble.automaton import PebbleAutomaton
+from repro.pebble.transducer import (
+    Branch0,
+    Branch2,
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    Pick,
+    Place,
+)
+
+
+def transducer_times_automaton(
+    transducer: PebbleTransducer, automaton: TopDownTA
+) -> PebbleAutomaton:
+    """The product pebble automaton of Proposition 4.6.
+
+    ``automaton`` must be over the transducer's *output* alphabet; silent
+    transitions are eliminated first (the construction needs plain
+    top-down transitions).
+    """
+    if not transducer.output_alphabet.symbols <= automaton.alphabet.symbols:
+        raise PebbleMachineError(
+            "the type automaton must cover the transducer's output alphabet"
+        )
+    b = automaton.without_silent()
+    b_states = sorted(b.states, key=repr)
+
+    levels = [
+        [(q_t, q_b) for q_t in sorted(level, key=repr) for q_b in b_states]
+        for level in transducer.levels
+    ]
+    rules: dict = {}
+
+    def add(key, action) -> None:
+        rules.setdefault(key, []).append(action)
+
+    for (symbol, state, bits), actions in transducer.rules.items():
+        for action in actions:
+            for q_b in b_states:
+                guard = (symbol, (state, q_b), bits)
+                if isinstance(action, Move):
+                    add(guard, Move(action.direction, (action.target, q_b)))
+                elif isinstance(action, Place):
+                    add(guard, Place((action.target, q_b)))
+                elif isinstance(action, Pick):
+                    add(guard, Pick((action.target, q_b)))
+                elif isinstance(action, Emit0):
+                    # equation (4): accept iff B accepts the emitted leaf.
+                    if (action.symbol, q_b) in b.final:
+                        add(guard, Branch0())
+                elif isinstance(action, Emit2):
+                    # equation (5): pair the spawned branches with B's moves.
+                    for q1_b, q2_b in b.transitions.get(
+                        (action.symbol, q_b), ()
+                    ):
+                        add(
+                            guard,
+                            Branch2(
+                                (action.left, q1_b), (action.right, q2_b)
+                            ),
+                        )
+    return PebbleAutomaton(
+        alphabet=transducer.input_alphabet,
+        levels=levels,
+        initial=(transducer.initial, b.initial),
+        rules={key: tuple(actions) for key, actions in rules.items()},
+    )

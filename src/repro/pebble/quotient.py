@@ -1,0 +1,119 @@
+"""Bisimulation quotients of k-pebble automata.
+
+The product automata of Proposition 4.6 carry one copy of the type
+automaton's state per transducer state; many of those copies are
+behaviorally identical.  Since the Theorem 4.7 constructions are
+(hyper)exponential in the state count per level, collapsing bisimilar
+states first is the single most effective preprocessing step.
+
+Two states are merged when they are on the same level and, under every
+guard ``(symbol, pebble bits)``, offer the same abstract actions up to
+the equivalence (the standard coarsest-partition refinement).  Bisimilar
+configurations have identical accessibility in the AND/OR graph, so the
+quotient accepts the same tree language; the tests cross-check against
+AGAP on random trees.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.pebble.automaton import PebbleAutomaton
+from repro.pebble.transducer import (
+    Branch0,
+    Branch2,
+    Move,
+    Pick,
+    Place,
+    State,
+)
+
+
+def quotient_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:
+    """The bisimulation quotient (same language, possibly far fewer
+    states)."""
+    states = sorted(automaton.level_of, key=repr)
+    # initial partition: by level, and whether the state is initial
+    # (keeping the initial state's block identifiable is convenient).
+    block_of: dict[State, int] = {
+        state: automaton.level_of[state] for state in states
+    }
+
+    # index rules by state for signature computation
+    by_state: dict[State, list[tuple[str, tuple, object]]] = {}
+    for (symbol, state, bits), actions in automaton.rules.items():
+        bucket = by_state.setdefault(state, [])
+        for action in actions:
+            bucket.append((symbol, bits, action))
+
+    def abstract(action) -> tuple:
+        if isinstance(action, Move):
+            return ("move", action.direction, block_of[action.target])
+        if isinstance(action, Place):
+            return ("place", block_of[action.target])
+        if isinstance(action, Pick):
+            return ("pick", block_of[action.target])
+        if isinstance(action, Branch0):
+            return ("branch0",)
+        assert isinstance(action, Branch2)
+        return ("branch2", block_of[action.left], block_of[action.right])
+
+    while True:
+        signatures: dict[tuple, int] = {}
+        new_block_of: dict[State, int] = {}
+        for state in states:
+            rows = frozenset(
+                (symbol, bits, abstract(action))
+                for symbol, bits, action in by_state.get(state, [])
+            )
+            signature = (block_of[state], rows)
+            if signature not in signatures:
+                signatures[signature] = len(signatures)
+            new_block_of[state] = signatures[signature]
+        if len(set(new_block_of.values())) == len(set(block_of.values())):
+            block_of = new_block_of
+            break
+        block_of = new_block_of
+
+    # representatives: the repr-least state of each block
+    representative: dict[int, State] = {}
+    for state in states:
+        representative.setdefault(block_of[state], state)
+    if len(representative) == len(states):
+        return automaton  # nothing merged
+
+    def rep(state: State) -> State:
+        return representative[block_of[state]]
+
+    def rewrite(action):
+        if isinstance(action, Move):
+            return Move(action.direction, rep(action.target))
+        if isinstance(action, Place):
+            return Place(rep(action.target))
+        if isinstance(action, Pick):
+            return Pick(rep(action.target))
+        if isinstance(action, Branch2):
+            return Branch2(rep(action.left), rep(action.right))
+        return action
+
+    levels = [
+        sorted(
+            {rep(state) for state in level},
+            key=repr,
+        )
+        for level in automaton.levels
+    ]
+    rules: dict = {}
+    for (symbol, state, bits), actions in automaton.rules.items():
+        key = (symbol, rep(state), bits)
+        bucket = rules.setdefault(key, [])
+        for action in actions:
+            rewritten = rewrite(action)
+            if rewritten not in bucket:
+                bucket.append(rewritten)
+    return PebbleAutomaton(
+        alphabet=automaton.alphabet,
+        levels=levels,
+        initial=rep(automaton.initial),
+        rules={key: tuple(actions) for key, actions in rules.items()},
+    )

@@ -1,0 +1,132 @@
+"""Direct evaluation of deterministic k-pebble transducers.
+
+For a deterministic transducer the output tree (if any) is computed by
+expanding the rewriting of Section 3.1 with memoization on configurations:
+two branches that reach the same configuration produce identical output
+subtrees, so the result is built as a DAG in memory — this is what makes
+the exponential-output Example 3.6 cheap to evaluate, in line with the
+PTIME claim of Proposition 3.8 (whose per-input automaton lives in
+:mod:`repro.pebble.output_automaton`).
+
+A branch that gets stuck (no applicable action) or loops through moves
+forever never terminates, so the transducer produces *no* output on that
+input: :func:`evaluate` returns ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransducerRuntimeError
+from repro.pebble.stepping import Config, guard_bits, move_successor
+from repro.pebble.transducer import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    Pick,
+    Place,
+)
+from repro.trees.ranked import BTree, IndexedTree
+
+#: Sentinel stored in the memo table for "this branch diverges".
+_DIVERGES = object()
+
+
+def evaluate(
+    transducer: PebbleTransducer,
+    tree: BTree,
+    max_steps: int = 1_000_000,
+) -> Optional[BTree]:
+    """Run a deterministic transducer on ``tree``.
+
+    Returns the output tree, or ``None`` when the computation diverges
+    (a branch gets stuck or loops).  Identical subcomputations share their
+    output subtrees, so exponentially large outputs cost linear work.
+
+    The transducer must be *effectively* deterministic: at most one action
+    applicable per configuration at runtime.  (The paper's Example 3.4
+    pairs up-left/up-right rules under one guard; only one ever applies.)
+
+    Raises:
+        TransducerRuntimeError: if several actions apply to one
+            configuration or the step budget is exhausted.
+    """
+    indexed = IndexedTree(tree)
+    memo: dict[Config, object] = {}
+    steps = 0
+
+    def advance_to_output(config: Config):
+        """Follow move transitions until an output action (or divergence).
+
+        Returns ``(action, config)`` at the output transition, or
+        ``None`` on divergence.
+        """
+        nonlocal steps
+        on_chain: set[Config] = set()
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise TransducerRuntimeError(
+                    f"step budget exhausted ({max_steps}); the transducer "
+                    f"probably diverges on this input"
+                )
+            if config in on_chain:
+                return None  # a pure-move loop: diverges
+            on_chain.add(config)
+            state, positions = config
+            symbol = indexed.label(positions[-1])
+            actions = transducer.actions_for(
+                symbol, state, guard_bits(positions)
+            )
+            # keep only the actions applicable in this configuration
+            applicable: list[tuple[object, object]] = []
+            for action in actions:
+                if isinstance(action, (Emit0, Emit2)):
+                    applicable.append((action, None))
+                else:
+                    assert isinstance(action, (Move, Place, Pick))
+                    new_positions = move_successor(indexed, positions, action)
+                    if new_positions is not None:
+                        applicable.append((action, new_positions))
+            if not applicable:
+                return None  # stuck
+            if len(applicable) > 1:
+                raise TransducerRuntimeError(
+                    f"transducer is nondeterministic at state {state!r} on "
+                    f"{symbol!r}: {len(applicable)} applicable actions; use "
+                    f"repro.pebble.output_automaton for nondeterministic runs"
+                )
+            action, new_positions = applicable[0]
+            if isinstance(action, (Emit0, Emit2)):
+                return action, config
+            config = (action.target, new_positions)  # type: ignore[assignment]
+
+    def expand(config: Config):
+        if config in memo:
+            return memo[config]
+        # mark as in-progress to catch output-level cycles (an Emit2 whose
+        # branch reaches the same configuration again can still diverge).
+        memo[config] = _DIVERGES
+        result: object = _DIVERGES
+        outcome = advance_to_output(config)
+        if outcome is not None:
+            action, at_config = outcome
+            if isinstance(action, Emit0):
+                result = BTree(action.symbol)
+            else:
+                assert isinstance(action, Emit2)
+                _, positions = at_config
+                left = expand((action.left, positions))
+                right = expand((action.right, positions))
+                if left is not _DIVERGES and right is not _DIVERGES:
+                    result = BTree(action.symbol, left, right)
+        memo[config] = result
+        return result
+
+    initial: Config = (transducer.initial, (indexed.root,))
+    result = expand(initial)
+    if result is _DIVERGES:
+        return None
+    assert isinstance(result, BTree)
+    return result

@@ -1,0 +1,64 @@
+"""Shared operational semantics of pebble moves.
+
+A *configuration* of a k-pebble machine on a tree ``t`` is ``(q, xs)``
+where ``q`` is a state of level ``i = len(xs)`` and ``xs`` is the tuple of
+node ids of pebbles ``1..i`` (paper, Section 3.1).  This module computes
+guard bits and move successors on an :class:`~repro.trees.ranked.IndexedTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pebble.transducer import Move, Pick, Place
+from repro.trees.ranked import IndexedTree
+
+Config = tuple[object, tuple[int, ...]]
+
+
+def guard_bits(positions: tuple[int, ...]) -> tuple[int, ...]:
+    """The presence vector ``b ∈ {0,1}^{i-1}``: bit ``j`` is 1 iff pebble
+    ``j+1`` sits on the current node (the paper's condition
+    ``B_j = 1 iff x_j = x_i``)."""
+    current = positions[-1]
+    return tuple(1 if pos == current else 0 for pos in positions[:-1])
+
+
+def move_successor(
+    tree: IndexedTree,
+    positions: tuple[int, ...],
+    action: Move | Place | Pick,
+) -> Optional[tuple[int, ...]]:
+    """The pebble positions after a move/place/pick action.
+
+    Returns ``None`` when the move does not apply (e.g. *down-left* on a
+    leaf, *up-left* when the current node is not a left child).
+    """
+    current = positions[-1]
+    if isinstance(action, Place):
+        return positions + (tree.root,)
+    if isinstance(action, Pick):
+        return positions[:-1]
+    direction = action.direction
+    if direction == "stay":
+        return positions
+    if direction == "down-left":
+        child = tree.left[current]
+        if child < 0:
+            return None
+        return positions[:-1] + (child,)
+    if direction == "down-right":
+        child = tree.right[current]
+        if child < 0:
+            return None
+        return positions[:-1] + (child,)
+    if direction == "up-left":
+        # applies when the current node is a *left* child; move to parent.
+        if tree.side[current] != 0:
+            return None
+        return positions[:-1] + (tree.parent[current],)
+    if direction == "up-right":
+        if tree.side[current] != 1:
+            return None
+        return positions[:-1] + (tree.parent[current],)
+    raise AssertionError(f"unknown direction {direction!r}")

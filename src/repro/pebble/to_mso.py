@@ -1,0 +1,138 @@
+"""Theorem 4.7, literal version: a k-pebble automaton as an MSO formula.
+
+This module emits exactly the formula built in the paper's proof of
+Theorem 4.7: accessibility in the AND/OR configuration graph is expressed
+by universally quantifying one set variable per state per pebble level and
+asserting closure under *reverse* transitions.
+
+The formula size is exponential in k (the paper notes this), and compiling
+it with the generic MSO compiler is non-elementary — so this path is used
+for small machines and for cross-validation; the production pipeline is
+the specialized construction in :mod:`repro.pebble.to_regular`, which
+computes the same language.
+"""
+
+from __future__ import annotations
+
+from repro.mso import syntax as f
+from repro.pebble.automaton import PebbleAutomaton
+from repro.pebble.transducer import (
+    Branch0,
+    Branch2,
+    Move,
+    Pick,
+    Place,
+    State,
+)
+
+
+class _FormulaBuilder:
+    def __init__(self, automaton: PebbleAutomaton) -> None:
+        self.automaton = automaton
+        ordered: list[State] = []
+        for level in automaton.levels:
+            ordered.extend(sorted(level, key=repr))
+        self.index = {state: i for i, state in enumerate(ordered)}
+        self.fresh = 0
+
+    def svar(self, state: State) -> str:
+        return f"S{self.index[state]}"
+
+    def fresh_var(self, prefix: str) -> str:
+        self.fresh += 1
+        return f"{prefix}{self.fresh}"
+
+    def pebbles_guard(
+        self, z: str, bits: tuple[int, ...], xnames: tuple[str, ...]
+    ) -> f.Formula:
+        """``pebbles_b(z)``: z coincides with exactly the flagged pebbles."""
+        parts: list[f.Formula] = []
+        for bit, xname in zip(bits, xnames):
+            equality = f.Eq(z, xname)
+            parts.append(equality if bit else f.Not(equality))
+        return f.conj(*parts)
+
+    def conjunct(
+        self,
+        symbol: str,
+        bits: tuple[int, ...],
+        state: State,
+        action,
+        xnames: tuple[str, ...],
+        level: int,
+    ) -> f.Formula:
+        z = self.fresh_var("z")
+        guard = f.conj(
+            f.Label(symbol, z), self.pebbles_guard(z, bits, xnames)
+        )
+        here = f.In(z, self.svar(state))
+        if isinstance(action, Move):
+            if action.direction == "stay":
+                premise = f.conj(guard, f.In(z, self.svar(action.target)))
+                return f.forall_fo(z, premise.implies(here))
+            y = self.fresh_var("y")
+            succ_of = {
+                # (which, parent, child): successor node y relative to z
+                "down-left": f.Succ(1, z, y),
+                "down-right": f.Succ(2, z, y),
+                "up-left": f.Succ(1, y, z),
+                "up-right": f.Succ(2, y, z),
+            }[action.direction]
+            premise = f.conj(guard, succ_of, f.In(y, self.svar(action.target)))
+            return f.forall_fo([z, y], premise.implies(here))
+        if isinstance(action, Branch0):
+            return f.forall_fo(z, guard.implies(here))
+        if isinstance(action, Branch2):
+            premise = f.conj(
+                guard,
+                f.In(z, self.svar(action.left)),
+                f.In(z, self.svar(action.right)),
+            )
+            return f.forall_fo(z, premise.implies(here))
+        if isinstance(action, Pick):
+            # the successor configuration drops pebble `level`; it is
+            # accessible iff x_{level-1}'s node is in S_target.
+            premise = f.conj(guard, f.In(xnames[-1], self.svar(action.target)))
+            return f.forall_fo(z, premise.implies(here))
+        if isinstance(action, Place):
+            # phi^{(level+1)} with pebble `level` placed at z.
+            inner = self.phi(level + 1, action.target, xnames + (z,))
+            premise = f.conj(guard, inner)
+            return f.forall_fo(z, premise.implies(here))
+        raise AssertionError(f"unexpected action {action!r}")
+
+    def reverse_closed(
+        self, level: int, xnames: tuple[str, ...]
+    ) -> f.Formula:
+        parts: list[f.Formula] = []
+        for (symbol, state, bits), actions in sorted(
+            self.automaton.rules.items(), key=lambda item: repr(item[0])
+        ):
+            if self.automaton.level_of[state] != level:
+                continue
+            for action in actions:
+                parts.append(
+                    self.conjunct(symbol, bits, state, action, xnames, level)
+                )
+        return f.conj(*parts)
+
+    def phi(
+        self, level: int, target: State, xnames: tuple[str, ...]
+    ) -> f.Formula:
+        """``phi^{(level)}``: the configuration ``(level, target, xnames +
+        (root,))`` is accessible — Equation (8) generalized."""
+        svars = [
+            self.svar(q) for q in sorted(self.automaton.levels[level - 1],
+                                         key=repr)
+        ]
+        closed = self.reverse_closed(level, xnames)
+        root = self.fresh_var("r")
+        conclusion = f.exists_fo(
+            root, f.And(f.Root(root), f.In(root, self.svar(target)))
+        )
+        return f.forall_so(svars, closed.implies(conclusion))
+
+
+def pebble_automaton_to_mso(automaton: PebbleAutomaton) -> f.Formula:
+    """The paper's MSO sentence ``phi_A``: models are exactly ``inst(A)``."""
+    return _FormulaBuilder(automaton).phi(1, automaton.initial, ())

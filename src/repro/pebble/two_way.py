@@ -1,0 +1,286 @@
+"""Theorem 4.7 for one pebble: tree-walking automata with branching.
+
+A 1-pebble automaton without place/pick is an *alternating two-way* tree
+automaton (a tree-walking automaton with the paper's branch-AND).  For
+these, the regular language can be computed by the classical subtree
+*summary* construction, which scales to hundreds of states where the
+generic quantifier-block construction of :mod:`repro.pebble.to_regular`
+would be hyperexponential:
+
+Every subtree ``s`` is summarized by the finite relation
+
+    R(s) = { (q, d, E) }  with q a state, E ⊆ Q, d ∈ {left, right, none}
+
+meaning: the configuration ``(q, root(s))`` has an AND/OR derivation that
+stays inside ``s`` except for exit obligations — it assumes each ``(v,
+parent(root(s)))`` with ``v ∈ E`` is accessible, and those exits used
+up-``d`` moves (so ``root(s)`` must be a ``d``-side child; ``d = none``
+iff ``E`` is empty).  Only subsumption-minimal pairs are kept.
+
+The summaries compose bottom-up: the relation at a node is a least
+fixpoint combining the children's relations with the local transitions.
+The tree is accepted iff ``(q0, none, ∅)`` is in the root's relation —
+which is exactly AGAP accessibility of the initial configuration.
+
+The deterministic bottom-up automaton whose states are the reachable
+relations therefore recognizes ``inst(A)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import product as cartesian
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.errors import PebbleMachineError
+from repro.pebble.automaton import PebbleAutomaton
+from repro.pebble.transducer import Branch0, Branch2, Move, Pick, Place
+
+#: Direction tags for exit obligations.
+NONE, LEFT, RIGHT = -1, 0, 1
+
+#: A summary pair: (state, direction tag, exit obligations).
+Pair = tuple[object, int, frozenset]
+
+#: A relation: a frozenset of subsumption-minimal pairs.
+Relation = frozenset
+
+
+def is_walking(automaton: PebbleAutomaton) -> bool:
+    """True when the automaton uses one pebble and no place/pick — i.e.
+    it is an alternating tree-walking automaton."""
+    if automaton.k != 1:
+        return False
+    return not any(
+        isinstance(action, (Place, Pick))
+        for actions in automaton.rules.values()
+        for action in actions
+    )
+
+
+def _merge_dir(d1: int, d2: int) -> int | None:
+    """Combine direction tags; ``None`` when incompatible."""
+    if d1 == NONE:
+        return d2
+    if d2 == NONE or d1 == d2:
+        return d1
+    return None
+
+
+class _PairSet:
+    """A set of pairs with subsumption-minimal insertion.
+
+    ``(q, d, E)`` is subsumed by ``(q, d', E')`` when ``E' ⊆ E`` and
+    ``d'`` is ``none`` or equal to ``d`` — the subsuming pair is usable
+    wherever the subsumed one is.
+    """
+
+    def __init__(self) -> None:
+        self.by_state: dict[object, list[tuple[int, frozenset]]] = {}
+
+    def add(self, state: object, direction: int, exits: frozenset) -> bool:
+        bucket = self.by_state.setdefault(state, [])
+        for d2, e2 in bucket:
+            if e2 <= exits and (d2 == NONE or d2 == direction):
+                return False  # subsumed by an existing pair
+        bucket[:] = [
+            (d2, e2)
+            for d2, e2 in bucket
+            if not (exits <= e2 and (direction == NONE or direction == d2))
+        ]
+        bucket.append((direction, exits))
+        return True
+
+    def pairs(self) -> list[Pair]:
+        return [
+            (state, direction, exits)
+            for state, bucket in self.by_state.items()
+            for direction, exits in bucket
+        ]
+
+    def frozen(self) -> Relation:
+        return frozenset(self.pairs())
+
+
+def _discharge(
+    obligations: frozenset, derived: _PairSet
+) -> list[tuple[int, frozenset]]:
+    """All ways to derive every obligation at the current node, returning
+    the combined (direction, exits) alternatives (subsumption-pruned)."""
+    options: list[tuple[int, frozenset]] = [(NONE, frozenset())]
+    for needed in obligations:
+        bucket = derived.by_state.get(needed)
+        if not bucket:
+            return []
+        new_options: list[tuple[int, frozenset]] = []
+        for d1, e1 in options:
+            for d2, e2 in bucket:
+                merged = _merge_dir(d1, d2)
+                if merged is None:
+                    continue
+                candidate = (merged, e1 | e2)
+                if candidate not in new_options:
+                    new_options.append(candidate)
+        options = new_options
+        if not options:
+            return []
+    return options
+
+
+_EMPTY = frozenset()
+
+
+def _prepare_rules(automaton: PebbleAutomaton) -> dict[str, list[tuple]]:
+    """Pre-index the transitions by symbol as flat opcode tuples."""
+    prepared: dict[str, list[tuple]] = {}
+    for (symbol, state, bits), actions in automaton.rules.items():
+        if bits != ():  # pragma: no cover - guarded by is_walking
+            raise PebbleMachineError("walking automata have no pebble guards")
+        ops = prepared.setdefault(symbol, [])
+        for action in actions:
+            if isinstance(action, Branch0):
+                ops.append(("b0", state))
+            elif isinstance(action, Branch2):
+                ops.append(("b2", state, action.left, action.right))
+            elif isinstance(action, Move):
+                ops.append((action.direction, state, action.target))
+            else:  # pragma: no cover - guarded by is_walking
+                raise PebbleMachineError(
+                    "summary construction requires a walking automaton"
+                )
+    return prepared
+
+
+def _entry_states(automaton: PebbleAutomaton) -> frozenset:
+    """States a *parent* node can query in a child's relation: down-move
+    targets, plus the initial state (queried at the root).  Restricting
+    relations to these entries collapses many otherwise-distinct summary
+    states."""
+    entries = {automaton.initial}
+    for actions in automaton.rules.values():
+        for action in actions:
+            if isinstance(action, Move) and action.direction.startswith("down"):
+                entries.add(action.target)
+    return frozenset(entries)
+
+
+def _node_relation(
+    prepared: dict[str, list[tuple]],
+    symbol: str,
+    children: tuple[Relation, Relation] | None,
+    entries: frozenset | None = None,
+) -> Relation:
+    """The summary relation at a node, by least fixpoint."""
+    derived = _PairSet()
+    by_state = derived.by_state
+    ops = prepared.get(symbol, ())
+    # pre-resolve the children's usable pairs, grouped by entry state
+    down: tuple[dict, dict] | None = None
+    if children is not None:
+        grouped: list[dict] = [{}, {}]
+        for side, relation in enumerate(children):
+            for q, direction, exits in relation:
+                if direction == NONE or direction == side:
+                    grouped[side].setdefault(q, []).append(exits)
+        down = (grouped[0], grouped[1])
+
+    changed = True
+    while changed:
+        changed = False
+        for op in ops:
+            kind = op[0]
+            if kind == "b0":
+                changed |= derived.add(op[1], NONE, _EMPTY)
+            elif kind == "stay":
+                for d1, e1 in list(by_state.get(op[2], ())):
+                    changed |= derived.add(op[1], d1, e1)
+            elif kind == "up-left":
+                changed |= derived.add(op[1], LEFT, frozenset([op[2]]))
+            elif kind == "up-right":
+                changed |= derived.add(op[1], RIGHT, frozenset([op[2]]))
+            elif kind == "b2":
+                for d1, e1 in list(by_state.get(op[2], ())):
+                    for d2, e2 in list(by_state.get(op[3], ())):
+                        merged = _merge_dir(d1, d2)
+                        if merged is not None:
+                            changed |= derived.add(op[1], merged, e1 | e2)
+            else:  # down-left / down-right
+                if down is None:
+                    continue
+                side = 0 if kind == "down-left" else 1
+                for exits in down[side].get(op[2], ()):
+                    if exits:
+                        for direction, combined in _discharge(exits, derived):
+                            changed |= derived.add(op[1], direction, combined)
+                    else:
+                        changed |= derived.add(op[1], NONE, _EMPTY)
+    if entries is None:
+        return derived.frozen()
+    return frozenset(
+        pair for pair in derived.pairs() if pair[0] in entries
+    )
+
+
+def walking_automaton_to_ta(
+    automaton: PebbleAutomaton, filter_entries: bool = True
+) -> BottomUpTA:
+    """The regular language of an alternating tree-walking automaton.
+
+    Deterministic bottom-up automaton whose states are the reachable
+    summary relations; acceptance is ``(q0, none, ∅)`` at the root.
+
+    ``filter_entries=False`` disables the entry-state projection of the
+    relations (an ablation knob: the projection collapses many summary
+    states and is worth an order of magnitude on realistic machines —
+    measured in ``benchmarks/bench_ablations.py``).
+    """
+    if not is_walking(automaton):
+        raise PebbleMachineError(
+            "walking_automaton_to_ta needs a 1-pebble automaton without "
+            "place/pick"
+        )
+    alphabet = automaton.alphabet
+    prepared = _prepare_rules(automaton)
+    entries = _entry_states(automaton) if filter_entries else None
+    leaf_rules: dict[str, set] = {}
+    rules: dict[tuple[str, Relation, Relation], set] = {}
+    known: set[Relation] = set()
+    queue: deque[Relation] = deque()
+
+    for symbol in sorted(alphabet.leaves):
+        relation = _node_relation(prepared, symbol, None, entries)
+        leaf_rules[symbol] = {relation}
+        if relation not in known:
+            known.add(relation)
+            queue.append(relation)
+
+    processed: set[Relation] = set()
+    while queue:
+        current = queue.popleft()
+        processed.add(current)
+        for symbol in sorted(alphabet.internals):
+            for other in list(processed):
+                for left, right in ((current, other), (other, current)):
+                    key = (symbol, left, right)
+                    if key in rules:
+                        continue
+                    relation = _node_relation(
+                        prepared, symbol, (left, right), entries
+                    )
+                    rules[key] = {relation}
+                    if relation not in known:
+                        known.add(relation)
+                        queue.append(relation)
+
+    accepting = {
+        relation
+        for relation in known
+        if (automaton.initial, NONE, frozenset()) in relation
+    }
+    return BottomUpTA(
+        alphabet=alphabet,
+        states=known,
+        leaf_rules=leaf_rules,
+        rules=rules,
+        accepting=accepting,
+    ).renamed()

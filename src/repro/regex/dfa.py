@@ -1,0 +1,382 @@
+"""Deterministic finite automata over words, with the full boolean algebra.
+
+DFAs here are always *complete* over an explicit alphabet (complementation
+depends on the alphabet, so it is part of the automaton).  The module
+provides determinization, minimization, boolean combinations, emptiness
+with witnesses, inclusion/equivalence, and a compiler from *generalized*
+regular expressions (with intersection and complement) — the ground-truth
+engine used to cross-check the Theorem 4.8 constructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import RegexError
+from repro.regex.nfa import NFA, nfa_from_regex
+from repro.regex.syntax import Complement, Intersect, Regex, Sym
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete DFA.
+
+    States are ``0..n_states-1``; ``delta[(state, symbol)]`` is defined for
+    every state and every symbol of ``alphabet``.
+    """
+
+    alphabet: frozenset[str]
+    n_states: int
+    start: int
+    accepting: frozenset[int]
+    delta: dict[tuple[int, str], int]
+
+    def __post_init__(self) -> None:
+        for state in range(self.n_states):
+            for symbol in self.alphabet:
+                if (state, symbol) not in self.delta:
+                    raise RegexError(
+                        f"DFA is not complete: missing delta({state}, {symbol!r})"
+                    )
+
+    # -- running -------------------------------------------------------------
+
+    def step(self, state: int, symbol: str) -> int:
+        """One transition; unknown symbols are rejected."""
+        if symbol not in self.alphabet:
+            raise RegexError(f"symbol {symbol!r} is not in the DFA's alphabet")
+        return self.delta[(state, symbol)]
+
+    def run(self, word: Sequence[str], start: Optional[int] = None) -> int:
+        """The state reached after reading ``word``."""
+        state = self.start if start is None else start
+        for symbol in word:
+            state = self.step(state, symbol)
+        return state
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership test."""
+        return self.run(word) in self.accepting
+
+    # -- language queries ------------------------------------------------------
+
+    def reachable_states(self) -> frozenset[int]:
+        """States reachable from the start state."""
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            for symbol in self.alphabet:
+                succ = self.delta[(state, symbol)]
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        return frozenset(seen)
+
+    def is_empty(self) -> bool:
+        """True when the language is empty."""
+        return not (self.reachable_states() & self.accepting)
+
+    def shortest_accepted(self) -> Optional[list[str]]:
+        """A shortest accepted word, or ``None`` for the empty language."""
+        if self.start in self.accepting:
+            return []
+        parent: dict[int, tuple[int, str]] = {}
+        seen = {self.start}
+        queue = deque([self.start])
+        symbols = sorted(self.alphabet)
+        while queue:
+            state = queue.popleft()
+            for symbol in symbols:
+                succ = self.delta[(state, symbol)]
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                parent[succ] = (state, symbol)
+                if succ in self.accepting:
+                    path: list[str] = []
+                    current = succ
+                    while current != self.start:
+                        prev, sym_ = parent[current]
+                        path.append(sym_)
+                        current = prev
+                    return list(reversed(path))
+                queue.append(succ)
+        return None
+
+    def accepted_words(self, max_length: int) -> Iterable[list[str]]:
+        """Yield all accepted words of length up to ``max_length``
+        in length-lexicographic order."""
+        symbols = sorted(self.alphabet)
+        frontier: list[tuple[list[str], int]] = [([], self.start)]
+        for _ in range(max_length + 1):
+            next_frontier: list[tuple[list[str], int]] = []
+            for word, state in frontier:
+                if state in self.accepting:
+                    yield word
+                for symbol in symbols:
+                    next_frontier.append(
+                        (word + [symbol], self.delta[(state, symbol)])
+                    )
+            frontier = next_frontier
+
+    # -- boolean algebra -------------------------------------------------------
+
+    def complemented(self) -> "DFA":
+        """The DFA for the complement language over the same alphabet."""
+        return DFA(
+            alphabet=self.alphabet,
+            n_states=self.n_states,
+            start=self.start,
+            accepting=frozenset(range(self.n_states)) - self.accepting,
+            delta=self.delta,
+        )
+
+    def product(self, other: "DFA", combine: Callable[[bool, bool], bool]) -> "DFA":
+        """Product construction; ``combine`` decides acceptance."""
+        if self.alphabet != other.alphabet:
+            raise RegexError("product requires identical alphabets")
+        index: dict[tuple[int, int], int] = {}
+        delta: dict[tuple[int, str], int] = {}
+        accepting: set[int] = set()
+        queue = deque()
+
+        def intern(pair: tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(index)
+                queue.append(pair)
+                if combine(pair[0] in self.accepting, pair[1] in other.accepting):
+                    accepting.add(index[pair])
+            return index[pair]
+
+        start = intern((self.start, other.start))
+        while queue:
+            pair = queue.popleft()
+            state = index[pair]
+            for symbol in self.alphabet:
+                succ = (
+                    self.delta[(pair[0], symbol)],
+                    other.delta[(pair[1], symbol)],
+                )
+                delta[(state, symbol)] = intern(succ)
+        return DFA(
+            alphabet=self.alphabet,
+            n_states=len(index),
+            start=start,
+            accepting=frozenset(accepting),
+            delta=delta,
+        )
+
+    def intersection(self, other: "DFA") -> "DFA":
+        """Language intersection."""
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        """Language union."""
+        return self.product(other, lambda a, b: a or b)
+
+    def difference(self, other: "DFA") -> "DFA":
+        """Language difference ``L(self) - L(other)``."""
+        return self.product(other, lambda a, b: a and not b)
+
+    def includes(self, other: "DFA") -> bool:
+        """True when ``L(other) ⊆ L(self)``."""
+        return other.difference(self).is_empty()
+
+    def equivalent(self, other: "DFA") -> bool:
+        """Language equality."""
+        return self.includes(other) and other.includes(self)
+
+    # -- normalization ---------------------------------------------------------
+
+    def minimized(self) -> "DFA":
+        """Moore partition-refinement minimization (reachable part only)."""
+        reachable = sorted(self.reachable_states())
+        symbols = sorted(self.alphabet)
+        # initial partition: accepting / non-accepting
+        block_of = {
+            state: (1 if state in self.accepting else 0) for state in reachable
+        }
+        while True:
+            signatures: dict[tuple, int] = {}
+            new_block_of: dict[int, int] = {}
+            for state in reachable:
+                signature = (
+                    block_of[state],
+                    tuple(block_of[self.delta[(state, s)]] for s in symbols),
+                )
+                if signature not in signatures:
+                    signatures[signature] = len(signatures)
+                new_block_of[state] = signatures[signature]
+            if len(signatures) == len(set(block_of.values())):
+                block_of = new_block_of
+                break
+            block_of = new_block_of
+        n_blocks = len(set(block_of.values()))
+        delta = {
+            (block_of[state], symbol): block_of[self.delta[(state, symbol)]]
+            for state in reachable
+            for symbol in symbols
+        }
+        accepting = frozenset(
+            block_of[state] for state in reachable if state in self.accepting
+        )
+        return DFA(
+            alphabet=self.alphabet,
+            n_states=n_blocks,
+            start=block_of[self.start],
+            accepting=accepting,
+            delta=delta,
+        )
+
+    def reversed_dfa(self) -> "DFA":
+        """DFA for the reversed language (reverse NFA, then determinize)."""
+        return determinize(self.to_nfa().reversed(), self.alphabet)
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA."""
+        return NFA(
+            n_states=self.n_states,
+            start=self.start,
+            accepting=self.accepting,
+            delta={
+                key: frozenset([target]) for key, target in self.delta.items()
+            },
+            epsilon={},
+        )
+
+
+def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
+    """Subset construction, producing a complete DFA over ``alphabet``."""
+    alpha = frozenset(alphabet)
+    index: dict[frozenset[int], int] = {}
+    delta: dict[tuple[int, str], int] = {}
+    accepting: set[int] = set()
+    queue: deque[frozenset[int]] = deque()
+
+    def intern(states: frozenset[int]) -> int:
+        if states not in index:
+            index[states] = len(index)
+            queue.append(states)
+            if states & nfa.accepting:
+                accepting.add(index[states])
+        return index[states]
+
+    start = intern(nfa.initial_states())
+    while queue:
+        states = queue.popleft()
+        state_id = index[states]
+        for symbol in alpha:
+            delta[(state_id, symbol)] = intern(nfa.step(states, symbol))
+    return DFA(
+        alphabet=alpha,
+        n_states=len(index),
+        start=start,
+        accepting=frozenset(accepting),
+        delta=delta,
+    )
+
+
+def compile_regex(expr: Regex, alphabet: Optional[Iterable[str]] = None) -> DFA:
+    """Compile a (possibly generalized) regular expression to a minimal DFA.
+
+    Plain subexpressions go through the Thompson NFA; intersection and
+    complement are handled by the DFA boolean algebra.  ``alphabet``
+    defaults to the symbols occurring in the expression, but complement is
+    only meaningful when the intended alphabet is passed explicitly.
+    """
+    alpha = frozenset(alphabet) if alphabet is not None else expr.symbols()
+    extra = expr.symbols() - alpha
+    if extra:
+        raise RegexError(f"expression uses symbols outside the alphabet: {extra}")
+    return _compile(expr, alpha).minimized()
+
+
+def _compile(expr: Regex, alphabet: frozenset[str]) -> DFA:
+    if isinstance(expr, Intersect):
+        return (
+            _compile(expr.first, alphabet)
+            .intersection(_compile(expr.second, alphabet))
+            .minimized()
+        )
+    if isinstance(expr, Complement):
+        return _compile(expr.inner, alphabet).complemented().minimized()
+    if expr.is_plain():
+        return determinize(nfa_from_regex(expr), alphabet).minimized()
+    # A plain operator above a generalized subexpression: recurse through it.
+    from repro.regex.syntax import Concat, Star, Union  # local to avoid cycle noise
+
+    if isinstance(expr, Union):
+        return (
+            _compile(expr.first, alphabet)
+            .union(_compile(expr.second, alphabet))
+            .minimized()
+        )
+    if isinstance(expr, Concat):
+        first = _compile(expr.first, alphabet)
+        second = _compile(expr.second, alphabet)
+        return determinize(
+            _concat_nfa(first.to_nfa(), second.to_nfa()), alphabet
+        ).minimized()
+    if isinstance(expr, Star):
+        inner = _compile(expr.inner, alphabet)
+        return determinize(
+            _star_nfa(inner.to_nfa(), plus=expr.plus), alphabet
+        ).minimized()
+    raise RegexError(f"cannot compile {expr!r}")
+
+
+def _concat_nfa(first: NFA, second: NFA) -> NFA:
+    """NFA for the concatenation ``L(first) . L(second)``."""
+    offset = first.n_states
+    delta: dict[tuple[int, str], frozenset[int]] = dict(first.delta)
+    for (state, symbol), targets in second.delta.items():
+        delta[(state + offset, symbol)] = frozenset(t + offset for t in targets)
+    epsilon: dict[int, set[int]] = {
+        state: set(targets) for state, targets in first.epsilon.items()
+    }
+    for state, targets in second.epsilon.items():
+        epsilon.setdefault(state + offset, set()).update(
+            t + offset for t in targets
+        )
+    for acc in first.accepting:
+        epsilon.setdefault(acc, set()).add(second.start + offset)
+    return NFA(
+        n_states=first.n_states + second.n_states,
+        start=first.start,
+        accepting=frozenset(acc + offset for acc in second.accepting),
+        delta=delta,
+        epsilon={key: frozenset(value) for key, value in epsilon.items()},
+    )
+
+
+def _star_nfa(inner: NFA, plus: bool = False) -> NFA:
+    """NFA for ``L(inner)*`` (or ``L(inner)+`` when ``plus``)."""
+    new_start = inner.n_states
+    epsilon: dict[int, set[int]] = {
+        state: set(targets) for state, targets in inner.epsilon.items()
+    }
+    epsilon.setdefault(new_start, set()).add(inner.start)
+    for acc in inner.accepting:
+        epsilon.setdefault(acc, set()).add(inner.start)
+    accepting = set(inner.accepting)
+    if not plus:
+        accepting.add(new_start)
+    return NFA(
+        n_states=inner.n_states + 1,
+        start=new_start,
+        accepting=frozenset(accepting),
+        delta=dict(inner.delta),
+        epsilon={key: frozenset(value) for key, value in epsilon.items()},
+    )
+
+
+def language_is_empty(expr: Regex, alphabet: Optional[Iterable[str]] = None) -> bool:
+    """Decide emptiness of a (generalized) regular expression.
+
+    This is the classical decision procedure whose star-free variant is
+    non-elementary (Stockmeyer); Theorem 4.8 reduces it to typechecking.
+    """
+    return compile_regex(expr, alphabet).is_empty()

@@ -1,0 +1,172 @@
+"""Nondeterministic finite automata over words (Thompson construction).
+
+The NFA layer is the bridge from plain regular expressions to the DFA
+layer: DTD content models, path expressions, and the ``translate``-d
+expressions of Section 2.1 are all compiled through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import RegexError
+from repro.regex.syntax import (
+    Complement,
+    Concat,
+    Empty,
+    Epsilon,
+    Intersect,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+
+
+@dataclass
+class NFA:
+    """An NFA with epsilon moves.
+
+    States are integers ``0..n_states-1``.  ``delta`` maps
+    ``(state, symbol)`` to a set of states; ``epsilon`` maps a state to a
+    set of states.
+    """
+
+    n_states: int
+    start: int
+    accepting: frozenset[int]
+    delta: dict[tuple[int, str], frozenset[int]]
+    epsilon: dict[int, frozenset[int]] = field(default_factory=dict)
+
+    def symbols(self) -> frozenset[str]:
+        """Symbols with at least one transition."""
+        return frozenset(symbol for _, symbol in self.delta)
+
+    def epsilon_closure(self, states: Iterable[int]) -> frozenset[int]:
+        """All states reachable from ``states`` by epsilon moves."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for succ in self.epsilon.get(state, ()):
+                if succ not in closure:
+                    closure.add(succ)
+                    stack.append(succ)
+        return frozenset(closure)
+
+    def step(self, states: frozenset[int], symbol: str) -> frozenset[int]:
+        """One symbol step (including closing under epsilon afterwards)."""
+        moved: set[int] = set()
+        for state in states:
+            moved.update(self.delta.get((state, symbol), ()))
+        return self.epsilon_closure(moved)
+
+    def initial_states(self) -> frozenset[int]:
+        """The epsilon closure of the start state."""
+        return self.epsilon_closure([self.start])
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership test."""
+        states = self.initial_states()
+        for symbol in word:
+            states = self.step(states, symbol)
+            if not states:
+                return False
+        return bool(states & self.accepting)
+
+    def reversed(self) -> "NFA":
+        """The NFA for the reversed language.
+
+        Used by the selection-query compiler (Example 3.5): pebble machines
+        check a path regex *upward*, i.e. in reverse.
+        """
+        new_start = self.n_states
+        delta: dict[tuple[int, str], set[int]] = {}
+        for (state, symbol), targets in self.delta.items():
+            for target in targets:
+                delta.setdefault((target, symbol), set()).add(state)
+        epsilon: dict[int, set[int]] = {new_start: set(self.accepting)}
+        for state, targets in self.epsilon.items():
+            for target in targets:
+                epsilon.setdefault(target, set()).add(state)
+        return NFA(
+            n_states=self.n_states + 1,
+            start=new_start,
+            accepting=frozenset([self.start]),
+            delta={key: frozenset(value) for key, value in delta.items()},
+            epsilon={key: frozenset(value) for key, value in epsilon.items()},
+        )
+
+
+class _Builder:
+    """Thompson construction with a shared state counter."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.delta: dict[tuple[int, str], set[int]] = {}
+        self.epsilon: dict[int, set[int]] = {}
+
+    def fresh(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def add_edge(self, source: int, symbol: str, target: int) -> None:
+        self.delta.setdefault((source, symbol), set()).add(target)
+
+    def add_eps(self, source: int, target: int) -> None:
+        self.epsilon.setdefault(source, set()).add(target)
+
+    def build(self, expr: Regex) -> tuple[int, int]:
+        """Return (entry, exit) states for ``expr``."""
+        if isinstance(expr, Empty):
+            return self.fresh(), self.fresh()
+        if isinstance(expr, Epsilon):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.add_eps(entry, exit_)
+            return entry, exit_
+        if isinstance(expr, Sym):
+            entry, exit_ = self.fresh(), self.fresh()
+            self.add_edge(entry, expr.symbol, exit_)
+            return entry, exit_
+        if isinstance(expr, Concat):
+            entry1, exit1 = self.build(expr.first)
+            entry2, exit2 = self.build(expr.second)
+            self.add_eps(exit1, entry2)
+            return entry1, exit2
+        if isinstance(expr, Union):
+            entry, exit_ = self.fresh(), self.fresh()
+            for part in (expr.first, expr.second):
+                sub_entry, sub_exit = self.build(part)
+                self.add_eps(entry, sub_entry)
+                self.add_eps(sub_exit, exit_)
+            return entry, exit_
+        if isinstance(expr, Star):
+            entry, exit_ = self.fresh(), self.fresh()
+            sub_entry, sub_exit = self.build(expr.inner)
+            self.add_eps(entry, sub_entry)
+            self.add_eps(sub_exit, exit_)
+            self.add_eps(sub_exit, sub_entry)
+            if not expr.plus:
+                self.add_eps(entry, exit_)
+            return entry, exit_
+        if isinstance(expr, (Intersect, Complement)):
+            raise RegexError(
+                "intersection/complement require the DFA layer; "
+                "use repro.regex.dfa.compile_regex"
+            )
+        raise RegexError(f"unknown regex node {expr!r}")
+
+
+def nfa_from_regex(expr: Regex) -> NFA:
+    """Thompson construction for a *plain* regular expression."""
+    builder = _Builder()
+    entry, exit_ = builder.build(expr)
+    return NFA(
+        n_states=builder.count,
+        start=entry,
+        accepting=frozenset([exit_]),
+        delta={key: frozenset(value) for key, value in builder.delta.items()},
+        epsilon={key: frozenset(value) for key, value in builder.epsilon.items()},
+    )

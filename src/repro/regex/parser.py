@@ -1,0 +1,168 @@
+"""Parser for the textual regular-expression syntax.
+
+Grammar (lowest to highest precedence)::
+
+    union     := intersect ('|' intersect)*
+    intersect := cat ('&' cat)*
+    cat       := unary ('.' unary)*
+    unary     := '~' unary | postfix
+    postfix   := atom ('*' | '+' | '?')*
+    atom      := '(' union ')' | '%' | '@' | IDENT | QUOTED
+
+``%`` is epsilon, ``@`` the empty language, ``~`` complement and ``&``
+intersection (generalized regexes).  Identifiers are runs of alphanumerics
+and ``_``; any other symbol (e.g. the encoding symbols ``-`` and ``|``) can
+be written quoted: ``'-'``.
+
+This matches the notation the paper uses in Section 2.1, e.g.
+``a.(b|(c.d))*.e``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegexParseError
+from repro.regex import syntax
+from repro.regex.syntax import Regex
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'sym', 'op', 'end'
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    operators = set("|&.~*+?()%@")
+    while pos < len(text):
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "'":
+            end = text.find("'", pos + 1)
+            if end < 0:
+                raise RegexParseError("unterminated quoted symbol", pos)
+            symbol = text[pos + 1 : end]
+            if not symbol:
+                raise RegexParseError("empty quoted symbol", pos)
+            tokens.append(_Token("sym", symbol, pos))
+            pos = end + 1
+            continue
+        if char in operators:
+            tokens.append(_Token("op", char, pos))
+            pos += 1
+            continue
+        if char.isalnum() or char == "_":
+            start = pos
+            while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            tokens.append(_Token("sym", text[start:pos], start))
+            continue
+        raise RegexParseError(f"unexpected character {char!r}", pos)
+    tokens.append(_Token("end", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def _expect_op(self, op: str) -> None:
+        token = self.current
+        if token.kind != "op" or token.text != op:
+            raise RegexParseError(f"expected {op!r}", token.position)
+        self._advance()
+
+    def parse(self) -> Regex:
+        expr = self.union()
+        if self.current.kind != "end":
+            raise RegexParseError(
+                f"trailing input {self.current.text!r}", self.current.position
+            )
+        return expr
+
+    def union(self) -> Regex:
+        parts = [self.intersect()]
+        while self.current.kind == "op" and self.current.text == "|":
+            self._advance()
+            parts.append(self.intersect())
+        return syntax.union(*parts)
+
+    def intersect(self) -> Regex:
+        parts = [self.cat()]
+        while self.current.kind == "op" and self.current.text == "&":
+            self._advance()
+            parts.append(self.cat())
+        return syntax.intersect(*parts)
+
+    def cat(self) -> Regex:
+        parts = [self.unary()]
+        while self.current.kind == "op" and self.current.text == ".":
+            self._advance()
+            parts.append(self.unary())
+        return syntax.concat(*parts)
+
+    def unary(self) -> Regex:
+        if self.current.kind == "op" and self.current.text == "~":
+            self._advance()
+            return syntax.complement(self.unary())
+        return self.postfix()
+
+    def postfix(self) -> Regex:
+        expr = self.atom()
+        while self.current.kind == "op" and self.current.text in "*+?":
+            op = self._advance().text
+            if op == "*":
+                expr = syntax.star(expr)
+            elif op == "+":
+                expr = syntax.plus(expr)
+            else:
+                expr = syntax.optional(expr)
+        return expr
+
+    def atom(self) -> Regex:
+        token = self.current
+        if token.kind == "sym":
+            self._advance()
+            return syntax.sym(token.text)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self.union()
+            self._expect_op(")")
+            return expr
+        if token.kind == "op" and token.text == "%":
+            self._advance()
+            return syntax.EPSILON
+        if token.kind == "op" and token.text == "@":
+            self._advance()
+            return syntax.EMPTY
+        raise RegexParseError(
+            f"expected a symbol or '(', got {token.text!r}", token.position
+        )
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a regular expression from its textual syntax.
+
+    Examples::
+
+        parse_regex("a.b*.c")
+        parse_regex("a.(b|(c.d))*.e")
+        parse_regex("~(a.b) & (a|b)*")
+    """
+    return _Parser(text).parse()

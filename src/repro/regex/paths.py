@@ -1,0 +1,138 @@
+"""Path expressions and regular path expressions (paper, Section 2.1).
+
+A path expression is a word ``w ∈ Sigma*`` evaluated from a node downwards;
+a regular path expression is a regular expression ``r`` over ``Sigma``,
+whose result is the union over all words in ``lang(r)``.
+
+The module implements:
+
+* :func:`eval_word` — the paper's inductive word semantics (used as the
+  specification in tests);
+* :func:`eval_regex` / :func:`eval_regex_binary` — efficient evaluation by
+  running the regex NFA down the tree;
+* :func:`translate` — the paper's translation of a regular path expression
+  over ``Sigma`` to one over ``Sigma ∪ {-}`` that evaluates equivalently on
+  encoded binary trees (we insert ``(-)*`` *before* every symbol, which
+  differs from the paper's display only by a harmless leading ``(-)*``:
+  the root of an encoded tree is never labeled ``-``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.regex.nfa import NFA, nfa_from_regex
+from repro.regex.syntax import (
+    Complement,
+    Concat,
+    Empty,
+    Epsilon,
+    Intersect,
+    Regex,
+    Star,
+    Sym,
+    Union,
+)
+from repro.errors import RegexError
+from repro.trees.alphabet import CONS
+from repro.trees.ranked import BNodeAddress, BTree
+from repro.trees.unranked import NodeAddress, UTree
+
+
+def eval_word(word: Sequence[str], tree: UTree) -> set[NodeAddress]:
+    """The paper's inductive semantics of a path expression.
+
+    ``eval(e, T) = {T}``; ``eval(a, T) = {T}`` if the label matches, else
+    the empty set; ``eval(a.w, T)`` descends into every child.
+    """
+    if not word:
+        return {()}
+    head, rest = word[0], word[1:]
+    if tree.label != head:
+        return set()
+    if not rest:
+        return {()}
+    results: set[NodeAddress] = set()
+    for index, child in enumerate(tree.children):
+        for addr in eval_word(rest, child):
+            results.add((index,) + addr)
+    return results
+
+
+def eval_regex(expr: Regex, tree: UTree) -> set[NodeAddress]:
+    """Evaluate a regular path expression on an unranked tree.
+
+    Runs the Thompson NFA of ``expr`` down the tree; a node is selected
+    when the NFA accepts the label word ending (inclusively) at that node.
+    The empty word selects the evaluation root itself.
+    """
+    nfa = nfa_from_regex(expr)
+    results: set[NodeAddress] = set()
+    initial = nfa.initial_states()
+    if initial & nfa.accepting:
+        results.add(())
+    stack: list[tuple[UTree, NodeAddress, frozenset[int]]] = [(tree, (), initial)]
+    while stack:
+        node, addr, states = stack.pop()
+        after = nfa.step(states, node.label)
+        if not after:
+            continue
+        if after & nfa.accepting:
+            results.add(addr)
+        for index, child in enumerate(node.children):
+            stack.append((child, addr + (index,), after))
+    return results
+
+
+def eval_regex_binary(expr: Regex, tree: BTree) -> set[BNodeAddress]:
+    """Evaluate a regular path expression on a (binary) ranked tree.
+
+    Children of a binary node are its two children; otherwise the
+    semantics is identical to :func:`eval_regex`.
+    """
+    nfa = nfa_from_regex(expr)
+    results: set[BNodeAddress] = set()
+    initial = nfa.initial_states()
+    if initial & nfa.accepting:
+        results.add(())
+    stack: list[tuple[BTree, BNodeAddress, frozenset[int]]] = [(tree, (), initial)]
+    while stack:
+        node, addr, states = stack.pop()
+        after = nfa.step(states, node.label)
+        if not after:
+            continue
+        if after & nfa.accepting:
+            results.add(addr)
+        if node.left is not None:
+            stack.append((node.left, addr + (0,), after))
+            stack.append((node.right, addr + (1,), after))  # type: ignore[arg-type]
+    return results
+
+
+def translate(expr: Regex) -> Regex:
+    """Translate a regular path expression for evaluation on encoded trees.
+
+    Every symbol ``a`` becomes ``(-)*.a``; evaluated on ``encode(t)``, the
+    result is exactly the encoding of the original result set::
+
+        eval(translate(r), encode(t)) == {encoded_address(t, x) | x in eval(r, t)}
+
+    Only plain regular expressions can appear in path position (as in the
+    paper); generalized operators raise :class:`RegexError`.
+    """
+    skip_cons = Star(Sym(CONS))
+    if isinstance(expr, (Empty, Epsilon)):
+        return expr
+    if isinstance(expr, Sym):
+        if expr.symbol == CONS:
+            raise RegexError("path expressions must not mention the cons symbol")
+        return Concat(skip_cons, expr)
+    if isinstance(expr, Concat):
+        return Concat(translate(expr.first), translate(expr.second))
+    if isinstance(expr, Union):
+        return Union(translate(expr.first), translate(expr.second))
+    if isinstance(expr, Star):
+        return Star(translate(expr.inner), plus=expr.plus)
+    if isinstance(expr, (Intersect, Complement)):
+        raise RegexError("generalized regexes are not path expressions")
+    raise RegexError(f"unknown regex node {expr!r}")

@@ -1,0 +1,340 @@
+"""Regular-expression abstract syntax (paper, Sections 2.1 and 4).
+
+Two layers share this AST:
+
+* plain regular expressions — the building blocks of DTD content models,
+  path expressions, and patterns (``empty``, ``epsilon``, symbols,
+  concatenation, union, Kleene star/plus, option);
+* *generalized* regular expressions, which additionally allow intersection
+  and complement.  Star-free generalized expressions (no star/plus) are the
+  input of the non-elementary lower bound of Theorem 4.8.
+
+Smart constructors (:func:`concat`, :func:`union`, ...) perform cheap
+algebraic simplifications so machine-generated expressions stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable, Iterator
+
+from repro.errors import RegexError
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class of all regular-expression nodes."""
+
+    # -- structural queries --------------------------------------------------
+
+    def symbols(self) -> frozenset[str]:
+        """The set of alphabet symbols occurring in the expression."""
+        found: set[str] = set()
+        stack: list[Regex] = [self]
+        while stack:
+            expr = stack.pop()
+            if isinstance(expr, Sym):
+                found.add(expr.symbol)
+            stack.extend(expr.children())
+        return frozenset(found)
+
+    def children(self) -> tuple["Regex", ...]:
+        """Immediate subexpressions."""
+        return ()
+
+    def is_plain(self) -> bool:
+        """True when the expression uses no intersection or complement."""
+        stack: list[Regex] = [self]
+        while stack:
+            expr = stack.pop()
+            if isinstance(expr, (Intersect, Complement)):
+                return False
+            stack.extend(expr.children())
+        return True
+
+    def is_star_free(self) -> bool:
+        """True when the expression uses no star or plus (Theorem 4.8)."""
+        stack: list[Regex] = [self]
+        while stack:
+            expr = stack.pop()
+            if isinstance(expr, Star):
+                return False
+            stack.extend(expr.children())
+        return True
+
+    def complement_depth(self) -> int:
+        """Maximum nesting depth of :class:`Complement` operators.
+
+        This is the parameter driving the non-elementary blow-up in
+        Theorem 4.8.
+        """
+        return max(
+            (child.complement_depth() for child in self.children()), default=0
+        )
+
+    def size(self) -> int:
+        """Number of AST nodes."""
+        return 1 + sum(child.size() for child in self.children())
+
+    # -- nullability ---------------------------------------------------------
+
+    def nullable(self) -> bool:
+        """True when the empty word is in the language.
+
+        Note: for :class:`Complement` this needs the alphabet-independent
+        fact ``epsilon ∈ L(~r) iff epsilon ∉ L(r)``, which holds for any
+        alphabet.
+        """
+        raise NotImplementedError
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __and__(self, other: "Regex") -> "Regex":
+        return intersect(self, other)
+
+    def __invert__(self) -> "Regex":
+        return complement(self)
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language (no words)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "@"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty word."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "%"
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single alphabet symbol."""
+
+    symbol: str
+
+    def __post_init__(self) -> None:
+        if not self.symbol:
+            raise RegexError("symbol must be a non-empty string")
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        if all(ch.isalnum() or ch in "_-" for ch in self.symbol):
+            return self.symbol
+        return f"'{self.symbol}'"
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two languages."""
+
+    first: Regex
+    second: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.first, self.second)
+
+    def nullable(self) -> bool:
+        return self.first.nullable() and self.second.nullable()
+
+    def __str__(self) -> str:
+        parts = []
+        for part in (self.first, self.second):
+            text = str(part)
+            if isinstance(part, (Union, Intersect)):
+                text = f"({text})"
+            parts.append(text)
+        return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union of two languages."""
+
+    first: Regex
+    second: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.first, self.second)
+
+    def nullable(self) -> bool:
+        return self.first.nullable() or self.second.nullable()
+
+    def __str__(self) -> str:
+        return f"{self.first}|{self.second}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star.  ``plus`` marks the one-or-more variant ``r+``."""
+
+    inner: Regex
+    plus: bool = False
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True if not self.plus else self.inner.nullable()
+
+    def __str__(self) -> str:
+        text = str(self.inner)
+        if not isinstance(self.inner, (Sym, Empty, Epsilon)):
+            text = f"({text})"
+        return f"{text}{'+' if self.plus else '*'}"
+
+
+@dataclass(frozen=True)
+class Intersect(Regex):
+    """Intersection of two languages (generalized regex)."""
+
+    first: Regex
+    second: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.first, self.second)
+
+    def nullable(self) -> bool:
+        return self.first.nullable() and self.second.nullable()
+
+    def __str__(self) -> str:
+        parts = []
+        for part in (self.first, self.second):
+            text = str(part)
+            if isinstance(part, Union):
+                text = f"({text})"
+            parts.append(text)
+        return "&".join(parts)
+
+
+@dataclass(frozen=True)
+class Complement(Regex):
+    """Complement of a language w.r.t. ``alphabet*`` (generalized regex).
+
+    The alphabet is supplied externally when the expression is compiled;
+    nullability alone is alphabet-independent.
+    """
+
+    inner: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return not self.inner.nullable()
+
+    def complement_depth(self) -> int:
+        return 1 + self.inner.complement_depth()
+
+    def __str__(self) -> str:
+        text = str(self.inner)
+        if not isinstance(self.inner, (Sym, Empty, Epsilon, Star, Complement)):
+            text = f"({text})"
+        return f"~{text}"
+
+
+# -- smart constructors -------------------------------------------------------
+
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def sym(symbol: str) -> Regex:
+    """A single-symbol expression."""
+    return Sym(symbol)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation with unit/zero simplification."""
+    result: Regex = EPSILON
+    for part in parts:
+        if isinstance(part, Empty) or isinstance(result, Empty):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(result, Epsilon):
+            result = part
+        else:
+            result = Concat(result, part)
+    return result
+
+
+def union(*parts: Regex) -> Regex:
+    """Union with empty-elimination and duplicate removal."""
+    seen: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        if part not in seen:
+            seen.append(part)
+    if not seen:
+        return EMPTY
+    return reduce(Union, seen)
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with idempotence simplification."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return Star(inner.inner, plus=False)
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """One-or-more repetition."""
+    if isinstance(inner, Empty):
+        return EMPTY
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    return Star(inner, plus=True)
+
+
+def optional(inner: Regex) -> Regex:
+    """Zero-or-one occurrence: ``r?``."""
+    if inner.nullable():
+        return inner
+    return union(EPSILON, inner)
+
+
+def intersect(*parts: Regex) -> Regex:
+    """Intersection (generalized regex)."""
+    filtered = [part for part in parts]
+    if not filtered:
+        raise RegexError("intersection needs at least one operand")
+    for part in filtered:
+        if isinstance(part, Empty):
+            return EMPTY
+    return reduce(Intersect, filtered)
+
+
+def complement(inner: Regex) -> Regex:
+    """Complement (generalized regex), with double-negation elimination."""
+    if isinstance(inner, Complement):
+        return inner.inner
+    return Complement(inner)
+
+
+def word(symbols: Iterable[str]) -> Regex:
+    """The singleton language of one word, given as a symbol sequence."""
+    return concat(*(Sym(symbol) for symbol in symbols))
+
+
+def literal(text: str) -> Regex:
+    """The singleton language of a word of single-character symbols."""
+    return word(text)

@@ -1,0 +1,102 @@
+"""Ranked alphabets for complete binary trees (paper, Section 2.1).
+
+The paper partitions the alphabet into nullary symbols ``Sigma_0`` (leaf
+labels) and binary symbols ``Sigma_2`` (internal-node labels).  A ranked
+tree is a complete binary tree: every ``Sigma_2`` node has exactly two
+children and every ``Sigma_0`` node is a leaf.
+
+The special *encoded* alphabet of Section 2.1 is ``Sigma' = Sigma ∪ {-, |}``
+with ``Sigma'_0 = {|}`` and ``Sigma'_2 = Sigma ∪ {-}``; it is built by
+:func:`encoded_alphabet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import AlphabetError
+
+#: Label of the binary "cons" cell used by the unranked-to-binary encoding.
+CONS = "-"
+
+#: Label of the nullary "nil" leaf used by the unranked-to-binary encoding.
+NIL = "|"
+
+
+@dataclass(frozen=True)
+class RankedAlphabet:
+    """A finite alphabet partitioned into leaf and internal-node symbols.
+
+    Attributes:
+        leaves: the nullary symbols ``Sigma_0``.
+        internals: the binary symbols ``Sigma_2``.
+
+    A symbol may appear in both parts (the paper's Example 3.7 assumes each
+    ``a_0`` has a corresponding ``a_2``); rank is therefore a property of a
+    symbol *occurrence*, disambiguated by whether the node has children.
+    """
+
+    leaves: frozenset[str]
+    internals: frozenset[str]
+
+    def __init__(self, leaves: Iterable[str], internals: Iterable[str]) -> None:
+        object.__setattr__(self, "leaves", frozenset(leaves))
+        object.__setattr__(self, "internals", frozenset(internals))
+        if not self.leaves:
+            raise AlphabetError("a ranked alphabet needs at least one leaf symbol")
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        """All symbols, regardless of rank."""
+        return self.leaves | self.internals
+
+    def rank_of(self, symbol: str) -> frozenset[int]:
+        """Return the set of ranks (0 and/or 2) the symbol may take."""
+        ranks = set()
+        if symbol in self.leaves:
+            ranks.add(0)
+        if symbol in self.internals:
+            ranks.add(2)
+        if not ranks:
+            raise AlphabetError(f"symbol {symbol!r} is not in the alphabet")
+        return frozenset(ranks)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.leaves or symbol in self.internals
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self.symbols))
+
+    def check_leaf(self, symbol: str) -> None:
+        """Raise :class:`AlphabetError` unless ``symbol`` may label a leaf."""
+        if symbol not in self.leaves:
+            raise AlphabetError(f"symbol {symbol!r} is not a leaf (Sigma_0) symbol")
+
+    def check_internal(self, symbol: str) -> None:
+        """Raise :class:`AlphabetError` unless ``symbol`` may be internal."""
+        if symbol not in self.internals:
+            raise AlphabetError(
+                f"symbol {symbol!r} is not an internal (Sigma_2) symbol"
+            )
+
+    def union(self, other: "RankedAlphabet") -> "RankedAlphabet":
+        """Pointwise union of two ranked alphabets."""
+        return RankedAlphabet(
+            self.leaves | other.leaves, self.internals | other.internals
+        )
+
+
+def encoded_alphabet(unranked_symbols: Iterable[str]) -> RankedAlphabet:
+    """The alphabet ``Sigma'`` of the binary encoding (paper, Section 2.1).
+
+    ``Sigma'_0 = {|}`` (the nil leaf) and ``Sigma'_2 = Sigma ∪ {-}``: every
+    original symbol becomes binary, and ``-`` is the forest cons cell.
+    """
+    symbols = frozenset(unranked_symbols)
+    if CONS in symbols or NIL in symbols:
+        raise AlphabetError(
+            f"the unranked alphabet must not contain the reserved symbols "
+            f"{CONS!r} and {NIL!r}"
+        )
+    return RankedAlphabet(leaves=[NIL], internals=symbols | {CONS})

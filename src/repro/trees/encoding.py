@@ -1,0 +1,115 @@
+"""The unranked-to-binary tree encoding of the paper (Section 2.1, Fig. 1).
+
+An unranked tree over ``Sigma`` is encoded as a complete binary tree over
+``Sigma' = Sigma ∪ {-, |}``:
+
+* an element node ``a(t1, ..., tn)`` becomes ``a(list, |)`` where ``list``
+  is the nil-terminated cons chain of the encoded children, built from
+  ``-`` (cons) and ``|`` (nil);
+* the empty forest is ``|``, so ``a()`` becomes ``a(|, |)``.
+
+This matches the worked example in Figure 1 of the paper:
+``encode(a(b, b, c(d), e)) = a(-(b, -(b, -(c(-(d,|),|), -(e,|)))), |)``
+(leaves like ``b`` abbreviate ``b(|,|)``).  The displayed grammar in the
+paper's text drops the trailing nil for singleton forests, but its own
+figure keeps it; we follow the figure, which makes the encoding uniform and
+trivially invertible.
+
+There is a one-to-one, label-preserving mapping between nodes of ``t`` and
+the ``Sigma``-labeled nodes of ``encode(t)``; :func:`encoded_address` and
+:func:`element_nodes` expose it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeError
+from repro.trees.alphabet import CONS, NIL
+from repro.trees.ranked import BNodeAddress, BTree
+from repro.trees.unranked import NodeAddress, UTree
+
+_NIL_LEAF = BTree(NIL)
+
+
+def encode_forest(forest: tuple[UTree, ...]) -> BTree:
+    """Encode an ordered forest as a nil-terminated cons chain."""
+    result = _NIL_LEAF
+    for child in reversed(forest):
+        result = BTree(CONS, encode(child), result)
+    return result
+
+
+def encode(tree: UTree) -> BTree:
+    """Encode an unranked tree as a complete binary tree (Fig. 1)."""
+    return BTree(tree.label, encode_forest(tree.children), _NIL_LEAF)
+
+
+def _decode_forest(chain: BTree) -> tuple[UTree, ...]:
+    children: list[UTree] = []
+    current = chain
+    while True:
+        if current.label == NIL:
+            if not current.is_leaf:
+                raise TreeError("malformed encoding: internal nil node")
+            return tuple(children)
+        if current.label != CONS:
+            raise TreeError(
+                f"malformed encoding: expected {CONS!r} or {NIL!r} in a "
+                f"forest chain, got {current.label!r}"
+            )
+        if current.is_leaf:
+            raise TreeError("malformed encoding: cons cell without children")
+        children.append(decode(current.left))  # type: ignore[arg-type]
+        current = current.right  # type: ignore[assignment]
+
+
+def decode(tree: BTree) -> UTree:
+    """Invert :func:`encode`.
+
+    Raises:
+        TreeError: if ``tree`` is not in the image of :func:`encode`.
+    """
+    if tree.label in (CONS, NIL):
+        raise TreeError(
+            f"malformed encoding: element node labeled {tree.label!r}"
+        )
+    if tree.is_leaf:
+        raise TreeError("malformed encoding: element node must be binary")
+    if tree.right is None or tree.right.label != NIL or not tree.right.is_leaf:
+        raise TreeError("malformed encoding: element's right child must be nil")
+    return UTree(tree.label, _decode_forest(tree.left))  # type: ignore[arg-type]
+
+
+def is_encoding(tree: BTree) -> bool:
+    """True when ``tree`` is the encoding of some unranked tree."""
+    try:
+        decode(tree)
+    except TreeError:
+        return False
+    return True
+
+
+def encoded_address(tree: UTree, address: NodeAddress) -> BNodeAddress:
+    """Map an unranked node address to the address of the corresponding
+    ``Sigma``-labeled node inside ``encode(tree)``.
+
+    Entering an element's forest is one left step; skipping to the next
+    sibling is one right step followed by staying on the cons chain; landing
+    on the i-th child is a final left step off the i-th cons cell.
+    """
+    tree.subtree(address)  # validates the address
+    encoded: list[int] = []
+    for step in address:
+        encoded.append(0)          # from the element into its forest chain
+        encoded.extend([1] * step)  # walk `step` cons cells to the right
+        encoded.append(0)          # off the cons cell onto the element
+    return tuple(encoded)
+
+
+def element_nodes(encoded: BTree) -> list[tuple[BNodeAddress, str]]:
+    """All ``Sigma``-labeled (element) nodes of an encoded tree, in
+    document order, as ``(address, label)`` pairs."""
+    return [
+        (addr, sub.label)
+        for sub, addr in encoded.walk()
+        if sub.label not in (CONS, NIL)
+    ]

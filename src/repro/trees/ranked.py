@@ -1,0 +1,297 @@
+"""Ranked (complete binary) trees and an indexed view for tree walking.
+
+The paper works with complete binary trees over an alphabet partitioned as
+``Sigma = Sigma_0 ∪ Sigma_2`` (Section 2.1): a node labeled from ``Sigma_0``
+is a leaf, and a node labeled from ``Sigma_2`` has exactly two children.
+
+:class:`BTree` is the immutable value type.  :class:`IndexedTree` is a
+read-only array view with parent pointers; pebble transducers and automata
+walk it in O(1) per move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import TreeError
+from repro.trees.alphabet import RankedAlphabet
+
+#: A node address in a binary tree: a sequence of 0 (left) / 1 (right).
+BNodeAddress = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BTree:
+    """An immutable complete binary tree node.
+
+    Either both ``left`` and ``right`` are present (internal node) or both
+    are absent (leaf).
+    """
+
+    label: str
+    left: Optional["BTree"] = None
+    right: Optional["BTree"] = None
+
+    def __post_init__(self) -> None:
+        if (self.left is None) != (self.right is None):
+            raise TreeError(
+                "binary trees are complete: a node has zero or two children"
+            )
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return self.left is None
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            if node.left is not None:
+                stack.append(node.left)
+                stack.append(node.right)  # type: ignore[arg-type]
+        return total
+
+    def height(self) -> int:
+        """Height of the tree: a single node has height 0 (iterative)."""
+        best = 0
+        stack: list[tuple[BTree, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            if node.left is not None:
+                stack.append((node.left, depth + 1))
+                stack.append((node.right, depth + 1))  # type: ignore[arg-type]
+        return best
+
+    def labels(self) -> frozenset[str]:
+        """The set of labels occurring in the tree."""
+        return frozenset(node.label for node, _ in self.walk())
+
+    def leaf_labels(self) -> frozenset[str]:
+        """Labels occurring at leaves."""
+        return frozenset(n.label for n, _ in self.walk() if n.is_leaf)
+
+    def internal_labels(self) -> frozenset[str]:
+        """Labels occurring at internal nodes."""
+        return frozenset(n.label for n, _ in self.walk() if not n.is_leaf)
+
+    def alphabet(self) -> RankedAlphabet:
+        """The smallest ranked alphabet this tree is over."""
+        return RankedAlphabet(self.leaf_labels() or {"?"}, self.internal_labels())
+
+    # -- node addressing ---------------------------------------------------
+
+    def walk(self) -> Iterator[tuple["BTree", BNodeAddress]]:
+        """Yield ``(subtree, address)`` pairs in pre-order."""
+        stack: list[tuple[BTree, BNodeAddress]] = [(self, ())]
+        while stack:
+            node, addr = stack.pop()
+            yield node, addr
+            if node.left is not None:
+                stack.append((node.right, addr + (1,)))  # type: ignore[arg-type]
+                stack.append((node.left, addr + (0,)))
+
+    def subtree(self, address: BNodeAddress) -> "BTree":
+        """Return the subtree rooted at ``address``."""
+        node = self
+        for step in address:
+            child = node.left if step == 0 else node.right
+            if child is None or step not in (0, 1):
+                raise TreeError(f"address {address} is not a node of this tree")
+            node = child
+        return node
+
+    def validate_over(self, alphabet: RankedAlphabet) -> None:
+        """Raise :class:`~repro.errors.AlphabetError` if any node label has
+        the wrong rank for ``alphabet``."""
+        for node, _ in self.walk():
+            if node.is_leaf:
+                alphabet.check_leaf(node.label)
+            else:
+                alphabet.check_internal(node.label)
+
+    # -- display -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_leaf:
+            return self.label
+        return f"{self.label}({self.left},{self.right})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BTree({str(self)!r})"
+
+
+def leaf(label: str) -> BTree:
+    """A leaf node."""
+    return BTree(label)
+
+
+def node(label: str, left: BTree, right: BTree) -> BTree:
+    """An internal node with two children."""
+    return BTree(label, left, right)
+
+
+def parse_btree(text: str) -> BTree:
+    """Parse the term syntax produced by :meth:`BTree.__str__`.
+
+    Grammar: ``T ::= label | label '(' T ',' T ')'``.
+    """
+    pos = 0
+
+    def skip_ws() -> None:
+        nonlocal pos
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+
+    def parse_node() -> BTree:
+        nonlocal pos
+        skip_ws()
+        start = pos
+        while pos < len(text) and text[pos] not in "(),":
+            pos += 1
+        label = text[start:pos].strip()
+        if not label:
+            raise TreeError(f"expected a label at position {start} in {text!r}")
+        skip_ws()
+        if pos < len(text) and text[pos] == "(":
+            pos += 1
+            left_child = parse_node()
+            skip_ws()
+            if pos >= len(text) or text[pos] != ",":
+                raise TreeError(f"expected ',' at position {pos} in {text!r}")
+            pos += 1
+            right_child = parse_node()
+            skip_ws()
+            if pos >= len(text) or text[pos] != ")":
+                raise TreeError(f"expected ')' at position {pos} in {text!r}")
+            pos += 1
+            return BTree(label, left_child, right_child)
+        return BTree(label)
+
+    result = parse_node()
+    skip_ws()
+    if pos != len(text):
+        raise TreeError(f"trailing input at position {pos} in {text!r}")
+    return result
+
+
+class IndexedTree:
+    """A flat, random-access view of a :class:`BTree`.
+
+    Nodes are numbered 0..n-1 in pre-order (node 0 is the root).  The view
+    exposes labels, child and parent pointers, and which-child flags, all as
+    Python lists indexed by node id.  Pebble machines use it for O(1) moves.
+    """
+
+    __slots__ = ("tree", "labels", "left", "right", "parent", "side", "n")
+
+    def __init__(self, tree: BTree) -> None:
+        self.tree = tree
+        self.labels: list[str] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.parent: list[int] = []
+        #: which child of its parent a node is: 0 = left, 1 = right, -1 = root
+        self.side: list[int] = []
+        self._build(tree)
+        self.n = len(self.labels)
+
+    def _build(self, tree: BTree) -> None:
+        # Iterative pre-order numbering with explicit parent bookkeeping.
+        stack: list[tuple[BTree, int, int]] = [(tree, -1, -1)]
+        while stack:
+            current, parent_id, side = stack.pop()
+            node_id = len(self.labels)
+            self.labels.append(current.label)
+            self.left.append(-1)
+            self.right.append(-1)
+            self.parent.append(parent_id)
+            self.side.append(side)
+            if parent_id >= 0:
+                if side == 0:
+                    self.left[parent_id] = node_id
+                else:
+                    self.right[parent_id] = node_id
+            if current.left is not None:
+                stack.append((current.right, node_id, 1))  # type: ignore[arg-type]
+                stack.append((current.left, node_id, 0))
+
+    @property
+    def root(self) -> int:
+        """The root's node id (always 0)."""
+        return 0
+
+    def is_leaf(self, node_id: int) -> bool:
+        """True when the node has no children."""
+        return self.left[node_id] < 0
+
+    def is_root(self, node_id: int) -> bool:
+        """True for the root node."""
+        return self.parent[node_id] < 0
+
+    def label(self, node_id: int) -> str:
+        """The node's symbol."""
+        return self.labels[node_id]
+
+    def subtree(self, node_id: int) -> BTree:
+        """Rebuild the :class:`BTree` rooted at ``node_id``."""
+        if self.is_leaf(node_id):
+            return BTree(self.labels[node_id])
+        return BTree(
+            self.labels[node_id],
+            self.subtree(self.left[node_id]),
+            self.subtree(self.right[node_id]),
+        )
+
+    def address(self, node_id: int) -> BNodeAddress:
+        """The Dewey address of a node."""
+        steps: list[int] = []
+        current = node_id
+        while not self.is_root(current):
+            steps.append(self.side[current])
+            current = self.parent[current]
+        return tuple(reversed(steps))
+
+    def node_ids(self) -> range:
+        """All node ids (pre-order)."""
+        return range(self.n)
+
+
+def random_btree(
+    alphabet: RankedAlphabet,
+    size: int,
+    rng,
+) -> BTree:
+    """Generate a uniform-ish random complete binary tree with ``size`` or
+    ``size + 1`` internal+leaf nodes over ``alphabet``.
+
+    ``rng`` is a :class:`random.Random`.  The shape is grown top-down: at
+    each step one leaf "hole" is either closed with a leaf symbol or split
+    into an internal node, until the node budget runs out.
+    """
+    leaves = sorted(alphabet.leaves)
+    internals = sorted(alphabet.internals)
+    if not internals or size <= 1:
+        return BTree(rng.choice(leaves))
+
+    def grow(budget: int) -> tuple[BTree, int]:
+        # budget = max nodes this subtree may use (>= 1)
+        if budget < 3 or rng.random() < 0.3:
+            return BTree(rng.choice(leaves)), 1
+        left_child, used_left = grow((budget - 1) // 2)
+        right_child, used_right = grow(budget - 1 - used_left)
+        return (
+            BTree(rng.choice(internals), left_child, right_child),
+            1 + used_left + used_right,
+        )
+
+    tree, _ = grow(size)
+    return tree

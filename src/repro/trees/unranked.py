@@ -1,0 +1,187 @@
+"""Unranked ordered labeled trees (paper, Section 2.1).
+
+An unranked tree is a node label together with an ordered forest of
+children; there is no bound on the number of children.  This is the data
+model the paper uses for XML documents.
+
+Nodes are addressed by *Dewey paths*: the root is ``()``, its i-th child is
+``(i,)``, and so on.  Addresses are stable under structural sharing and make
+the pattern/selection semantics of the paper easy to state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import TreeError
+
+#: A node address: the root is the empty tuple, child indices are 0-based.
+NodeAddress = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UTree:
+    """An immutable unranked ordered tree.
+
+    Attributes:
+        label: the node's symbol (an XML tag).
+        children: the ordered forest of child subtrees.
+    """
+
+    label: str
+    children: tuple["UTree", ...] = ()
+
+    def __init__(self, label: str, children: Sequence["UTree"] = ()) -> None:
+        if not isinstance(label, str) or not label:
+            raise TreeError(f"tree label must be a non-empty string, got {label!r}")
+        kids = tuple(children)
+        for child in kids:
+            if not isinstance(child, UTree):
+                raise TreeError(f"child {child!r} is not a UTree")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "children", kids)
+
+    # -- basic structure ---------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children)
+        return total
+
+    def height(self) -> int:
+        """Height of the tree: a single node has height 0 (iterative)."""
+        best = 0
+        stack: list[tuple[UTree, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            for child in node.children:
+                stack.append((child, depth + 1))
+        return best
+
+    def labels(self) -> frozenset[str]:
+        """The set of labels occurring in the tree."""
+        return frozenset(node.label for node, _ in self.walk())
+
+    # -- node addressing ---------------------------------------------------
+
+    def walk(self) -> Iterator[tuple["UTree", NodeAddress]]:
+        """Yield ``(subtree, address)`` pairs in pre-order (document order)."""
+        stack: list[tuple[UTree, NodeAddress]] = [(self, ())]
+        while stack:
+            node, addr = stack.pop()
+            yield node, addr
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((node.children[index], addr + (index,)))
+
+    def addresses(self) -> list[NodeAddress]:
+        """All node addresses in pre-order (document order)."""
+        return [addr for _, addr in self.walk()]
+
+    def subtree(self, address: NodeAddress) -> "UTree":
+        """Return the subtree rooted at ``address``.
+
+        Raises:
+            TreeError: if the address does not denote a node of this tree.
+        """
+        node = self
+        for step in address:
+            if not 0 <= step < len(node.children):
+                raise TreeError(f"address {address} is not a node of this tree")
+            node = node.children[step]
+        return node
+
+    def replace(self, address: NodeAddress, replacement: "UTree") -> "UTree":
+        """Return a copy of the tree with the subtree at ``address`` replaced."""
+        if not address:
+            return replacement
+        head, rest = address[0], address[1:]
+        if not 0 <= head < len(self.children):
+            raise TreeError(f"address {address} is not a node of this tree")
+        new_children = list(self.children)
+        new_children[head] = self.children[head].replace(rest, replacement)
+        return UTree(self.label, new_children)
+
+    # -- display -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.is_leaf:
+            return self.label
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.label}({inner})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UTree({str(self)!r})"
+
+
+def u(label: str, *children: UTree) -> UTree:
+    """Terse constructor: ``u('a', u('b'), u('c'))`` is ``a(b, c)``."""
+    return UTree(label, children)
+
+
+def parse_utree(text: str) -> UTree:
+    """Parse the term syntax produced by :meth:`UTree.__str__`.
+
+    Grammar: ``T ::= label | label '(' T (',' T)* ')'``; whitespace is
+    ignored; labels are runs of characters other than ``( ) ,`` and space.
+    """
+    pos = 0
+
+    def skip_ws() -> None:
+        nonlocal pos
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+
+    def parse_label() -> str:
+        nonlocal pos
+        start = pos
+        while pos < len(text) and text[pos] not in "(),":
+            pos += 1
+        label = text[start:pos].strip()
+        if not label:
+            raise TreeError(f"expected a label at position {start} in {text!r}")
+        return label
+
+    def parse_node() -> UTree:
+        nonlocal pos
+        skip_ws()
+        label = parse_label()
+        skip_ws()
+        children: list[UTree] = []
+        if pos < len(text) and text[pos] == "(":
+            pos += 1
+            skip_ws()
+            if pos < len(text) and text[pos] == ")":
+                pos += 1
+            else:
+                while True:
+                    children.append(parse_node())
+                    skip_ws()
+                    if pos < len(text) and text[pos] == ",":
+                        pos += 1
+                        continue
+                    if pos < len(text) and text[pos] == ")":
+                        pos += 1
+                        break
+                    raise TreeError(
+                        f"expected ',' or ')' at position {pos} in {text!r}"
+                    )
+        return UTree(label, children)
+
+    result = parse_node()
+    skip_ws()
+    if pos != len(text):
+        raise TreeError(f"trailing input at position {pos} in {text!r}")
+    return result

@@ -1,0 +1,33 @@
+"""Typechecking for XML transformers (paper, Section 4)."""
+
+from repro.typecheck.engine import (
+    TypecheckResult,
+    as_automaton,
+    bad_input_language,
+    inverse_type,
+    typecheck,
+)
+from repro.typecheck.forward import (
+    ForwardResult,
+    approximate_image,
+    typecheck_forward,
+)
+from repro.typecheck.selection import (
+    SelectionResult,
+    binding_type,
+    typecheck_selection,
+)
+
+__all__ = [
+    "TypecheckResult",
+    "as_automaton",
+    "bad_input_language",
+    "inverse_type",
+    "typecheck",
+    "ForwardResult",
+    "approximate_image",
+    "typecheck_forward",
+    "SelectionResult",
+    "binding_type",
+    "typecheck_selection",
+]

@@ -1,0 +1,232 @@
+"""The typechecking engine (paper, Section 4, Theorem 4.4).
+
+Typechecking asks: does ``T(t) ⊆ tau2`` hold for every ``t ∈ tau1``?
+
+Two engines are provided:
+
+* **exact** — the paper's decision procedure.  Complement the output
+  type, build the product pebble automaton ``A`` of Proposition 4.6
+  (``inst(A) = {t | T(t) ∩ ¬tau2 ≠ ∅}``), translate ``A`` into a regular
+  tree automaton via the Theorem 4.7 pipeline, intersect with the input
+  type, and test emptiness.  Any witness is a genuine counterexample,
+  and a concrete bad output is recovered through the Proposition 3.8
+  output automaton.  This is decidable but non-elementary (Theorem 4.8);
+  it is intended for machines with few pebbles and small state counts —
+  exactly the regime Section 5 argues covers many practical queries.
+
+* **bounded** — a falsifier.  Enumerate instances of the input type up
+  to a budget; for each, check ``T(t) ∩ ¬tau2 = ∅`` via the per-input
+  output automaton (polynomial per instance).  Sound for rejection,
+  complete in the limit, and fast; the practical complement to the exact
+  engine, in the spirit of Section 5's "restricted cases".
+
+Types may be given as :class:`~repro.automata.bottom_up.BottomUpTA` over
+binary trees, or as (specialized) DTDs — DTDs are converted with
+:func:`~repro.automata.from_dtd.dtd_to_automaton`, and DTD-typed inputs
+are enumerated as documents and encoded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.automata.convert import bu_to_td
+from repro.automata.from_dtd import dtd_to_automaton, specialized_to_automaton
+from repro.errors import TypecheckError
+from repro.pebble.output_automaton import output_language
+from repro.pebble.product import transducer_times_automaton
+from repro.pebble.to_regular import pebble_automaton_to_ta
+from repro.pebble.transducer import PebbleTransducer
+from repro.trees.alphabet import RankedAlphabet
+from repro.trees.encoding import encode
+from repro.trees.ranked import BTree
+from repro.xmlio.dtd import DTD
+from repro.xmlio.specialized import SpecializedDTD
+
+TypeLike = Union[BottomUpTA, DTD, SpecializedDTD]
+
+
+@dataclass(frozen=True)
+class TypecheckResult:
+    """Outcome of a typechecking run.
+
+    ``ok=True`` means every output conforms (for the bounded engine: every
+    output *on the explored inputs*).  On failure, ``counterexample_input``
+    is a tree of the input type and ``counterexample_output`` one of its
+    ill-typed outputs.
+    """
+
+    ok: bool
+    method: str
+    counterexample_input: Optional[BTree] = None
+    counterexample_output: Optional[BTree] = None
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def as_automaton(
+    type_like: TypeLike, alphabet: Optional[RankedAlphabet] = None
+) -> BottomUpTA:
+    """Coerce a type-like object to a bottom-up automaton, widened to
+    ``alphabet`` when given (symbols outside the type are rejected)."""
+    if isinstance(type_like, DTD):
+        automaton = dtd_to_automaton(type_like)
+    elif isinstance(type_like, SpecializedDTD):
+        automaton = specialized_to_automaton(type_like)
+    elif isinstance(type_like, BottomUpTA):
+        automaton = type_like
+    else:
+        raise TypecheckError(
+            f"cannot interpret {type_like!r} as a type; expected a "
+            f"BottomUpTA, DTD, or SpecializedDTD"
+        )
+    if alphabet is None or alphabet.symbols <= automaton.alphabet.symbols:
+        return automaton
+    # widen the alphabet: symbols without rules are simply rejected, which
+    # is the right semantics for a type over a sub-alphabet.
+    widened = automaton.alphabet.union(alphabet)
+    return BottomUpTA(
+        alphabet=widened,
+        states=automaton.states,
+        leaf_rules=automaton.leaf_rules,
+        rules=automaton.rules,
+        accepting=automaton.accepting,
+    )
+
+
+def inverse_type(
+    transducer: PebbleTransducer, output_type: TypeLike
+) -> BottomUpTA:
+    """Inverse type inference (Section 4.1): the *regular* language
+    ``tau2^{-1} = {t | T(t) ⊆ tau2}`` over the input alphabet.
+
+    This is the paper's central construction: complement the output type,
+    product with the transducer (Prop 4.6), regularize (Thm 4.7),
+    complement again.
+    """
+    bad_inputs = bad_input_language(transducer, output_type)
+    return bad_inputs.complemented().minimized()
+
+
+def bad_input_language(
+    transducer: PebbleTransducer, output_type: TypeLike
+) -> BottomUpTA:
+    """The regular language ``{t | T(t) ⊈ tau2}`` (the complement of the
+    inverse type)."""
+    tau2 = as_automaton(output_type, transducer.output_alphabet)
+    not_tau2 = bu_to_td(tau2.complemented().trimmed())
+    product = transducer_times_automaton(transducer, not_tau2)
+    return pebble_automaton_to_ta(product)
+
+
+def typecheck(
+    transducer: PebbleTransducer,
+    input_type: TypeLike,
+    output_type: TypeLike,
+    method: str = "exact",
+    max_inputs: int = 50,
+    max_depth: int = 6,
+) -> TypecheckResult:
+    """Decide (or refute) ``T(tau1) ⊆ tau2``.
+
+    ``method="exact"`` runs the Theorem 4.4 decision procedure;
+    ``method="bounded"`` enumerates up to ``max_inputs`` instances of the
+    input type and checks each (a sound falsifier).
+    """
+    if method == "exact":
+        return _typecheck_exact(transducer, input_type, output_type)
+    if method == "bounded":
+        return _typecheck_bounded(
+            transducer, input_type, output_type, max_inputs, max_depth
+        )
+    raise TypecheckError(f"unknown method {method!r}")
+
+
+def _typecheck_exact(
+    transducer: PebbleTransducer,
+    input_type: TypeLike,
+    output_type: TypeLike,
+) -> TypecheckResult:
+    started = time.perf_counter()
+    tau1 = as_automaton(input_type, transducer.input_alphabet)
+    bad = bad_input_language(transducer, output_type)
+    # align alphabets before intersecting (types may use extra symbols)
+    tau1 = as_automaton(tau1, bad.alphabet)
+    bad = as_automaton(bad, tau1.alphabet)
+    offending = bad.intersection(tau1).trimmed()
+    elapsed = time.perf_counter() - started
+    stats = {
+        "seconds": elapsed,
+        "bad_language_states": len(bad.states),
+        "offending_states": len(offending.states),
+    }
+    witness = offending.witness()
+    if witness is None:
+        return TypecheckResult(ok=True, method="exact", stats=stats)
+    bad_output = (
+        output_language(transducer, witness)
+        .intersection(
+            as_automaton(output_type, transducer.output_alphabet)
+            .complemented()
+        )
+        .witness()
+    )
+    return TypecheckResult(
+        ok=False,
+        method="exact",
+        counterexample_input=witness,
+        counterexample_output=bad_output,
+        stats=stats,
+    )
+
+
+def _input_instances(
+    input_type: TypeLike, limit: int, max_depth: int
+) -> Iterator[BTree]:
+    if isinstance(input_type, (DTD, SpecializedDTD)):
+        for document in input_type.instances(limit, max_depth):
+            yield encode(document)
+    else:
+        yield from as_automaton(input_type).generate(limit)
+
+
+def _typecheck_bounded(
+    transducer: PebbleTransducer,
+    input_type: TypeLike,
+    output_type: TypeLike,
+    max_inputs: int,
+    max_depth: int,
+) -> TypecheckResult:
+    started = time.perf_counter()
+    not_tau2 = as_automaton(
+        output_type, transducer.output_alphabet
+    ).complemented()
+    checked = 0
+    for tree in _input_instances(input_type, max_inputs, max_depth):
+        checked += 1
+        bad_outputs = output_language(transducer, tree).intersection(not_tau2)
+        witness = bad_outputs.witness()
+        if witness is not None:
+            return TypecheckResult(
+                ok=False,
+                method="bounded",
+                counterexample_input=tree,
+                counterexample_output=witness,
+                stats={
+                    "seconds": time.perf_counter() - started,
+                    "inputs_checked": checked,
+                },
+            )
+    return TypecheckResult(
+        ok=True,
+        method="bounded",
+        stats={
+            "seconds": time.perf_counter() - started,
+            "inputs_checked": checked,
+        },
+    )

@@ -1,0 +1,116 @@
+"""Forward type inference — the approach the paper's Related Work
+contrasts with (XDuce, XQuery): infer an output type, then check
+containment.
+
+The paper's point (Section 4.1, Examples 4.2/4.3): the exact image
+``T(tau1)`` need not be regular, and then *no best* regular
+approximation exists — any forward-inference typechecker must
+over-approximate and will reject some correct programs.  This module
+implements the coarsest natural over-approximation so the phenomenon can
+be measured against the exact inverse method:
+
+:func:`approximate_image` abstracts pebble positions away entirely —
+each transducer state becomes an automaton state, moves become silent
+transitions, emits become output transitions.  Every actual computation
+of ``T`` on any input is simulated, so ``T(t) ⊆ L(approx)`` for every
+``t``; the approximation is PTIME and input-type-oblivious.
+
+:func:`typecheck_forward` then checks ``L(approx) ⊆ tau2``:
+
+* ``ok=True`` is *sound*: the program certainly typechecks (for every
+  input type);
+* ``ok=False`` is *inconclusive*: the witness output may not be
+  producible from any input of ``tau1`` — a false alarm, exactly the
+  incompleteness the paper attributes to forward inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.bottom_up import BottomUpTA
+from repro.automata.convert import td_to_bu
+from repro.automata.top_down import TopDownTA
+from repro.pebble.transducer import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    Pick,
+    Place,
+)
+from repro.trees.ranked import BTree
+from repro.typecheck.engine import TypeLike, as_automaton
+
+
+def approximate_image(transducer: PebbleTransducer) -> BottomUpTA:
+    """A regular over-approximation of ``∪_t T(t)``.
+
+    Positions (and hence guards) are abstracted away: any rule may fire
+    in its state.  The result is a small automaton over the output
+    alphabet with ``T(t) ⊆ L`` for every input ``t``.
+    """
+    out = transducer.output_alphabet
+    silent: dict[tuple[str, object], set] = {}
+    transitions: dict[tuple[str, object], set] = {}
+    final: set[tuple[str, object]] = set()
+    for (_, state, _), actions in transducer.rules.items():
+        for action in actions:
+            if isinstance(action, (Move, Place, Pick)):
+                for symbol in out.symbols:
+                    silent.setdefault((symbol, state), set()).add(
+                        action.target
+                    )
+            elif isinstance(action, Emit0):
+                final.add((action.symbol, state))
+            elif isinstance(action, Emit2):
+                transitions.setdefault((action.symbol, state), set()).add(
+                    (action.left, action.right)
+                )
+    top_down = TopDownTA(
+        alphabet=out,
+        states=transducer.states,
+        initial=transducer.initial,
+        final=final,
+        transitions=transitions,
+        silent=silent,
+    )
+    return td_to_bu(top_down).trimmed()
+
+
+@dataclass(frozen=True)
+class ForwardResult:
+    """Outcome of forward-inference typechecking.
+
+    ``ok=True`` is definitive; ``ok=False`` only means the approximation
+    leaks outside the output type — ``witness`` is an output-shaped tree
+    in the approximation but possibly not in any actual image.
+    """
+
+    ok: bool
+    approximation_states: int
+    witness: Optional[BTree] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def typecheck_forward(
+    transducer: PebbleTransducer, output_type: TypeLike
+) -> ForwardResult:
+    """Check ``L(approximate_image(T)) ⊆ tau2``.
+
+    Sound but incomplete — compare with
+    :func:`repro.typecheck.engine.typecheck` on Examples 4.2/4.3 to see
+    the gap the paper describes.
+    """
+    approximation = approximate_image(transducer)
+    tau2 = as_automaton(output_type, transducer.output_alphabet)
+    leak = approximation.difference(tau2).trimmed()
+    witness = leak.witness()
+    return ForwardResult(
+        ok=witness is None,
+        approximation_states=len(approximation.states),
+        witness=witness,
+    )

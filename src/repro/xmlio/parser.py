@@ -1,0 +1,161 @@
+"""A minimal XML parser for the element-only fragment the paper uses.
+
+Section 2.2: "we take the simplifying assumption that XML is a syntax for
+unranked trees".  The parser therefore handles start/end tags,
+self-closing tags, comments and processing instructions (skipped), and —
+optionally — text content, which is either rejected (the paper's core
+model) or preserved as data-value leaves for the Section 5 extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XMLParseError
+from repro.trees.unranked import UTree
+
+#: Label used for text (#PCDATA) leaves when ``keep_text=True``.  The
+#: Section 5 extension stores the actual string in a parallel table; the
+#: core model only sees this marker symbol.
+TEXT_LABEL = "#text"
+
+
+@dataclass
+class _Scanner:
+    text: str
+    pos: int = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if not self.eof() else ""
+
+    def skip_ws(self) -> None:
+        while not self.eof() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XMLParseError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        start = self.pos
+        while not self.eof() and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-.:"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            raise XMLParseError("expected a tag name", start)
+        return self.text[start : self.pos]
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs and doctype declarations."""
+    while True:
+        scanner.skip_ws()
+        if scanner.text.startswith("<!--", scanner.pos):
+            end = scanner.text.find("-->", scanner.pos + 4)
+            if end < 0:
+                raise XMLParseError("unterminated comment", scanner.pos)
+            scanner.pos = end + 3
+            continue
+        if scanner.text.startswith("<?", scanner.pos):
+            end = scanner.text.find("?>", scanner.pos + 2)
+            if end < 0:
+                raise XMLParseError("unterminated processing instruction",
+                                    scanner.pos)
+            scanner.pos = end + 2
+            continue
+        if scanner.text.startswith("<!DOCTYPE", scanner.pos):
+            end = scanner.text.find(">", scanner.pos)
+            if end < 0:
+                raise XMLParseError("unterminated DOCTYPE", scanner.pos)
+            scanner.pos = end + 1
+            continue
+        return
+
+
+def _skip_attributes(scanner: _Scanner) -> None:
+    """Skip attributes (the paper's model ignores them, Section 2.2)."""
+    while True:
+        scanner.skip_ws()
+        char = scanner.peek()
+        if char in (">", "/", ""):
+            return
+        scanner.read_name()
+        scanner.skip_ws()
+        if scanner.peek() == "=":
+            scanner.pos += 1
+            scanner.skip_ws()
+            quote = scanner.peek()
+            if quote not in ("'", '"'):
+                raise XMLParseError("expected a quoted attribute value",
+                                    scanner.pos)
+            end = scanner.text.find(quote, scanner.pos + 1)
+            if end < 0:
+                raise XMLParseError("unterminated attribute value", scanner.pos)
+            scanner.pos = end + 1
+
+
+def _parse_element(scanner: _Scanner, keep_text: bool) -> UTree:
+    scanner.expect("<")
+    name = scanner.read_name()
+    _skip_attributes(scanner)
+    if scanner.peek() == "/":
+        scanner.expect("/>")
+        return UTree(name)
+    scanner.expect(">")
+    children: list[UTree] = []
+    while True:
+        _skip_misc(scanner)
+        if scanner.eof():
+            raise XMLParseError(f"unterminated element <{name}>", scanner.pos)
+        if scanner.text.startswith("</", scanner.pos):
+            scanner.pos += 2
+            closing = scanner.read_name()
+            if closing != name:
+                raise XMLParseError(
+                    f"mismatched end tag </{closing}> for <{name}>",
+                    scanner.pos,
+                )
+            scanner.skip_ws()
+            scanner.expect(">")
+            return UTree(name, children)
+        if scanner.peek() == "<":
+            children.append(_parse_element(scanner, keep_text))
+            continue
+        # text content
+        end = scanner.text.find("<", scanner.pos)
+        if end < 0:
+            end = len(scanner.text)
+        content = scanner.text[scanner.pos : end].strip()
+        scanner.pos = end
+        if content:
+            if not keep_text:
+                raise XMLParseError(
+                    "text content is outside the paper's core model; "
+                    "pass keep_text=True to preserve it as #text leaves",
+                    scanner.pos,
+                )
+            children.append(UTree(TEXT_LABEL))
+
+
+def parse_xml(text: str, keep_text: bool = False) -> UTree:
+    """Parse an XML document into an unranked tree.
+
+    With ``keep_text=False`` (the paper's core model) any non-whitespace
+    text content is an error; with ``keep_text=True`` text runs become
+    ``#text`` leaves (see Section 5 on data values).
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise XMLParseError("expected a root element", scanner.pos)
+    tree = _parse_element(scanner, keep_text)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise XMLParseError("trailing content after the root element",
+                            scanner.pos)
+    return tree

@@ -1,0 +1,37 @@
+"""Serialize unranked trees back to XML text (inverse of the parser)."""
+
+from __future__ import annotations
+
+from repro.trees.unranked import UTree
+
+
+def to_xml(tree: UTree, indent: int | None = None) -> str:
+    """Serialize an unranked tree as an XML document.
+
+    With ``indent=None`` the output is compact, matching the paper's
+    examples (``<a> <b></b> ... </a>`` without the spaces); with an integer
+    indent the output is pretty-printed.
+    """
+    if indent is None:
+        return _compact(tree)
+    lines: list[str] = []
+    _pretty(tree, 0, indent, lines)
+    return "\n".join(lines)
+
+
+def _compact(tree: UTree) -> str:
+    if not tree.children:
+        return f"<{tree.label}/>"
+    inner = "".join(_compact(child) for child in tree.children)
+    return f"<{tree.label}>{inner}</{tree.label}>"
+
+
+def _pretty(tree: UTree, depth: int, indent: int, lines: list[str]) -> None:
+    pad = " " * (depth * indent)
+    if not tree.children:
+        lines.append(f"{pad}<{tree.label}/>")
+        return
+    lines.append(f"{pad}<{tree.label}>")
+    for child in tree.children:
+        _pretty(child, depth + 1, indent, lines)
+    lines.append(f"{pad}</{tree.label}>")

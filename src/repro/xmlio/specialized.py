@@ -1,0 +1,175 @@
+"""Specialized DTDs — DTDs with tags decoupled from types (Section 2.3).
+
+The paper notes that plain DTDs cannot give the two ``b`` children of
+``a(b(c), b(d))`` different types, while *specialized* DTDs (decoupled
+tags, [4, 32, 13]) can, and that specialized DTDs define exactly the
+regular tree languages.  This module implements them; the equivalence with
+tree automata is realized by :mod:`repro.automata.from_dtd` (one
+direction) and :func:`from_automaton` below (the other).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import DTDError
+from repro.regex import syntax as rx
+from repro.regex.dfa import DFA, compile_regex
+from repro.regex.syntax import Regex
+from repro.trees.unranked import UTree
+
+
+@dataclass(frozen=True)
+class SpecializedDTD:
+    """A specialized DTD.
+
+    Attributes:
+        types: the finite set of types.
+        tag_of: maps each type to the element tag it decorates.
+        content: maps each type to a content model, a regular expression
+            over *types*.
+        roots: the types allowed at the root.
+    """
+
+    types: frozenset[str]
+    tag_of: dict[str, str]
+    content: dict[str, Regex]
+    roots: frozenset[str]
+
+    def __init__(
+        self,
+        types: Mapping[str, str] | dict[str, str],
+        content: Mapping[str, Regex],
+        roots,
+    ) -> None:
+        object.__setattr__(self, "tag_of", dict(types))
+        object.__setattr__(self, "types", frozenset(self.tag_of))
+        object.__setattr__(self, "content", dict(content))
+        object.__setattr__(self, "roots", frozenset(roots))
+        if not self.roots <= self.types:
+            raise DTDError("root types must be declared types")
+        for type_name in self.types:
+            if type_name not in self.content:
+                raise DTDError(f"type {type_name!r} has no content model")
+        for type_name, model in self.content.items():
+            if type_name not in self.types:
+                raise DTDError(f"content model for undeclared type {type_name!r}")
+            missing = model.symbols() - self.types
+            if missing:
+                raise DTDError(
+                    f"content model of {type_name!r} mentions undeclared "
+                    f"types: {sorted(missing)}"
+                )
+            if not model.is_plain():
+                raise DTDError("specialized-DTD content models are plain regexes")
+
+    @property
+    def tags(self) -> frozenset[str]:
+        """All element tags used by the specialized DTD."""
+        return frozenset(self.tag_of.values())
+
+    @classmethod
+    def from_dtd(cls, dtd) -> "SpecializedDTD":
+        """View a plain DTD as a specialized DTD (types = tags)."""
+        return cls(
+            types={name: name for name in dtd.content},
+            content=dict(dtd.content),
+            roots={dtd.root},
+        )
+
+    def content_dfa(self, type_name: str) -> DFA:
+        """The minimal DFA of a type's content model (over all types)."""
+        if type_name not in self.types:
+            raise DTDError(f"unknown type {type_name!r}")
+        return compile_regex(self.content[type_name], self.types)
+
+    # -- validation ---------------------------------------------------------
+
+    def possible_types(self, tree: UTree) -> frozenset[str]:
+        """All types assignable to ``tree`` (bottom-up type inference)."""
+        dfas = {t: self.content_dfa(t) for t in self.types}
+        return self._possible_types(tree, dfas)
+
+    def _possible_types(self, tree: UTree, dfas: dict[str, DFA]) -> frozenset[str]:
+        child_types = [self._possible_types(child, dfas) for child in tree.children]
+        result: set[str] = set()
+        for type_name in self.types:
+            if self.tag_of[type_name] != tree.label:
+                continue
+            dfa = dfas[type_name]
+            current = {dfa.start}
+            for options in child_types:
+                current = {
+                    dfa.step(state, option)
+                    for state in current
+                    for option in options
+                }
+                if not current:
+                    break
+            if current & dfa.accepting:
+                result.add(type_name)
+        return frozenset(result)
+
+    def is_valid(self, tree: UTree) -> bool:
+        """True when ``tree`` admits a typing with a root type in ``roots``."""
+        return bool(self.possible_types(tree) & self.roots)
+
+    # -- enumeration ----------------------------------------------------------
+
+    def instances(
+        self, limit: int, max_depth: int = 6, max_width: int = 4
+    ) -> Iterator[UTree]:
+        """Yield up to ``limit`` distinct valid instances, smallest first.
+
+        Enumeration is round-based on derivation depth; child words longer
+        than ``max_width`` are not explored (raise it for wide content
+        models).  Deterministic order, suitable for the bounded
+        typechecker.
+        """
+        known: dict[str, list[UTree]] = {t: [] for t in self.types}
+        seen: dict[str, set[UTree]] = {t: set() for t in self.types}
+        dfas = {t: self.content_dfa(t) for t in self.types}
+        emitted: set[UTree] = set()
+        cap = max(8, limit)
+        for _ in range(max_depth):
+            snapshot = {t: list(trees) for t, trees in known.items()}
+            for type_name in sorted(self.types):
+                dfa = dfas[type_name]
+                for word in dfa.accepted_words(max_width):
+                    if any(not snapshot[t] for t in word):
+                        continue
+                    pools = [snapshot[t] for t in word]
+                    for combo in itertools.product(*pools):
+                        candidate = UTree(self.tag_of[type_name], list(combo))
+                        if candidate in seen[type_name]:
+                            continue
+                        if len(known[type_name]) >= cap:
+                            break
+                        seen[type_name].add(candidate)
+                        known[type_name].append(candidate)
+            new_roots = sorted(
+                {
+                    tree
+                    for root in self.roots
+                    for tree in known[root]
+                    if tree not in emitted
+                },
+                key=lambda tree: (tree.size(), str(tree)),
+            )
+            for tree in new_roots:
+                emitted.add(tree)
+                yield tree
+                if len(emitted) >= limit:
+                    return
+
+    def __str__(self) -> str:
+        lines = []
+        for type_name in sorted(self.types):
+            flag = " (root)" if type_name in self.roots else ""
+            lines.append(
+                f"{type_name} [tag {self.tag_of[type_name]}]{flag} := "
+                f"{self.content[type_name]}"
+            )
+        return "\n".join(lines)

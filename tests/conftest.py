@@ -1,0 +1,48 @@
+"""Shared fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.trees import BTree, RankedAlphabet, UTree
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260707)
+
+
+@pytest.fixture
+def small_alphabet() -> RankedAlphabet:
+    return RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def utrees(labels=("a", "b", "c"), max_leaves=6):
+    """Hypothesis strategy for small unranked trees."""
+    label = st.sampled_from(list(labels))
+    return st.recursive(
+        label.map(UTree),
+        lambda children: st.builds(
+            UTree, label, st.lists(children, max_size=3)
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def btrees(leaves=("a", "b"), internals=("f", "g"), max_leaves=6):
+    """Hypothesis strategy for small complete binary trees."""
+    leaf = st.sampled_from(list(leaves)).map(BTree)
+    internal = st.sampled_from(list(internals))
+    return st.recursive(
+        leaf,
+        lambda sub: st.builds(BTree, internal, sub, sub),
+        max_leaves=max_leaves,
+    )
+
+
+def words(symbols=("a", "b"), max_size=6):
+    """Hypothesis strategy for words."""
+    return st.lists(st.sampled_from(list(symbols)), max_size=max_size)

@@ -1,0 +1,104 @@
+"""Property-based tests of the tree-automata boolean algebra.
+
+These pin the laws the typechecking pipeline silently relies on:
+De Morgan, double complement, distributivity spot checks, inclusion
+antisymmetry, and determinization/minimization idempotence.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import btrees
+from repro.automata import BottomUpTA
+from repro.trees import RankedAlphabet, random_btree
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def _random_automaton(seed: int) -> BottomUpTA:
+    """A reproducible random bottom-up automaton over ALPHA."""
+    rng = random.Random(seed)
+    n_states = rng.randint(1, 3)
+    states = [f"s{i}" for i in range(n_states)]
+    leaf_rules = {
+        symbol: {s for s in states if rng.random() < 0.6}
+        for symbol in sorted(ALPHA.leaves)
+    }
+    rules = {}
+    for symbol in sorted(ALPHA.internals):
+        for left in states:
+            for right in states:
+                targets = {s for s in states if rng.random() < 0.35}
+                if targets:
+                    rules[(symbol, left, right)] = targets
+    accepting = {s for s in states if rng.random() < 0.5} or {states[0]}
+    return BottomUpTA(ALPHA, states, leaf_rules, rules, accepting)
+
+
+AUTOMATA = st.integers(min_value=0, max_value=40).map(_random_automaton)
+
+
+class TestAlgebraLaws:
+    @given(AUTOMATA, btrees(max_leaves=4))
+    @settings(max_examples=40, deadline=None)
+    def test_double_complement(self, automaton, tree):
+        assert automaton.complemented().complemented().accepts(tree) == \
+            automaton.accepts(tree)
+
+    @given(AUTOMATA, AUTOMATA, btrees(max_leaves=4))
+    @settings(max_examples=30, deadline=None)
+    def test_de_morgan(self, one, two, tree):
+        left = one.union(two).complemented()
+        right = one.complemented().intersection(two.complemented())
+        assert left.accepts(tree) == right.accepts(tree)
+
+    @given(AUTOMATA, btrees(max_leaves=4))
+    @settings(max_examples=30, deadline=None)
+    def test_determinize_minimize_preserve(self, automaton, tree):
+        expected = automaton.accepts(tree)
+        assert automaton.determinized().accepts(tree) == expected
+        assert automaton.minimized().accepts(tree) == expected
+        assert automaton.trimmed().accepts(tree) == expected
+
+    @given(AUTOMATA)
+    @settings(max_examples=15, deadline=None)
+    def test_minimize_idempotent(self, automaton):
+        once = automaton.minimized()
+        twice = once.minimized()
+        assert len(once.states) == len(twice.states)
+
+    @given(AUTOMATA, AUTOMATA)
+    @settings(max_examples=15, deadline=None)
+    def test_inclusion_antisymmetric(self, one, two):
+        if one.includes(two) and two.includes(one):
+            assert one.equivalent(two)
+
+    @given(AUTOMATA)
+    @settings(max_examples=15, deadline=None)
+    def test_intersection_with_complement_empty(self, automaton):
+        assert automaton.intersection(automaton.complemented()).is_empty()
+
+    @given(AUTOMATA)
+    @settings(max_examples=15, deadline=None)
+    def test_union_with_complement_universal(self, automaton):
+        everything = automaton.union(automaton.complemented())
+        # its complement accepts nothing
+        assert everything.complemented().is_empty()
+
+    @given(AUTOMATA)
+    @settings(max_examples=20, deadline=None)
+    def test_witness_is_accepted(self, automaton):
+        witness = automaton.witness()
+        if witness is None:
+            assert automaton.is_empty()
+        else:
+            assert automaton.accepts(witness)
+
+    @given(AUTOMATA)
+    @settings(max_examples=10, deadline=None)
+    def test_generate_members(self, automaton):
+        for tree in automaton.generate(6):
+            assert automaton.accepts(tree)

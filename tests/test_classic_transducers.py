@@ -1,0 +1,167 @@
+"""Classical top-down / bottom-up transducers (Definition 3.2, Section
+3.1) and the 1-pebble embedding."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import btrees
+from repro.errors import PebbleMachineError, TransducerRuntimeError
+from repro.pebble import evaluate
+from repro.pebble.classic import (
+    BottomUpTransducer,
+    Frag,
+    TopDownTransducer,
+    run_top_down,
+    to_pebble,
+)
+from repro.trees import BTree, RankedAlphabet, leaf, node
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def relabel_transducer() -> TopDownTransducer:
+    """Swaps f<->g and a<->b while copying the structure."""
+    swap = {"f": "g", "g": "f", "a": "b", "b": "a"}
+    return TopDownTransducer(
+        input_alphabet=ALPHA,
+        output_alphabet=ALPHA,
+        states={"q"},
+        initial="q",
+        internal_rules={
+            (symbol, "q"): [Frag.node(swap[symbol],
+                                      Frag.recurse(1, "q"),
+                                      Frag.recurse(2, "q"))]
+            for symbol in ("f", "g")
+        },
+        leaf_rules={
+            (symbol, "q"): [Frag.leaf(swap[symbol])]
+            for symbol in ("a", "b")
+        },
+    )
+
+
+def duplicating_transducer() -> TopDownTransducer:
+    """f-nodes duplicate their left subtree: f(x,y) -> f(x', f(x', y'))."""
+    return TopDownTransducer(
+        input_alphabet=ALPHA,
+        output_alphabet=ALPHA,
+        states={"q"},
+        initial="q",
+        internal_rules={
+            ("f", "q"): [Frag.node(
+                "f",
+                Frag.recurse(1, "q"),
+                Frag.node("f", Frag.recurse(1, "q"), Frag.recurse(2, "q")),
+            )],
+            ("g", "q"): [Frag.node("g", Frag.recurse(1, "q"),
+                                   Frag.recurse(2, "q"))],
+        },
+        leaf_rules={
+            ("a", "q"): [Frag.leaf("a")],
+            ("b", "q"): [Frag.leaf("b")],
+        },
+    )
+
+
+def swap_labels(tree: BTree) -> BTree:
+    swap = {"f": "g", "g": "f", "a": "b", "b": "a"}
+    if tree.is_leaf:
+        return BTree(swap[tree.label])
+    return BTree(swap[tree.label], swap_labels(tree.left),
+                 swap_labels(tree.right))
+
+
+class TestTopDown:
+    @given(btrees())
+    def test_relabel_semantics(self, tree):
+        assert run_top_down(relabel_transducer(), tree) == swap_labels(tree)
+
+    def test_duplication(self):
+        machine = duplicating_transducer()
+        tree = node("f", leaf("a"), leaf("b"))
+        assert run_top_down(machine, tree) == \
+            node("f", leaf("a"), node("f", leaf("a"), leaf("b")))
+
+    def test_missing_rule_means_no_output(self):
+        machine = TopDownTransducer(
+            ALPHA, ALPHA, {"q"}, "q",
+            internal_rules={},
+            leaf_rules={("a", "q"): [Frag.leaf("a")]},
+        )
+        assert run_top_down(machine, leaf("a")) == leaf("a")
+        assert run_top_down(machine, leaf("b")) is None
+        assert run_top_down(machine, node("f", leaf("a"), leaf("a"))) is None
+
+    def test_validation(self):
+        with pytest.raises(PebbleMachineError):
+            TopDownTransducer(
+                ALPHA, ALPHA, {"q"}, "q",
+                internal_rules={},
+                leaf_rules={("a", "q"): [Frag.recurse(1, "q")]},  # call @leaf
+            )
+        with pytest.raises(PebbleMachineError):
+            Frag.recurse(3, "q")
+
+
+class TestPebbleEmbedding:
+    """Section 3.1: every top-down transducer is a 1-pebble transducer."""
+
+    @pytest.mark.parametrize("builder", [relabel_transducer,
+                                         duplicating_transducer])
+    @given(tree=btrees(max_leaves=5))
+    @settings(max_examples=25, deadline=None)
+    def test_embedding_agrees(self, builder, tree):
+        machine = builder()
+        pebble = to_pebble(machine)
+        assert pebble.k == 1
+        assert evaluate(pebble, tree) == run_top_down(machine, tree)
+
+    def test_embedding_moves_only_down(self):
+        from repro.pebble.transducer import Move
+
+        pebble = to_pebble(relabel_transducer())
+        for actions in pebble.rules.values():
+            for action in actions:
+                if isinstance(action, Move):
+                    assert action.direction in ("stay", "down-left",
+                                                "down-right")
+
+
+class TestBottomUp:
+    def test_subtree_deletion(self):
+        """A bottom-up transducer can discard a computed subtree while
+        still using its final state — the capability behind the open
+        simulation problem (Section 3.1)."""
+        machine = BottomUpTransducer(
+            input_alphabet=ALPHA,
+            output_alphabet=ALPHA,
+            states={"qa", "qb"},
+            accepting={"qa", "qb"},
+            leaf_rules={
+                "a": [("qa", Frag.leaf("a"))],
+                "b": [("qb", Frag.leaf("b"))],
+            },
+            rules={
+                # keep only the right subtree, but the verdict (state)
+                # depends on the *left* subtree's state.
+                ("f", "qa", "qa"): [("qa", Frag.recurse(2, "_"))],
+                ("f", "qa", "qb"): [("qb", Frag.recurse(2, "_"))],
+                ("f", "qb", "qa"): [("qa", Frag.leaf("b"))],
+                ("f", "qb", "qb"): [("qb", Frag.leaf("b"))],
+            },
+        )
+        tree = node("f", leaf("a"), node("f", leaf("a"), leaf("a")))
+        assert machine.outputs(tree) == {leaf("a")}
+        tree2 = node("f", leaf("b"), leaf("a"))
+        assert machine.outputs(tree2) == {leaf("b")}
+
+    def test_nondeterministic_outputs(self):
+        machine = BottomUpTransducer(
+            input_alphabet=ALPHA,
+            output_alphabet=ALPHA,
+            states={"q"},
+            accepting={"q"},
+            leaf_rules={"a": [("q", Frag.leaf("a")), ("q", Frag.leaf("b"))]},
+            rules={},
+        )
+        assert machine.outputs(leaf("a")) == {leaf("a"), leaf("b")}

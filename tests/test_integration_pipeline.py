@@ -1,0 +1,126 @@
+"""End-to-end integration: a realistic publishing scenario.
+
+A catalog document type is transformed by an XSLT stylesheet into an
+HTML-flavored listing; the whole paper pipeline runs on it: parse,
+validate, compile, evaluate, and statically typecheck (exact engine),
+including a schema-evolution regression caught by the typechecker.
+"""
+
+import pytest
+
+from repro import (
+    decode,
+    encode,
+    parse_dtd,
+    parse_xml,
+    to_xml,
+    typecheck,
+    typecheck_forward,
+)
+from repro.lang import apply_stylesheet, parse_stylesheet, xslt_to_transducer
+from repro.pebble import evaluate
+
+CATALOG_DTD = """
+catalog := product*
+product := name.price.review*
+name :=
+price :=
+review :=
+"""
+
+LISTING_DTD = """
+listing := entry*
+entry := label.stars*
+label :=
+stars :=
+"""
+
+STYLESHEET = """
+<xsl:template match="catalog">
+  <listing><xsl:apply-templates/></listing>
+</xsl:template>
+<xsl:template match="product">
+  <entry><xsl:apply-templates/></entry>
+</xsl:template>
+<xsl:template match="name"><label/></xsl:template>
+<xsl:template match="price"></xsl:template>
+<xsl:template match="review"><stars/></xsl:template>
+"""
+
+DOCUMENT = """
+<catalog>
+  <product> <name/> <price/> <review/> <review/> </product>
+  <product> <name/> <price/> </product>
+</catalog>
+"""
+
+
+@pytest.fixture
+def pipeline():
+    catalog = parse_dtd(CATALOG_DTD)
+    listing = parse_dtd(LISTING_DTD)
+    sheet = parse_stylesheet(STYLESHEET)
+    machine = xslt_to_transducer(sheet, tags=catalog.symbols,
+                                 root_tag=catalog.root)
+    return catalog, listing, sheet, machine
+
+
+class TestPipeline:
+    def test_document_flow(self, pipeline):
+        catalog, listing, sheet, machine = pipeline
+        document = parse_xml(DOCUMENT)
+        assert catalog.is_valid(document)
+        output = decode(evaluate(machine, encode(document)))
+        assert output == apply_stylesheet(sheet, document)
+        assert listing.is_valid(output)
+        assert to_xml(output) == (
+            "<listing><entry><label/><stars/><stars/></entry>"
+            "<entry><label/></entry></listing>"
+        )
+
+    def test_static_typecheck_passes(self, pipeline):
+        catalog, listing, _, machine = pipeline
+        result = typecheck(machine, catalog, listing, method="exact")
+        assert result.ok
+
+    def test_schema_evolution_regression(self, pipeline):
+        """The output schema evolves to require at least one review per
+        entry; the typechecker catches the product-without-reviews case
+        before any document does."""
+        catalog, _, _, machine = pipeline
+        strict = parse_dtd(
+            "listing := entry*\nentry := label.stars+\nlabel :=\nstars :="
+        )
+        result = typecheck(machine, catalog, strict, method="exact")
+        assert not result.ok
+        witness = decode(result.counterexample_input)
+        assert catalog.is_valid(witness)
+        # the witness has a product with no reviews
+        assert any(
+            all(child.label != "review" for child in product.children)
+            for product in witness.children
+        )
+        assert not strict.is_valid(decode(result.counterexample_output))
+
+    def test_forward_inference_is_weaker_here(self, pipeline):
+        """Forward inference cannot certify the listing DTD because the
+        position-oblivious approximation loses the name/price/review
+        order — the exact engine can."""
+        catalog, listing, _, machine = pipeline
+        forward = typecheck_forward(machine, listing)
+        exact = typecheck(machine, catalog, listing, method="exact")
+        assert exact.ok
+        # forward's verdict is allowed to be weaker, never wrong:
+        if forward.ok:
+            assert exact.ok
+
+    def test_input_outside_type_not_blamed(self, pipeline):
+        """Typechecking quantifies over tau1 only: documents outside the
+        input type are irrelevant even if the machine mangles them."""
+        catalog, listing, _, machine = pipeline
+        # a catalog with reviews before the name is invalid input
+        weird = parse_xml("<catalog><product><review/><name/><price/>"
+                          "</product></catalog>")
+        assert not catalog.is_valid(weird)
+        result = typecheck(machine, catalog, listing, method="exact")
+        assert result.ok

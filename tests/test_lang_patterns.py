@@ -1,0 +1,52 @@
+"""Tree patterns and matching (Section 2.2, Example 3.5)."""
+
+from repro.lang import Pattern, match, match_count, pattern
+from repro.trees import parse_utree
+
+
+class TestPatternMatching:
+    def test_single_node_pattern(self):
+        tree = parse_utree("a(b, b, c(d), e)")
+        assert match_count(pattern("a.b"), tree) == 2
+        assert match_count(pattern("a.c.d"), tree) == 1
+        assert match_count(pattern("a.z"), tree) == 0
+
+    def test_paper_shape_pattern(self):
+        """p = [r1]([r2], [r3]([r4],[r5])) — the Section 2.2 shape."""
+        tree = parse_utree("a(b(c, d(e)), b(c, d(f)))")
+        shape = pattern(
+            "a.b",
+            pattern("b.c"),
+            pattern("b.d", pattern("d.(e|f)")),
+        )
+        bindings = list(match(shape, tree))
+        # two b nodes, each with one c and one d(e|f) descendant
+        assert len(bindings) == 2
+        for binding in bindings:
+            assert len(binding) == 4
+            x1 = binding[0]
+            assert tree.subtree(x1).label == "b"
+
+    def test_bindings_are_relative_to_parent(self):
+        tree = parse_utree("a(b(c), c)")
+        found = list(match(pattern("a.b", pattern("b.c")), tree))
+        # the inner c must be below the matched b, not the top-level c
+        assert found == [((0,), (0, 0))]
+
+    def test_multiple_matches_per_child(self):
+        tree = parse_utree("a(b(c, c))")
+        assert match_count(pattern("a.b", pattern("b.c")), tree) == 2
+
+    def test_star_pattern(self):
+        tree = parse_utree("a(a(a(b)))")
+        # every a on the spine matches a+, and b below each matches
+        assert match_count(pattern("a+.b"), tree) == 1
+        assert match_count(pattern("a+"), tree) == 3
+
+    def test_n_nodes(self):
+        shape = pattern("a", pattern("b"), pattern("c", pattern("d")))
+        assert shape.n_nodes() == 4
+
+    def test_epsilon_matches_self(self):
+        tree = parse_utree("a(b)")
+        assert match_count(pattern("%"), tree) == 1

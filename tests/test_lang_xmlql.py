@@ -1,0 +1,91 @@
+"""The XML-QL fragment: Q1 (Example 4.2) and selection queries
+(Example 3.5 / Section 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import utrees
+from repro.data.generators import flat_document
+from repro.errors import PebbleMachineError
+from repro.lang import pattern, match_count, q1_transducer, \
+    selection_transducer
+from repro.pebble import evaluate, output_language
+from repro.trees import decode, encode, parse_utree, u
+
+
+class TestQ1:
+    @pytest.mark.parametrize("n", range(6))
+    def test_squares(self, n):
+        """Q1 maps a^n to b^(n^2) (Example 4.2)."""
+        machine = q1_transducer()
+        document = flat_document("root", "a", n)
+        output = decode(evaluate(machine, encode(document)))
+        assert output.label == "result"
+        assert len(output.children) == n * n
+        assert all(child == u("b") for child in output.children)
+
+    def test_q1_is_deterministic(self):
+        assert q1_transducer().is_deterministic()
+
+    def test_output_language_is_singleton(self):
+        machine = q1_transducer()
+        document = flat_document("root", "a", 2)
+        language = output_language(machine, encode(document))
+        outputs = list(language.generate(5))
+        assert len(outputs) == 1
+
+
+class TestSelection:
+    TAGS = {"doc", "sec", "par", "fig"}
+
+    def _run(self, path, document):
+        machine = selection_transducer(path, self.TAGS, {"doc"})
+        output = evaluate(machine, encode(document))
+        assert output is not None
+        return decode(output)
+
+    def test_basic_selection(self):
+        document = parse_utree("doc(sec(par, fig, par), sec(par))")
+        result = self._run("doc.sec.par", document)
+        assert result.label == "result"
+        assert [child.label for child in result.children] == ["par"] * 3
+
+    def test_copies_whole_subtrees(self):
+        document = parse_utree("doc(sec(par(fig), par))")
+        result = self._run("doc.sec", document)
+        assert result.children == (parse_utree("sec(par(fig), par)"),)
+
+    def test_document_order(self):
+        document = parse_utree("doc(sec(fig), par, sec(par))")
+        result = self._run("doc.(sec|par)", document)
+        assert [child.label for child in result.children] == \
+            ["sec", "par", "sec"]
+
+    def test_no_matches(self):
+        document = parse_utree("doc(sec)")
+        result = self._run("doc.fig", document)
+        assert result == u("result")
+
+    def test_deep_star_path(self):
+        document = parse_utree("doc(sec(sec(par)), par)")
+        result = self._run("doc.sec*.par", document)
+        assert [c.label for c in result.children] == ["par", "par"]
+
+    @given(utrees(labels=("sec", "par", "fig"), max_leaves=5),
+           st.sampled_from(["doc.sec.par", "doc.sec*.par", "doc.(sec|par)",
+                            "doc.sec.(par|fig)"]))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_pattern_semantics(self, body, path):
+        """The transducer's match count equals the pattern evaluator's."""
+        document = u("doc", body)
+        result = self._run(path, document)
+        assert len(result.children) == match_count(pattern(path), document)
+
+    def test_two_pebbles(self):
+        machine = selection_transducer("doc.par", self.TAGS, {"doc"})
+        assert machine.k == 2
+
+    def test_root_symbols_must_be_tags(self):
+        with pytest.raises(PebbleMachineError):
+            selection_transducer("doc.par", self.TAGS, {"zzz"})

@@ -1,0 +1,131 @@
+"""The XSLT fragment: interpreter vs compiled 1-pebble transducer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PebbleMachineError
+from repro.lang import (
+    Apply,
+    Out,
+    Stylesheet,
+    Template,
+    apply_stylesheet,
+    parse_stylesheet,
+    q2_stylesheet,
+    xslt_to_transducer,
+)
+from repro.pebble import evaluate
+from repro.trees import UTree, decode, encode, u
+
+
+def documents(tags=("sec", "par"), max_leaves=5):
+    label = st.sampled_from(list(tags))
+    body = st.recursive(
+        label.map(UTree),
+        lambda kids: st.builds(UTree, label, st.lists(kids, max_size=3)),
+        max_leaves=max_leaves,
+    )
+    return st.builds(lambda children: UTree("doc", children),
+                     st.lists(body, max_size=3))
+
+
+WRAP_SHEET = Stylesheet([
+    Template("doc", [Out("D", [Out("hdr"), Apply()])]),
+    Template("sec", [Out("S", [Apply()]), Out("sep")]),
+    Template("par", [Out("P")]),
+])
+
+DELETE_SHEET = Stylesheet([
+    Template("doc", [Out("D", [Apply()])]),
+    Template("sec", [Apply()]),     # unwrap sections entirely
+    Template("par", [Out("P")]),
+])
+
+
+class TestInterpreter:
+    def test_q2_shape(self):
+        sheet = q2_stylesheet()
+        document = u("root", u("a"), u("a"))
+        output = apply_stylesheet(sheet, document)
+        assert [c.label for c in output.children] == \
+            ["b", "a", "a", "b", "a", "a", "b", "a", "a"]
+
+    def test_multiple_roots_rejected(self):
+        sheet = Stylesheet([Template("doc", [Out("X"), Out("Y")])])
+        with pytest.raises(PebbleMachineError):
+            apply_stylesheet(sheet, u("doc"))
+
+    def test_missing_template(self):
+        with pytest.raises(PebbleMachineError):
+            apply_stylesheet(WRAP_SHEET, u("doc", u("unknown")))
+
+
+class TestParser:
+    def test_example_4_3_text(self):
+        sheet = q2_stylesheet()
+        assert set(sheet.templates) == {"root", "a"}
+        assert sheet.templates["root"].n_applies() == 3
+        assert sheet.output_tags() == {"result", "b", "a"}
+
+    def test_apply_templates_spelling(self):
+        sheet = parse_stylesheet(
+            '<xsl:template match="doc"><out><xsl:apply-templates/></out>'
+            "</xsl:template>"
+        )
+        assert sheet.templates["doc"].n_applies() == 1
+
+    def test_duplicate_match_rejected(self):
+        with pytest.raises(PebbleMachineError):
+            Stylesheet([Template("a", []), Template("a", [])])
+
+
+class TestCompiler:
+    @pytest.mark.parametrize("sheet", [WRAP_SHEET, DELETE_SHEET])
+    @given(document=documents())
+    @settings(max_examples=25, deadline=None)
+    def test_agrees_with_interpreter(self, sheet, document):
+        machine = xslt_to_transducer(sheet, tags={"doc", "sec", "par"},
+                                     root_tag="doc")
+        expected = apply_stylesheet(sheet, document)
+        output = evaluate(machine, encode(document))
+        assert output is not None
+        assert decode(output) == expected
+
+    @given(document=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=6, deadline=None)
+    def test_q2_agrees(self, document):
+        sheet = q2_stylesheet()
+        machine = xslt_to_transducer(sheet, tags={"root", "a"},
+                                     root_tag="root")
+        tree = u("root", *[u("a")] * document)
+        assert decode(evaluate(machine, encode(tree))) == \
+            apply_stylesheet(sheet, tree)
+
+    def test_single_pebble(self):
+        machine = xslt_to_transducer(WRAP_SHEET, tags={"doc", "sec", "par"},
+                                     root_tag="doc")
+        assert machine.k == 1
+
+    def test_multi_apply_only_at_root(self):
+        sheet = Stylesheet([
+            Template("doc", [Out("D", [Apply()])]),
+            Template("sec", [Out("S", [Apply(), Apply()])]),
+            Template("par", []),
+        ])
+        with pytest.raises(PebbleMachineError):
+            xslt_to_transducer(sheet, tags={"doc", "sec", "par"},
+                               root_tag="doc")
+
+    def test_every_tag_needs_a_template(self):
+        with pytest.raises(PebbleMachineError):
+            xslt_to_transducer(WRAP_SHEET, tags={"doc", "sec", "par", "zzz"},
+                               root_tag="doc")
+
+    def test_root_body_must_be_single_element(self):
+        sheet = Stylesheet([
+            Template("doc", [Apply()]),
+            Template("par", [Out("P")]),
+        ])
+        with pytest.raises(PebbleMachineError):
+            xslt_to_transducer(sheet, tags={"doc", "par"}, root_tag="doc")

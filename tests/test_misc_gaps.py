@@ -1,0 +1,66 @@
+"""Assorted coverage: CLI module entry, DTD root override, automaton
+root-state introspection, RuleSet chaining."""
+
+import subprocess
+import sys
+
+from repro.automata import dtd_to_automaton
+from repro.data import paper_dtd, paper_tree
+from repro.pebble import Emit0, RuleSet
+from repro.trees import RankedAlphabet, encode, leaf, node
+from repro.xmlio import parse_dtd_xml
+
+
+class TestDTDXmlRoot:
+    def test_root_override(self):
+        dtd = parse_dtd_xml(
+            "<!ELEMENT a (b)> <!ELEMENT b EMPTY>", root="b"
+        )
+        assert dtd.root == "b"
+        from repro.trees import u
+
+        assert dtd.is_valid(u("b"))
+        assert not dtd.is_valid(u("a", u("b")))
+
+
+class TestStatesAtRoot:
+    def test_reachable_state_sets(self):
+        automaton = dtd_to_automaton(paper_dtd())
+        states = automaton.states_at_root(encode(paper_tree()))
+        assert states & automaton.accepting
+        states = automaton.states_at_root(leaf("|"))
+        assert not (states & automaton.accepting)
+
+
+class TestRuleSet:
+    def test_chaining(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals=set())
+        rules = RuleSet().add("a", "q", Emit0("a")).add("a", "p", Emit0("a"))
+        table = rules.build_rules(alphabet, {"q": 1, "p": 1})
+        assert ("a", "q", ()) in table and ("a", "p", ()) in table
+
+
+class TestModuleEntry:
+    def test_python_dash_m_repro(self, tmp_path):
+        dtd = tmp_path / "d.dtd"
+        dtd.write_text("a := b*\nb :=")
+        doc = tmp_path / "d.xml"
+        doc.write_text("<a><b/></a>")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "validate", "--dtd", str(dtd),
+             str(doc)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "valid" in completed.stdout
+
+    def test_usage_error(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 2

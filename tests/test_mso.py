@@ -1,0 +1,165 @@
+"""Tests for MSO on binary trees: syntax, semantics, and the compiler
+(the engine behind Theorem 4.7)."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import btrees
+from repro.errors import MSOError
+from repro.mso import (
+    And,
+    Eq,
+    In,
+    Label,
+    Leaf,
+    Not,
+    Or,
+    Root,
+    Subset,
+    Succ,
+    compile_formula,
+    conj,
+    evaluate,
+    exists_fo,
+    exists_so,
+    forall_fo,
+    forall_so,
+    sentence_automaton,
+)
+from repro.mso.annotations import (
+    annotate_tree,
+    pack,
+    strip_annotations,
+    unpack,
+)
+from repro.trees import RankedAlphabet, leaf, node
+
+BASE = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+TREE = node("f", node("g", leaf("a"), leaf("b")), leaf("a"))
+
+
+class TestAnnotations:
+    def test_pack_unpack(self):
+        assert unpack(pack("f", (0, 1))) == ("f", (0, 1))
+        assert unpack(pack("f", ())) == ("f", ())
+
+    def test_annotate_and_strip(self):
+        annotated = annotate_tree(
+            TREE, ["x", "S"], {"x": (0,), "S": [(0,), (1,)]}
+        )
+        assert annotated.label == pack("f", (0, 0))
+        assert annotated.left.label == pack("g", (1, 1))
+        assert strip_annotations(annotated) == TREE
+
+    def test_missing_assignment(self):
+        with pytest.raises(MSOError):
+            annotate_tree(TREE, ["x"], {})
+
+
+class TestSemantics:
+    def test_atoms(self):
+        assert evaluate(Label("f", "x"), TREE, {"x": ()})
+        assert not evaluate(Label("f", "x"), TREE, {"x": (1,)})
+        assert evaluate(Succ(1, "x", "y"), TREE, {"x": (), "y": (0,)})
+        assert not evaluate(Succ(1, "x", "y"), TREE, {"x": (), "y": (1,)})
+        assert evaluate(Root("x"), TREE, {"x": ()})
+        assert evaluate(Leaf("x"), TREE, {"x": (1,)})
+        assert evaluate(Eq("x", "y"), TREE, {"x": (0,), "y": (0,)})
+        assert evaluate(In("x", "S"), TREE, {"x": (0,), "S": {(0,)}})
+        assert evaluate(Subset("S", "T"), TREE,
+                        {"S": {(0,)}, "T": {(0,), (1,)}})
+
+    def test_quantifiers(self):
+        has_b = exists_fo("x", Label("b", "x"))
+        assert evaluate(has_b, TREE)
+        assert not evaluate(has_b, leaf("a"))
+        all_leaves_ab = forall_fo(
+            "x", Not(Leaf("x")) | Label({"a", "b"}, "x")
+        )
+        assert evaluate(all_leaves_ab, TREE)
+
+    def test_unbound_variable(self):
+        with pytest.raises(MSOError):
+            evaluate(Label("a", "x"), TREE)
+
+
+class TestCompiler:
+    @given(btrees(max_leaves=4))
+    @settings(max_examples=30, deadline=None)
+    def test_sentences_agree_with_semantics(self, tree):
+        sentences = [
+            exists_fo("x", Label("b", "x")),
+            forall_fo("x", Label("f", "x").implies(
+                exists_fo("y", And(Succ(1, "x", "y"), Label({"a"}, "y"))))),
+            exists_so("S", exists_fo("x", And(Root("x"), In("x", "S")))),
+            forall_fo(["x", "y"], Not(And(Succ(1, "x", "y"),
+                                          And(Label("g", "x"),
+                                              Label("b", "y"))))),
+        ]
+        for sentence in sentences:
+            automaton = sentence_automaton(sentence, BASE)
+            assert automaton.accepts(tree) == evaluate(sentence, tree)
+
+    def test_free_variable_formula(self):
+        compiled = compile_formula(Succ(2, "x", "y"), BASE)
+        for x in [(), (0,)]:
+            for y in [(0,), (1,), (0, 0), (0, 1)]:
+                want = evaluate(Succ(2, "x", "y"), TREE, {"x": x, "y": y})
+                assert compiled.accepts(TREE, {"x": x, "y": y}) == want
+
+    def test_descendant_warmup(self):
+        """The paper's warm-up: descendant via set quantification."""
+        closed = forall_fo(["u", "v"], conj(
+            Not(And(In("u", "S"), And(Succ(1, "u", "v"),
+                                      Not(In("v", "S"))))),
+            Not(And(In("u", "S"), And(Succ(2, "u", "v"),
+                                      Not(In("v", "S"))))),
+        ))
+        descendant = forall_so("S", Not(And(In("x", "S"),
+                                            And(closed,
+                                                Not(In("y", "S"))))))
+        compiled = compile_formula(descendant, BASE)
+        nodes = [address for _, address in TREE.walk()]
+        for x in nodes:
+            for y in nodes:
+                want = y[: len(x)] == x  # descendant-or-self
+                assert compiled.accepts(TREE, {"x": x, "y": y}) == want
+
+    def test_and_or_tree_warmup(self):
+        """The paper's second warm-up: and/or trees evaluating to 1."""
+        alphabet = RankedAlphabet(leaves={"0", "1"}, internals={"A", "O"})
+        reverse_closed = conj(
+            forall_fo(["x", "y"], Not(conj(
+                Label("O", "x"),
+                Or(And(Succ(1, "x", "y"), In("y", "S")),
+                   And(Succ(2, "x", "y"), In("y", "S"))),
+                Not(In("x", "S"))))),
+            forall_fo(["x", "y", "z"], Not(conj(
+                Label("A", "x"), Succ(1, "x", "y"), Succ(2, "x", "z"),
+                In("y", "S"), In("z", "S"), Not(In("x", "S"))))),
+            forall_fo("x", Not(conj(Label("1", "x"), Not(In("x", "S"))))),
+        )
+        value_one = forall_so("S", Not(And(
+            reverse_closed,
+            exists_fo("r", And(Root("r"), Not(In("r", "S")))),
+        )))
+        automaton = sentence_automaton(value_one, alphabet)
+
+        def eval_circuit(tree):
+            if tree.is_leaf:
+                return tree.label == "1"
+            left, right = eval_circuit(tree.left), eval_circuit(tree.right)
+            return (left and right) if tree.label == "A" else (left or right)
+
+        import random
+
+        from repro.trees import random_btree
+
+        rng = random.Random(3)
+        for _ in range(30):
+            tree = random_btree(alphabet, rng.randint(1, 9), rng)
+            assert automaton.accepts(tree) == eval_circuit(tree)
+
+    def test_sentence_requires_closed(self):
+        with pytest.raises(MSOError):
+            sentence_automaton(Label("a", "x"), BASE)

@@ -1,0 +1,92 @@
+"""Unit tests for the annotation machinery behind the MSO compiler and
+the Theorem 4.7 pipeline."""
+
+import pytest
+from hypothesis import given
+
+from conftest import btrees
+from repro.errors import MSOError
+from repro.mso import (
+    annotate_tree,
+    cylindrify,
+    project,
+    singleton_automaton,
+    strip_annotations,
+)
+from repro.mso.annotations import all_bits, annotated_alphabet, pack, unpack
+from repro.mso.compile import compile_formula
+from repro.mso.syntax import Label
+from repro.trees import RankedAlphabet, leaf, node
+
+BASE = RankedAlphabet(leaves={"a", "b"}, internals={"f"})
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        for bits in all_bits(3):
+            assert unpack(pack("sym", bits)) == ("sym", bits)
+
+    def test_zero_vars_identity(self):
+        assert pack("f", ()) == "f"
+        assert annotated_alphabet(BASE, 0) is BASE
+
+    def test_alphabet_sizes(self):
+        annotated = annotated_alphabet(BASE, 2)
+        assert len(annotated.leaves) == 2 * 4
+        assert len(annotated.internals) == 1 * 4
+
+
+class TestCylindrifyProject:
+    def _label_automaton(self):
+        compiled = compile_formula(Label("a", "x"), BASE)
+        return compiled.automaton
+
+    def test_cylindrify_then_project_is_identity(self):
+        automaton = self._label_automaton()
+        widened = cylindrify(automaton, BASE, ("x",), ("S", "x"))
+        narrowed = project(widened, BASE, ("S", "x"), ["S"])
+        tree = node("f", leaf("a"), leaf("b"))
+        annotated = annotate_tree(tree, ["x"], {"x": (0,)})
+        assert automaton.accepts(annotated) == narrowed.accepts(annotated)
+
+    def test_cylindrify_requires_superset(self):
+        automaton = self._label_automaton()
+        with pytest.raises(MSOError):
+            cylindrify(automaton, BASE, ("x",), ("S",))
+
+    def test_project_unknown_var(self):
+        automaton = self._label_automaton()
+        with pytest.raises(MSOError):
+            project(automaton, BASE, ("x",), ["zzz"])
+
+    @given(btrees(leaves=("a", "b"), internals=("f",), max_leaves=4))
+    def test_cylindrified_ignores_new_bits(self, tree):
+        automaton = self._label_automaton()
+        widened = cylindrify(automaton, BASE, ("x",), ("S", "x"))
+        addresses = [addr for _, addr in tree.walk()]
+        for x in addresses:
+            plain = annotate_tree(tree, ["x"], {"x": x})
+            marked = annotate_tree(tree, ["S", "x"],
+                                   {"S": set(addresses), "x": x})
+            unmarked = annotate_tree(tree, ["S", "x"], {"S": [], "x": x})
+            want = automaton.accepts(plain)
+            assert widened.accepts(marked) == want
+            assert widened.accepts(unmarked) == want
+
+
+class TestSingleton:
+    @given(btrees(leaves=("a", "b"), internals=("f",), max_leaves=4))
+    def test_exactly_one_bit(self, tree):
+        sing = singleton_automaton(BASE, ("x",), "x")
+        addresses = [addr for _, addr in tree.walk()]
+        for x in addresses:
+            assert sing.accepts(annotate_tree(tree, ["x"], {"x": x}))
+        assert not sing.accepts(annotate_tree(tree, ["x"], {"x": []}))
+        if len(addresses) >= 2:
+            double = annotate_tree(tree, ["x"], {"x": addresses[:2]})
+            assert not sing.accepts(double)
+
+    def test_strip(self):
+        tree = node("f", leaf("a"), leaf("b"))
+        annotated = annotate_tree(tree, ["x"], {"x": (0,)})
+        assert strip_annotations(annotated) == tree

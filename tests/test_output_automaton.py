@@ -1,0 +1,117 @@
+"""Proposition 3.8: the per-input output automaton A_t."""
+
+import random
+
+from hypothesis import given, settings
+
+from conftest import btrees
+from repro.automata import td_to_bu
+from repro.data.generators import full_binary_tree
+from repro.pebble import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    RuleSet,
+    copy_transducer,
+    enumerate_outputs,
+    evaluate,
+    exponential_transducer,
+    has_output,
+    output_automaton,
+    output_contains,
+    output_language,
+    some_output,
+)
+from repro.trees import RankedAlphabet, leaf, node
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def nondet_leaf_flipper() -> PebbleTransducer:
+    """Copies the tree but may flip any leaf's label: 2^leaves outputs."""
+    rules = RuleSet()
+    for symbol in sorted(ALPHA.internals):
+        rules.add(symbol, "q", Emit2(symbol, "q1", "q2"))
+        rules.add(symbol, "q1", Move("down-left", "q"))
+        rules.add(symbol, "q2", Move("down-right", "q"))
+    for symbol in sorted(ALPHA.leaves):
+        rules.add(symbol, "q", Emit0("a"))
+        rules.add(symbol, "q", Emit0("b"))
+    return PebbleTransducer(ALPHA, ALPHA, [["q", "q1", "q2"]], "q", rules)
+
+
+class TestDeterministicCase:
+    @given(btrees())
+    @settings(max_examples=30)
+    def test_language_is_singleton_output(self, tree):
+        machine = copy_transducer(ALPHA)
+        automaton = output_automaton(machine, tree)
+        assert automaton.accepts(tree)
+        assert some_output(machine, tree) == tree
+        # a different tree is not in T(t)
+        other = node("f", tree, tree)
+        assert not output_contains(machine, tree, other)
+
+    def test_exponential_output_membership_cheap(self):
+        """The PTIME claim: A_t answers membership without materializing
+        the exponential output."""
+        machine = exponential_transducer(ALPHA)
+        tree = full_binary_tree(ALPHA, 6, "f", "a")
+        automaton = output_automaton(machine, tree)
+        # statement (2) of Prop 3.8: states are configurations, O(n^k)
+        assert len(automaton.states) <= 4 * tree.size()
+        produced = evaluate(machine, tree)
+        assert automaton.accepts(produced)
+        assert not automaton.accepts(tree)
+
+    def test_diverging_machine_has_empty_output(self):
+        rules = RuleSet().add(None, "q", Move("stay", "p"))
+        rules.add(None, "p", Move("stay", "q"))
+        machine = PebbleTransducer(ALPHA, ALPHA, [["q", "p"]], "q", rules)
+        assert not has_output(machine, leaf("a"))
+        assert some_output(machine, leaf("a")) is None
+
+
+class TestNondeterministicCase:
+    def test_output_count(self):
+        machine = nondet_leaf_flipper()
+        tree = node("f", leaf("a"), node("g", leaf("b"), leaf("a")))
+        outputs = list(enumerate_outputs(machine, tree, 20))
+        assert len(outputs) == 8  # 2^3 leaf flips
+        assert len(set(outputs)) == 8
+        for output in outputs:
+            assert output_contains(machine, tree, output)
+
+    def test_shape_constraints(self):
+        machine = nondet_leaf_flipper()
+        tree = node("f", leaf("a"), leaf("b"))
+        # all outputs share the input's shape
+        assert output_contains(machine, tree, node("f", leaf("b"), leaf("b")))
+        assert not output_contains(machine, tree, node("g", leaf("a"),
+                                                       leaf("a")))
+        assert not output_contains(machine, tree, leaf("a"))
+
+    def test_language_is_regular_object(self):
+        machine = nondet_leaf_flipper()
+        tree = node("f", leaf("a"), leaf("b"))
+        language = output_language(machine, tree)
+        # boolean algebra applies to T(t) as to any regular language
+        complement = language.complemented()
+        assert not complement.accepts(node("f", leaf("b"), leaf("a")))
+        assert complement.accepts(leaf("a"))
+
+
+class TestAgainstDirectEvaluation:
+    @given(btrees(max_leaves=5))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_machines_agree(self, tree):
+        """For deterministic T: L(A_t) = {evaluate(T, t)} (or empty)."""
+        for machine in (copy_transducer(ALPHA), exponential_transducer(ALPHA)):
+            produced = evaluate(machine, tree)
+            language = output_language(machine, tree)
+            witness = language.witness()
+            if produced is None:
+                assert witness is None
+            else:
+                assert witness == produced

@@ -1,0 +1,104 @@
+"""k-pebble tree automata and AGAP acceptance (Definition 4.5)."""
+
+import pytest
+
+from repro.errors import PebbleMachineError
+from repro.pebble import (
+    Branch0,
+    Branch2,
+    Emit0,
+    Move,
+    PebbleAutomaton,
+    Pick,
+    Place,
+    RuleSet,
+)
+from repro.trees import RankedAlphabet, leaf, node, random_btree
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def has_b_leaf_automaton() -> PebbleAutomaton:
+    """Walks down nondeterministically looking for a b leaf."""
+    rules = RuleSet()
+    rules.add(None, "q", Move("down-left", "q"))
+    rules.add(None, "q", Move("down-right", "q"))
+    rules.add("b", "q", Branch0())
+    return PebbleAutomaton(ALPHA, [["q"]], "q", rules)
+
+
+def all_leaves_a_automaton() -> PebbleAutomaton:
+    """Branching: both subtrees must satisfy the condition."""
+    rules = RuleSet()
+    rules.add(["f", "g"], "q", Branch2("l", "r"))
+    rules.add(None, "l", Move("down-left", "q"))
+    rules.add(None, "r", Move("down-right", "q"))
+    rules.add("a", "q", Branch0())
+    return PebbleAutomaton(ALPHA, [["q", "l", "r"]], "q", rules)
+
+
+class TestAcceptance:
+    def test_or_nondeterminism(self, rng):
+        automaton = has_b_leaf_automaton()
+        for _ in range(40):
+            tree = random_btree(ALPHA, rng.randint(1, 9), rng)
+            assert automaton.accepts(tree) == ("b" in tree.leaf_labels())
+
+    def test_and_branching(self, rng):
+        automaton = all_leaves_a_automaton()
+        for _ in range(40):
+            tree = random_btree(ALPHA, rng.randint(1, 9), rng)
+            assert automaton.accepts(tree) == (tree.leaf_labels() == {"a"})
+
+    def test_two_pebble_place_and_pick(self, rng):
+        """Leftmost leaf of some subtree is 'a' <=> some leaf is 'a'."""
+        rules = RuleSet()
+        rules.add(None, "p1", Move("down-left", "p1"))
+        rules.add(None, "p1", Move("down-right", "p1"))
+        rules.add(None, "p1", Place("p2"))
+        rules.add(None, "p2", Move("down-left", "p2"), pebbles=(0,))
+        rules.add(None, "p2", Move("down-right", "p2"), pebbles=(0,))
+        rules.add(None, "p2", Move("stay", "lft"), pebbles=(1,))
+        rules.add(["f", "g"], "lft", Move("down-left", "lft"), pebbles=None)
+        rules.add("a", "lft", Pick("win"), pebbles=None)
+        rules.add(None, "win", Branch0())
+        automaton = PebbleAutomaton(
+            ALPHA, [["p1", "win"], ["p2", "lft"]], "p1", rules
+        )
+        for _ in range(30):
+            tree = random_btree(ALPHA, rng.randint(1, 8), rng)
+            assert automaton.accepts(tree) == ("a" in tree.leaf_labels())
+
+    def test_accessible_configs_returned(self):
+        automaton = has_b_leaf_automaton()
+        configs = automaton.accessible_configs(node("f", leaf("a"), leaf("b")))
+        assert configs is not None
+        assert ("q", (0,)) in configs  # the initial configuration
+
+    def test_config_budget(self):
+        automaton = has_b_leaf_automaton()
+        with pytest.raises(PebbleMachineError):
+            automaton.accepts(
+                node("f", leaf("b"), leaf("b")), max_configs=1
+            )
+
+    def test_has_branching(self):
+        assert all_leaves_a_automaton().has_branching()
+        assert not has_b_leaf_automaton().has_branching()
+
+
+class TestValidation:
+    def test_emit_rejected_in_automaton(self):
+        rules = RuleSet().add("a", "q", Emit0("a"))
+        with pytest.raises(PebbleMachineError):
+            PebbleAutomaton(ALPHA, [["q"]], "q", rules)
+
+    def test_branch2_same_level(self):
+        rules = RuleSet().add("a", "q", Branch2("q", "deep"))
+        with pytest.raises(PebbleMachineError):
+            PebbleAutomaton(ALPHA, [["q"], ["deep"]], "q", rules)
+
+    def test_place_beyond_k(self):
+        rules = RuleSet().add("a", "q2", Place("q"))
+        with pytest.raises(PebbleMachineError):
+            PebbleAutomaton(ALPHA, [["q"], ["q2"]], "q", rules)

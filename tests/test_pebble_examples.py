@@ -1,0 +1,202 @@
+"""The paper's example machines, Section 3.2 (Examples 3.3-3.7, Fig. 2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import btrees
+from repro.data.generators import full_binary_tree, right_spine
+from repro.errors import PebbleMachineError
+from repro.pebble import (
+    Move,
+    PebbleTransducer,
+    RuleSet,
+    add_preorder_next,
+    copy_transducer,
+    evaluate,
+    exponential_transducer,
+    rotation_transducer,
+)
+from repro.pebble.transducer import Emit0
+from repro.trees import BTree, IndexedTree, RankedAlphabet, leaf, node
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+class TestExample33Copy:
+    @given(btrees())
+    def test_copy_is_identity(self, tree):
+        machine = copy_transducer(ALPHA)
+        assert evaluate(machine, tree) == tree
+
+    def test_copy_shape(self):
+        machine = copy_transducer(ALPHA)
+        assert machine.k == 1
+        assert machine.stats()["states"] == 3
+
+
+class TestExample34Preorder:
+    def _walker(self, alphabet, root_symbol):
+        """A transducer that walks the whole tree in pre-order and counts
+        visits by emitting a right-linear chain of f's."""
+        rules = RuleSet()
+        extra = add_preorder_next(
+            rules, alphabet, {root_symbol}, "go", "emit", "end", tag=0
+        )
+        # at each visited node: emit one chain link, then keep walking
+        from repro.pebble.transducer import Emit2
+
+        rules.add(None, "emit", Emit2("f", "leafer", "go"))
+        rules.add(None, "leafer", Emit0("a"))
+        rules.add(None, "end", Emit0("a"))
+        rules.add(None, "boot", Emit2("f", "leafer", "go"))
+        return PebbleTransducer(
+            input_alphabet=alphabet,
+            output_alphabet=RankedAlphabet(leaves={"a"}, internals={"f"}),
+            levels=[["go", "emit", "end", "boot", "leafer"] + extra],
+            initial="boot",
+            rules=rules,
+        )
+
+    @given(btrees(leaves=("a", "b"), internals=("g",)))
+    @settings(max_examples=40)
+    def test_visits_every_node_once(self, tree):
+        # make the root symbol unique: wrap in an 'r' node
+        alphabet = RankedAlphabet(leaves={"a", "b"}, internals={"g", "r"})
+        wrapped = BTree("r", tree, BTree("a"))
+        machine = self._walker(alphabet, "r")
+        output = evaluate(machine, wrapped)
+        assert output is not None
+        # chain length == number of nodes (each visit emits one link)
+        length = 0
+        while not output.is_leaf:
+            length += 1
+            output = output.right
+        assert length == wrapped.size()
+
+    def test_preorder_order(self):
+        """Drive the subroutine manually and compare with walk()."""
+        alphabet = RankedAlphabet(leaves={"a", "b"}, internals={"g", "r"})
+        tree = node("r", node("g", leaf("a"), leaf("b")), leaf("a"))
+        rules = RuleSet()
+        extra = add_preorder_next(
+            rules, alphabet, {"r"}, "go", "done", "end", tag=0
+        )
+        machine = PebbleTransducer(
+            input_alphabet=alphabet,
+            output_alphabet=alphabet,
+            levels=[["go", "done", "end"] + extra],
+            initial="go",
+            rules=rules,
+        )
+        from repro.pebble.stepping import guard_bits, move_successor
+
+        indexed = IndexedTree(tree)
+        visited = [0]
+        config = ("go", (0,))
+        for _ in range(200):
+            state, positions = config
+            symbol = indexed.label(positions[-1])
+            actions = machine.actions_for(symbol, state, guard_bits(positions))
+            applicable = [
+                (action, move_successor(indexed, positions, action))
+                for action in actions
+            ]
+            applicable = [
+                (action, pos) for action, pos in applicable if pos is not None
+            ]
+            assert len(applicable) <= 1
+            if not applicable:
+                break
+            action, new_positions = applicable[0]
+            config = (action.target, new_positions)
+            if action.target == "done":
+                visited.append(new_positions[-1])
+                config = ("go", new_positions)
+            if action.target == "end":
+                break
+        assert visited == list(range(indexed.n))  # pre-order = id order
+
+
+class TestExample36Exponential:
+    def test_recursive_definition(self):
+        """f(a(t1,t2)) = z(a(f t1, f t2), a(f t1, f t2)); f(a) = z(a,a)."""
+        machine = exponential_transducer(ALPHA)
+        assert evaluate(machine, leaf("a")) == node("z", leaf("a"), leaf("a"))
+        tree = node("f", leaf("a"), leaf("b"))
+        inner = node(
+            "f",
+            node("z", leaf("a"), leaf("a")),
+            node("z", leaf("b"), leaf("b")),
+        )
+        assert evaluate(machine, tree) == node("z", inner, inner)
+
+    def test_output_size_exponential(self):
+        machine = exponential_transducer(ALPHA)
+        sizes = []
+        for depth in range(1, 6):
+            tree = full_binary_tree(ALPHA, depth, "f", "a")
+            sizes.append(evaluate(machine, tree).size())
+        # each extra level roughly squares the subtree count: strictly
+        # super-linear growth, past 2^depth.
+        for depth, size in enumerate(sizes, start=1):
+            assert size >= 2 ** (depth + 1)
+
+    def test_marker_clash_rejected(self):
+        with pytest.raises(PebbleMachineError):
+            exponential_transducer(ALPHA, marker="f")
+
+
+class TestExample37Rotation:
+    ALPHA2 = RankedAlphabet(leaves={"s", "b", "c"}, internals={"r", "g"})
+
+    def test_figure_2_smallest(self):
+        machine = rotation_transducer(self.ALPHA2)
+        assert evaluate(machine, node("r", leaf("s"), leaf("b"))) == \
+            node("r2", leaf("m"), node("r", leaf("b"), leaf("n")))
+
+    def test_figure_2_nested(self):
+        machine = rotation_transducer(self.ALPHA2)
+        tree = node("r", node("g", leaf("c"), leaf("s")), leaf("b"))
+        assert evaluate(machine, tree) == node(
+            "r2",
+            leaf("m"),
+            node("g", node("r", leaf("b"), leaf("n")), leaf("c")),
+        )
+
+    def test_output_size_is_input_size_plus_two(self):
+        """Rotation adds exactly the two fresh nodes m and n."""
+        machine = rotation_transducer(self.ALPHA2)
+        tree = node(
+            "r",
+            node("g", node("g", leaf("s"), leaf("c")), leaf("b")),
+            leaf("c"),
+        )
+        output = evaluate(machine, tree)
+        assert output is not None
+        assert output.size() == tree.size() + 2
+
+    def test_string_reversal(self):
+        """The paper's remark: a 1-pebble transducer reverses a string
+        encoded as a right-linear binary tree."""
+        alphabet = RankedAlphabet(leaves={"s", "x"}, internals={"r", "c1",
+                                                                "c2"})
+        machine = rotation_transducer(alphabet)
+        # encode the string r c1 c2 as r(x, c1(x, c2(x, s)))
+        tree = node("r", leaf("x"),
+                    node("c1", leaf("x"), node("c2", leaf("x"), leaf("s"))))
+        output = evaluate(machine, tree)
+        # read the labels along the left spine of the rotated tree
+        spine = []
+        current = output.right  # under the new root
+        while current is not None and not current.is_leaf:
+            spine.append(current.label)
+            current = current.left
+        assert spine == ["c2", "c1", "r"]  # reversed
+
+    def test_no_pivot_diverges(self):
+        machine = rotation_transducer(self.ALPHA2)
+        assert evaluate(machine, node("r", leaf("b"), leaf("c"))) is None
+
+    def test_pivot_must_be_leaf(self):
+        with pytest.raises(PebbleMachineError):
+            rotation_transducer(self.ALPHA2, pivot="g")

@@ -1,0 +1,53 @@
+"""Proposition 4.6: inst(T x B) = {t | T(t) ∩ inst(B) ≠ ∅}."""
+
+import pytest
+
+from repro.automata import BottomUpTA, bu_to_td
+from repro.errors import PebbleMachineError
+from repro.pebble import (
+    copy_transducer,
+    exponential_transducer,
+    output_language,
+    transducer_times_automaton,
+)
+from repro.trees import RankedAlphabet, random_btree
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def leaves_all_a(alphabet) -> BottomUpTA:
+    return BottomUpTA(
+        alphabet=alphabet,
+        states={"ok"},
+        leaf_rules={"a": {"ok"}},
+        rules={(s, "ok", "ok"): {"ok"} for s in sorted(alphabet.internals)},
+        accepting={"ok"},
+    )
+
+
+class TestProduct:
+    @pytest.mark.parametrize("builder", [copy_transducer,
+                                         exponential_transducer])
+    def test_semantics(self, builder, rng):
+        """A accepts t  iff  T(t) ∩ L(B) ≠ ∅ — checked via Prop 3.8."""
+        machine = builder(ALPHA)
+        b_type = leaves_all_a(machine.output_alphabet)
+        product = transducer_times_automaton(machine, bu_to_td(b_type))
+        for _ in range(30):
+            tree = random_btree(ALPHA, rng.randint(1, 8), rng)
+            expected = not output_language(machine, tree).intersection(
+                b_type
+            ).is_empty()
+            assert product.accepts(tree) == expected
+
+    def test_levels_mirror_transducer(self):
+        machine = copy_transducer(ALPHA)
+        b_type = leaves_all_a(ALPHA)
+        product = transducer_times_automaton(machine, bu_to_td(b_type))
+        assert product.k == machine.k
+
+    def test_alphabet_mismatch_rejected(self):
+        machine = copy_transducer(ALPHA)
+        other = leaves_all_a(RankedAlphabet(leaves={"a"}, internals={"h"}))
+        with pytest.raises(PebbleMachineError):
+            transducer_times_automaton(machine, bu_to_td(other))

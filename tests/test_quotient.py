@@ -1,0 +1,75 @@
+"""Bisimulation quotients of pebble automata."""
+
+import random
+
+from repro.automata import bu_to_td
+from repro.data import q1_output_even_dtd
+from repro.lang import q1_transducer
+from repro.pebble import (
+    Branch0,
+    Branch2,
+    Move,
+    PebbleAutomaton,
+    RuleSet,
+    quotient_pebble_automaton,
+    transducer_times_automaton,
+    trim_pebble_automaton,
+)
+from repro.trees import RankedAlphabet, random_btree
+from repro.typecheck import as_automaton
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+class TestQuotient:
+    def test_duplicate_states_merge(self):
+        """Two verbatim copies of the same walker collapse to one."""
+        rules = RuleSet()
+        for name in ("q", "p"):
+            rules.add(None, name, Move("down-left", name))
+            rules.add("b", name, Branch0())
+        rules.add(None, "start", Branch2("q", "p"))
+        automaton = PebbleAutomaton(ALPHA, [["start", "q", "p"]], "start",
+                                    rules)
+        quotient = quotient_pebble_automaton(automaton)
+        assert len(quotient.level_of) == 2  # start + merged walker
+
+    def test_language_preserved_on_q1_product(self, rng):
+        machine = q1_transducer()
+        tau2 = as_automaton(q1_output_even_dtd(), machine.output_alphabet)
+        product = transducer_times_automaton(
+            machine, bu_to_td(tau2.complemented().trimmed())
+        )
+        trimmed = trim_pebble_automaton(product)
+        quotient = quotient_pebble_automaton(trimmed)
+        assert len(quotient.level_of) < len(trimmed.level_of)
+        for _ in range(20):
+            tree = random_btree(product.alphabet, rng.randint(1, 8), rng)
+            assert product.accepts(tree) == quotient.accepts(tree)
+
+    def test_initial_state_survives(self):
+        rules = RuleSet()
+        rules.add("a", "q", Branch0())
+        automaton = PebbleAutomaton(ALPHA, [["q"]], "q", rules)
+        quotient = quotient_pebble_automaton(automaton)
+        assert quotient.initial in quotient.level_of
+
+    def test_distinguishable_states_not_merged(self):
+        rules = RuleSet()
+        rules.add("a", "q", Branch0())
+        rules.add("b", "p", Branch0())
+        rules.add(None, "start", Branch2("q", "p"))
+        automaton = PebbleAutomaton(ALPHA, [["start", "q", "p"]], "start",
+                                    rules)
+        quotient = quotient_pebble_automaton(automaton)
+        assert len(quotient.level_of) == 3
+
+    def test_idempotent(self):
+        machine = q1_transducer()
+        tau2 = as_automaton(q1_output_even_dtd(), machine.output_alphabet)
+        product = transducer_times_automaton(
+            machine, bu_to_td(tau2.complemented().trimmed())
+        )
+        once = quotient_pebble_automaton(trim_pebble_automaton(product))
+        twice = quotient_pebble_automaton(once)
+        assert len(twice.level_of) == len(once.level_of)

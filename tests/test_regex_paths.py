@@ -1,0 +1,114 @@
+"""Path expressions and the translate() semantics (Section 2.1).
+
+The flagship property here is the paper's equation::
+
+    eval(translate(r), encode(t)) = {encode-address of x | x in eval(r, t)}
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import utrees
+from repro.errors import RegexError
+from repro.regex import (
+    eval_regex,
+    eval_regex_binary,
+    eval_word,
+    parse_regex,
+    translate,
+)
+from repro.trees import encode, encoded_address, parse_utree
+
+PATH_EXPRESSIONS = [
+    "a",
+    "a.c",
+    "a.c.d",
+    "a.b",
+    "a.(b|c)",
+    "a.(b|(c.d))*.e",
+    "a.c*.d",
+    "%",
+    "a*",
+]
+
+
+class TestWordSemantics:
+    def test_epsilon_selects_root(self):
+        tree = parse_utree("a(b)")
+        assert eval_word([], tree) == {()}
+
+    def test_single_symbol(self):
+        tree = parse_utree("a(b)")
+        assert eval_word(["a"], tree) == {()}
+        assert eval_word(["b"], tree) == set()
+
+    def test_paper_style_path(self):
+        tree = parse_utree("a(b, b, c(d), e)")
+        assert eval_word(["a", "c", "d"], tree) == {(2, 0)}
+        assert eval_word(["a", "b"], tree) == {(0,), (1,)}
+
+
+class TestRegexSemantics:
+    def test_matches_word_semantics(self):
+        tree = parse_utree("a(b(c), b(d), c(d))")
+        expr = parse_regex("a.b.(c|d)")
+        expected = eval_word(["a", "b", "c"], tree) | eval_word(
+            ["a", "b", "d"], tree
+        )
+        assert eval_regex(expr, tree) == expected
+
+    @given(utrees(), st.sampled_from(PATH_EXPRESSIONS))
+    def test_regex_is_union_of_words(self, tree, text):
+        """eval(r, t) = union of eval(w, t) over words w in lang(r)."""
+        from repro.regex import compile_regex
+
+        expr = parse_regex(text)
+        dfa = compile_regex(expr, {"a", "b", "c", "d", "e"})
+        height_bound = tree.height() + 1
+        expected = set()
+        for word in dfa.accepted_words(height_bound):
+            expected |= eval_word(word, tree)
+        assert eval_regex(expr, tree) == expected
+
+
+class TestTranslate:
+    def test_paper_examples_language(self):
+        """The displayed translations of Section 2.1 denote the same
+        word language as ours (ours adds a harmless leading (-)*)."""
+        from repro.regex import compile_regex
+
+        alphabet = {"a", "b", "c", "d", "e", "-"}
+        ours = compile_regex(translate(parse_regex("a.c.d")), alphabet)
+        paper = compile_regex(
+            parse_regex("'-'*.a.'-'*.c.'-'*.d"), alphabet
+        )
+        assert ours.equivalent(paper)
+        ours2 = compile_regex(
+            translate(parse_regex("a.(b|(c.d))*.e")), alphabet
+        )
+        paper2 = compile_regex(
+            parse_regex("'-'*.a.'-'*.(b.'-'*|(c.'-'*.d.'-'*))*.e"), alphabet
+        )
+        assert ours2.equivalent(paper2)
+
+    @given(utrees(labels=("a", "b", "c", "d", "e")),
+           st.sampled_from(PATH_EXPRESSIONS))
+    def test_translate_equation(self, tree, text):
+        """eval(translate(r), encode(t)) == encode(eval(r, t))."""
+        expr = parse_regex(text)
+        encoded = encode(tree)
+        got = eval_regex_binary(translate(expr), encoded)
+        want = {
+            encoded_address(tree, address)
+            for address in eval_regex(expr, tree)
+        }
+        assert got == want
+
+    def test_rejects_generalized(self):
+        with pytest.raises(RegexError):
+            translate(parse_regex("~a"))
+
+    def test_rejects_cons_symbol(self):
+        with pytest.raises(RegexError):
+            translate(parse_regex("'-'"))

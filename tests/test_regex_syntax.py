@@ -1,0 +1,113 @@
+"""Unit tests for the regular-expression AST and smart constructors."""
+
+import pytest
+
+from repro.errors import RegexError
+from repro.regex import (
+    EMPTY,
+    EPSILON,
+    Complement,
+    Concat,
+    Intersect,
+    Star,
+    Sym,
+    Union,
+    complement,
+    concat,
+    intersect,
+    literal,
+    optional,
+    plus,
+    star,
+    sym,
+    union,
+    word,
+)
+
+
+class TestSmartConstructors:
+    def test_concat_unit(self):
+        assert concat(EPSILON, sym("a")) == sym("a")
+        assert concat(sym("a"), EPSILON) == sym("a")
+
+    def test_concat_zero(self):
+        assert concat(sym("a"), EMPTY) == EMPTY
+        assert concat(EMPTY, sym("a")) == EMPTY
+
+    def test_union_removes_empty_and_duplicates(self):
+        assert union(EMPTY, sym("a")) == sym("a")
+        assert union(sym("a"), sym("a")) == sym("a")
+        assert union() == EMPTY
+
+    def test_star_simplifications(self):
+        assert star(EMPTY) == EPSILON
+        assert star(EPSILON) == EPSILON
+        assert star(star(sym("a"))) == star(sym("a"))
+
+    def test_plus(self):
+        assert plus(EMPTY) == EMPTY
+        assert isinstance(plus(sym("a")), Star)
+        assert plus(sym("a")).plus
+
+    def test_optional(self):
+        assert optional(star(sym("a"))) == star(sym("a"))
+        result = optional(sym("a"))
+        assert result.nullable()
+
+    def test_complement_involution(self):
+        assert complement(complement(sym("a"))) == sym("a")
+
+    def test_word_and_literal(self):
+        assert word(["a", "b"]) == Concat(Sym("a"), Sym("b"))
+        assert literal("ab") == word("ab")
+
+    def test_empty_symbol_rejected(self):
+        with pytest.raises(RegexError):
+            Sym("")
+
+
+class TestQueries:
+    def test_nullable(self):
+        assert EPSILON.nullable()
+        assert not EMPTY.nullable()
+        assert star(sym("a")).nullable()
+        assert not plus(sym("a")).nullable()
+        assert complement(sym("a")).nullable()  # epsilon not in L(a)
+        assert not complement(EPSILON).nullable()
+
+    def test_symbols(self):
+        expr = concat(sym("a"), union(sym("b"), star(sym("c"))))
+        assert expr.symbols() == {"a", "b", "c"}
+
+    def test_is_plain_and_star_free(self):
+        plain = concat(sym("a"), star(sym("b")))
+        assert plain.is_plain()
+        assert not plain.is_star_free()
+        generalized = intersect(sym("a"), complement(sym("b")))
+        assert not generalized.is_plain()
+        assert generalized.is_star_free()
+
+    def test_complement_depth(self):
+        expr = complement(concat(sym("a"), complement(sym("b"))))
+        assert expr.complement_depth() == 2
+        assert sym("a").complement_depth() == 0
+
+    def test_size(self):
+        assert sym("a").size() == 1
+        assert concat(sym("a"), sym("b")).size() == 3
+
+    def test_operator_sugar(self):
+        expr = sym("a") | sym("b")
+        assert isinstance(expr, Union)
+        expr = sym("a") & sym("b")
+        assert isinstance(expr, Intersect)
+        assert isinstance(~sym("a"), Complement)
+
+
+class TestDisplay:
+    def test_str_forms(self):
+        from repro.regex import parse_regex
+
+        for text in ["a.b*.c", "a.(b|(c.d))*.e", "~(a.b)&(a|b)*", "%", "@"]:
+            expr = parse_regex(text)
+            assert parse_regex(str(expr)) == expr

@@ -1,0 +1,89 @@
+"""Unit tests for the move semantics (stepping) and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.pebble.stepping import guard_bits, move_successor
+from repro.pebble.transducer import Move, Pick, Place
+from repro.trees import IndexedTree, leaf, node
+
+
+@pytest.fixture
+def indexed():
+    #        f(0)
+    #      /      \
+    #    g(1)     a(4)
+    #   /    \
+    #  a(2)  b(3)
+    return IndexedTree(node("f", node("g", leaf("a"), leaf("b")), leaf("a")))
+
+
+class TestGuardBits:
+    def test_single_pebble_empty_vector(self):
+        assert guard_bits((3,)) == ()
+
+    def test_coincidence_bits(self):
+        assert guard_bits((3, 1, 3)) == (1, 0)
+        assert guard_bits((0, 0)) == (1,)
+        assert guard_bits((1, 2)) == (0,)
+
+
+class TestMoves:
+    def test_stay(self, indexed):
+        assert move_successor(indexed, (1,), Move("stay", "q")) == (1,)
+
+    def test_down_moves(self, indexed):
+        assert move_successor(indexed, (0,), Move("down-left", "q")) == (1,)
+        assert move_successor(indexed, (0,), Move("down-right", "q")) == (4,)
+        assert move_successor(indexed, (2,), Move("down-left", "q")) is None
+
+    def test_up_moves_respect_sides(self, indexed):
+        # node 2 is a left child, node 3 a right child
+        assert move_successor(indexed, (2,), Move("up-left", "q")) == (1,)
+        assert move_successor(indexed, (2,), Move("up-right", "q")) is None
+        assert move_successor(indexed, (3,), Move("up-right", "q")) == (1,)
+        assert move_successor(indexed, (3,), Move("up-left", "q")) is None
+
+    def test_up_at_root_is_stuck(self, indexed):
+        assert move_successor(indexed, (0,), Move("up-left", "q")) is None
+        assert move_successor(indexed, (0,), Move("up-right", "q")) is None
+
+    def test_only_top_pebble_moves(self, indexed):
+        after = move_successor(indexed, (4, 1), Move("down-left", "q"))
+        assert after == (4, 2)  # pebble 1 untouched
+
+    def test_place_goes_to_root(self, indexed):
+        assert move_successor(indexed, (3,), Place("q")) == (3, 0)
+
+    def test_pick_drops_top(self, indexed):
+        assert move_successor(indexed, (3, 2), Pick("q")) == (3,)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        subclasses = [
+            errors.TreeError,
+            errors.AlphabetError,
+            errors.RegexError,
+            errors.RegexParseError,
+            errors.XMLParseError,
+            errors.DTDError,
+            errors.AutomatonError,
+            errors.MSOError,
+            errors.PebbleMachineError,
+            errors.TransducerRuntimeError,
+            errors.TypecheckError,
+            errors.UndecidableError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_undecidable_is_typecheck_error(self):
+        assert issubclass(errors.UndecidableError, errors.TypecheckError)
+
+    def test_positioned_messages(self):
+        error = errors.RegexParseError("boom", position=7)
+        assert "position 7" in str(error)
+        assert error.position == 7
+        error = errors.XMLParseError("bad tag", position=3)
+        assert "position 3" in str(error)

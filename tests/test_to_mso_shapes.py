@@ -1,0 +1,66 @@
+"""Structural tests of the literal Theorem 4.7 formula (to_mso) —
+including multi-pebble machines where full compilation is out of reach."""
+
+from repro.mso import evaluate
+from repro.pebble import (
+    Branch0,
+    Move,
+    PebbleAutomaton,
+    Pick,
+    Place,
+    RuleSet,
+    pebble_automaton_to_mso,
+)
+from repro.trees import RankedAlphabet, leaf, node, random_btree
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f"})
+
+
+def two_pebble_machine() -> PebbleAutomaton:
+    rules = RuleSet()
+    rules.add(None, "p1", Move("down-left", "p1"))
+    rules.add(None, "p1", Place("p2"))
+    rules.add(None, "p2", Move("down-right", "p2"), pebbles=(0,))
+    rules.add("a", "p2", Pick("win"), pebbles=(1,))
+    rules.add(None, "win", Branch0())
+    return PebbleAutomaton(ALPHA, [["p1", "win"], ["p2"]], "p1", rules)
+
+
+class TestFormulaShape:
+    def test_sentence_is_closed(self):
+        formula = pebble_automaton_to_mso(two_pebble_machine())
+        assert formula.free_variables() == {}
+
+    def test_nested_quantifier_blocks(self):
+        """k = 2 yields a nested universal set-quantifier block (the
+        place conjunct embeds phi^(2))."""
+        formula = pebble_automaton_to_mso(two_pebble_machine())
+        text = str(formula)
+        # two distinct blocks of set quantifiers
+        assert text.count("∀₂") >= 2
+        # pebble-presence guards appear as node equalities (pebbles_b)
+        assert "=" in text
+
+    def test_formula_size_grows_with_k(self):
+        one = RuleSet()
+        one.add(None, "q", Move("down-left", "q"))
+        one.add("a", "q", Branch0())
+        automaton1 = PebbleAutomaton(ALPHA, [["q"]], "q", one)
+        size1 = pebble_automaton_to_mso(automaton1).size()
+        size2 = pebble_automaton_to_mso(two_pebble_machine()).size()
+        assert size2 > size1
+
+    def test_model_checking_small_trees(self):
+        """The literal formula evaluates correctly under the brute-force
+        MSO semantics — even for the 2-pebble machine, on tiny trees
+        (2^n subsets make big trees infeasible, which is the point of
+        the compiled routes)."""
+        automaton = two_pebble_machine()
+        formula = pebble_automaton_to_mso(automaton)
+        for tree in [
+            leaf("a"),
+            leaf("b"),
+            node("f", leaf("b"), leaf("a")),
+        ]:
+            assert evaluate(formula, tree) == automaton.accepts(tree), \
+                str(tree)

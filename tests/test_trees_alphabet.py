@@ -1,0 +1,72 @@
+"""Unit tests for ranked alphabets (Section 2.1)."""
+
+import pytest
+
+from repro.errors import AlphabetError
+from repro.trees import CONS, NIL, RankedAlphabet, encoded_alphabet
+
+
+class TestRankedAlphabet:
+    def test_symbols_union(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals={"f"})
+        assert alphabet.symbols == {"a", "f"}
+
+    def test_contains(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals={"f"})
+        assert "a" in alphabet
+        assert "f" in alphabet
+        assert "z" not in alphabet
+
+    def test_rank_of_leaf_and_internal(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals={"f"})
+        assert alphabet.rank_of("a") == {0}
+        assert alphabet.rank_of("f") == {2}
+
+    def test_symbol_may_have_both_ranks(self):
+        alphabet = RankedAlphabet(leaves={"s"}, internals={"s"})
+        assert alphabet.rank_of("s") == {0, 2}
+
+    def test_rank_of_unknown_raises(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals=set())
+        with pytest.raises(AlphabetError):
+            alphabet.rank_of("z")
+
+    def test_needs_a_leaf(self):
+        with pytest.raises(AlphabetError):
+            RankedAlphabet(leaves=set(), internals={"f"})
+
+    def test_check_leaf_rejects_internal_only(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals={"f"})
+        with pytest.raises(AlphabetError):
+            alphabet.check_leaf("f")
+        alphabet.check_leaf("a")
+
+    def test_check_internal_rejects_leaf_only(self):
+        alphabet = RankedAlphabet(leaves={"a"}, internals={"f"})
+        with pytest.raises(AlphabetError):
+            alphabet.check_internal("a")
+        alphabet.check_internal("f")
+
+    def test_union(self):
+        one = RankedAlphabet(leaves={"a"}, internals={"f"})
+        two = RankedAlphabet(leaves={"b"}, internals={"g"})
+        both = one.union(two)
+        assert both.leaves == {"a", "b"}
+        assert both.internals == {"f", "g"}
+
+    def test_iteration_is_sorted(self):
+        alphabet = RankedAlphabet(leaves={"b", "a"}, internals={"f"})
+        assert list(alphabet) == ["a", "b", "f"]
+
+
+class TestEncodedAlphabet:
+    def test_structure(self):
+        encoded = encoded_alphabet({"a", "b"})
+        assert encoded.leaves == {NIL}
+        assert encoded.internals == {"a", "b", CONS}
+
+    def test_reserved_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            encoded_alphabet({"a", CONS})
+        with pytest.raises(AlphabetError):
+            encoded_alphabet({NIL})

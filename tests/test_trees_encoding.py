@@ -1,0 +1,93 @@
+"""Tests for the unranked-to-binary encoding — Figure 1 of the paper."""
+
+import pytest
+from hypothesis import given
+
+from conftest import utrees
+from repro.errors import TreeError
+from repro.trees import (
+    BTree,
+    decode,
+    encode,
+    encoded_address,
+    element_nodes,
+    is_encoding,
+    leaf,
+    node,
+    parse_btree,
+    parse_utree,
+    u,
+)
+
+
+class TestFigure1:
+    def test_paper_example_exactly(self):
+        """encode(a(b,b,c(d),e)) = a(-(b,-(b,-(c(-(d,|),|),-(e,|)))),|)."""
+        tree = parse_utree("a(b, b, c(d), e)")
+        expected = parse_btree(
+            "a(-(b(|,|),-(b(|,|),-(c(-(d(|,|),|),|),-(e(|,|),|)))),|)"
+        )
+        assert encode(tree) == expected
+
+    def test_single_leaf(self):
+        assert encode(u("a")) == parse_btree("a(|,|)")
+
+    def test_encoding_is_complete_binary(self):
+        tree = encode(parse_utree("a(b, c(d, e), f)"))
+        for sub, _ in tree.walk():
+            assert (sub.left is None) == (sub.right is None)
+
+
+class TestRoundTrip:
+    @given(utrees())
+    def test_decode_encode_identity(self, tree):
+        assert decode(encode(tree)) == tree
+
+    @given(utrees())
+    def test_encoded_size(self, tree):
+        # each element contributes itself + its pad + one cons cell (for
+        # all but the root) + one nil per chain: |encode(t)| = 4|t| - 1.
+        assert encode(tree).size() == 4 * tree.size() - 1
+
+    @given(utrees())
+    def test_is_encoding(self, tree):
+        assert is_encoding(encode(tree))
+
+    def test_not_an_encoding(self):
+        assert not is_encoding(leaf("|"))
+        assert not is_encoding(node("-", leaf("|"), leaf("|")))
+        assert not is_encoding(node("a", leaf("|"), node("a", leaf("|"),
+                                                         leaf("|"))))
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(TreeError):
+            decode(BTree("a"))
+        with pytest.raises(TreeError):
+            decode(node("-", leaf("|"), leaf("|")))
+
+
+class TestNodeCorrespondence:
+    """The one-to-one label-preserving mapping (Section 2.1)."""
+
+    @given(utrees())
+    def test_encoded_address_label_preserving(self, tree):
+        encoded = encode(tree)
+        for original, address in tree.walk():
+            binary_address = encoded_address(tree, address)
+            assert encoded.subtree(binary_address).label == original.label
+
+    @given(utrees())
+    def test_encoded_subtree_is_encoding_of_subtree(self, tree):
+        """The encoded subtree at an element node is exactly the encoding
+        of the original subtree — the property the selection transducer's
+        copy phase relies on."""
+        encoded = encode(tree)
+        for original, address in tree.walk():
+            binary_address = encoded_address(tree, address)
+            assert encoded.subtree(binary_address) == encode(original)
+
+    @given(utrees())
+    def test_element_nodes_in_document_order(self, tree):
+        encoded = encode(tree)
+        labels = [label for _, label in element_nodes(encoded)]
+        assert labels == [node.label for node, _ in tree.walk()]

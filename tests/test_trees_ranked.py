@@ -1,0 +1,114 @@
+"""Unit tests for ranked binary trees and the indexed view (Section 2.1)."""
+
+import random
+
+import pytest
+from hypothesis import given
+
+from conftest import btrees
+from repro.errors import TreeError
+from repro.trees import (
+    BTree,
+    IndexedTree,
+    RankedAlphabet,
+    leaf,
+    node,
+    parse_btree,
+    random_btree,
+)
+
+
+class TestConstruction:
+    def test_leaf_and_node(self):
+        tree = node("f", leaf("a"), leaf("b"))
+        assert tree.size() == 3
+        assert tree.height() == 1
+        assert not tree.is_leaf
+        assert tree.left.is_leaf
+
+    def test_completeness_enforced(self):
+        with pytest.raises(TreeError):
+            BTree("f", BTree("a"), None)
+
+    def test_label_partitions(self):
+        tree = node("f", leaf("a"), node("g", leaf("a"), leaf("b")))
+        assert tree.leaf_labels() == {"a", "b"}
+        assert tree.internal_labels() == {"f", "g"}
+
+    def test_validate_over(self, small_alphabet):
+        tree = node("f", leaf("a"), leaf("b"))
+        tree.validate_over(small_alphabet)
+        bad = node("a", leaf("a"), leaf("b"))  # 'a' used as internal
+        with pytest.raises(Exception):
+            bad.validate_over(small_alphabet)
+
+
+class TestAddressing:
+    def test_walk_preorder(self):
+        tree = node("f", node("g", leaf("a"), leaf("b")), leaf("a"))
+        labels = [sub.label for sub, _ in tree.walk()]
+        assert labels == ["f", "g", "a", "b", "a"]
+
+    def test_subtree(self):
+        tree = node("f", node("g", leaf("a"), leaf("b")), leaf("a"))
+        assert tree.subtree((0, 1)).label == "b"
+
+    def test_parse_roundtrip(self):
+        text = "f(g(a,b),a)"
+        assert str(parse_btree(text)) == text
+
+    @given(btrees())
+    def test_str_parse_roundtrip(self, tree):
+        assert parse_btree(str(tree)) == tree
+
+
+class TestIndexedTree:
+    def test_structure(self):
+        tree = node("f", node("g", leaf("a"), leaf("b")), leaf("a"))
+        indexed = IndexedTree(tree)
+        assert indexed.n == 5
+        assert indexed.label(0) == "f"
+        assert indexed.is_root(0)
+        assert not indexed.is_root(1)
+        # pre-order ids: 0=f, 1=g, 2=a, 3=b, 4=a
+        assert indexed.left[0] == 1
+        assert indexed.right[0] == 4
+        assert indexed.parent[2] == 1
+        assert indexed.side[2] == 0
+        assert indexed.side[3] == 1
+
+    @given(btrees())
+    def test_subtree_reconstruction(self, tree):
+        indexed = IndexedTree(tree)
+        assert indexed.subtree(0) == tree
+
+    @given(btrees())
+    def test_addresses_resolve(self, tree):
+        indexed = IndexedTree(tree)
+        for node_id in indexed.node_ids():
+            assert tree.subtree(indexed.address(node_id)).label == \
+                indexed.label(node_id)
+
+    @given(btrees())
+    def test_parent_child_consistency(self, tree):
+        indexed = IndexedTree(tree)
+        for node_id in indexed.node_ids():
+            if not indexed.is_leaf(node_id):
+                assert indexed.parent[indexed.left[node_id]] == node_id
+                assert indexed.parent[indexed.right[node_id]] == node_id
+
+
+class TestRandomBTree:
+    def test_respects_alphabet(self, small_alphabet, rng):
+        for _ in range(20):
+            tree = random_btree(small_alphabet, rng.randint(1, 20), rng)
+            tree.validate_over(small_alphabet)
+
+    def test_leaf_only_alphabet(self, rng):
+        alphabet = RankedAlphabet(leaves={"a"}, internals=set())
+        assert random_btree(alphabet, 10, rng) == leaf("a")
+
+    def test_deterministic_with_seed(self, small_alphabet):
+        one = random_btree(small_alphabet, 15, random.Random(5))
+        two = random_btree(small_alphabet, 15, random.Random(5))
+        assert one == two

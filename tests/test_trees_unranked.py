@@ -1,0 +1,92 @@
+"""Unit tests for unranked trees (Section 2.1)."""
+
+import pytest
+from hypothesis import given
+
+from conftest import utrees
+from repro.errors import TreeError
+from repro.trees import UTree, parse_utree, u
+
+
+class TestConstruction:
+    def test_leaf(self):
+        tree = u("a")
+        assert tree.is_leaf
+        assert tree.size() == 1
+        assert tree.height() == 0
+
+    def test_nested(self):
+        tree = u("a", u("b"), u("c", u("d")))
+        assert tree.size() == 4
+        assert tree.height() == 2
+        assert not tree.is_leaf
+
+    def test_label_must_be_nonempty(self):
+        with pytest.raises(TreeError):
+            UTree("")
+
+    def test_children_must_be_trees(self):
+        with pytest.raises(TreeError):
+            UTree("a", ["b"])  # type: ignore[list-item]
+
+    def test_equality_is_structural(self):
+        assert u("a", u("b")) == u("a", u("b"))
+        assert u("a", u("b")) != u("a", u("c"))
+
+    def test_labels(self):
+        assert u("a", u("b"), u("b", u("c"))).labels() == {"a", "b", "c"}
+
+
+class TestAddressing:
+    def test_walk_is_preorder(self):
+        tree = u("a", u("b", u("c")), u("d"))
+        addresses = [addr for _, addr in tree.walk()]
+        assert addresses == [(), (0,), (0, 0), (1,)]
+
+    def test_subtree(self):
+        tree = u("a", u("b", u("c")), u("d"))
+        assert tree.subtree((0, 0)).label == "c"
+        assert tree.subtree(()) is tree
+
+    def test_subtree_bad_address(self):
+        with pytest.raises(TreeError):
+            u("a").subtree((0,))
+
+    def test_replace(self):
+        tree = u("a", u("b"), u("c"))
+        replaced = tree.replace((1,), u("z", u("w")))
+        assert replaced == u("a", u("b"), u("z", u("w")))
+        assert tree == u("a", u("b"), u("c"))  # original untouched
+
+    def test_replace_root(self):
+        assert u("a").replace((), u("b")) == u("b")
+
+
+class TestParsing:
+    def test_roundtrip_simple(self):
+        text = "a(b, b, c(d), e)"
+        assert str(parse_utree(text)) == "a(b, b, c(d), e)"
+
+    def test_empty_parens(self):
+        assert parse_utree("a()") == u("a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TreeError):
+            parse_utree("a(b))")
+
+    def test_missing_label(self):
+        with pytest.raises(TreeError):
+            parse_utree("(b)")
+
+    @given(utrees())
+    def test_str_parse_roundtrip(self, tree):
+        assert parse_utree(str(tree)) == tree
+
+    @given(utrees())
+    def test_walk_count_matches_size(self, tree):
+        assert sum(1 for _ in tree.walk()) == tree.size()
+
+    @given(utrees())
+    def test_every_address_resolves(self, tree):
+        for node, address in tree.walk():
+            assert tree.subtree(address) == node

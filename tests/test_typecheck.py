@@ -1,0 +1,150 @@
+"""Theorem 4.4 — the typechecking engines (exact and bounded)."""
+
+import pytest
+
+from repro.automata import BottomUpTA, dtd_to_automaton
+from repro.data import (
+    paper_dtd,
+    q1_input_dtd,
+    q1_inverse_dtd,
+    q1_output_even_dtd,
+    q2_good_output_dtd,
+    q2_tight_output_dtd,
+)
+from repro.errors import TypecheckError
+from repro.lang import q1_transducer, q2_stylesheet, xslt_to_transducer
+from repro.pebble import copy_transducer, evaluate, rotation_transducer
+from repro.trees import RankedAlphabet, decode, encode
+from repro.typecheck import as_automaton, inverse_type, typecheck
+from repro.xmlio import parse_dtd
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def leaves_all_a(alphabet=ALPHA) -> BottomUpTA:
+    return BottomUpTA(
+        alphabet=alphabet,
+        states={"ok"},
+        leaf_rules={"a": {"ok"}},
+        rules={(s, "ok", "ok"): {"ok"} for s in sorted(alphabet.internals)},
+        accepting={"ok"},
+    )
+
+
+class TestExactCopy:
+    def test_identity_typechecks_against_itself(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        result = typecheck(machine, tau, tau, method="exact")
+        assert result.ok
+        assert result.counterexample_input is None
+
+    def test_identity_fails_against_smaller_type(self, rng):
+        machine = copy_transducer(ALPHA)
+        tau1 = as_automaton(leaves_all_a()).complemented()  # some b leaf
+        tau2 = leaves_all_a()
+        result = typecheck(machine, tau1, tau2, method="exact")
+        assert not result.ok
+        witness = result.counterexample_input
+        assert tau1.accepts(witness)
+        assert not tau2.accepts(result.counterexample_output)
+        # for the copy transducer, the bad output is the input itself
+        assert result.counterexample_output == witness
+
+    def test_inverse_type_of_copy_is_the_type(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        assert inverse_type(machine, tau).equivalent(as_automaton(tau))
+
+
+class TestExactXSLTQ2:
+    """Example 4.3's query, exactly typechecked end to end."""
+
+    def setup_method(self):
+        self.machine = xslt_to_transducer(
+            q2_stylesheet(), tags={"root", "a"}, root_tag="root"
+        )
+        self.tau1 = q1_input_dtd()
+
+    def test_q2_against_generous_dtd(self):
+        result = typecheck(self.machine, self.tau1, q2_good_output_dtd(),
+                           method="exact")
+        assert result.ok
+
+    def test_q2_against_tight_dtd(self):
+        result = typecheck(self.machine, self.tau1, q2_tight_output_dtd(),
+                           method="exact")
+        assert not result.ok
+        document = decode(result.counterexample_input)
+        assert document.label == "root"
+        bad = decode(result.counterexample_output)
+        # the actual output of Q2 on the witness, which the tight DTD rejects
+        assert bad == decode(evaluate(self.machine,
+                                      result.counterexample_input))
+        assert not q2_tight_output_dtd().is_valid(bad)
+
+
+class TestBounded:
+    def test_q1_even_output_fails_on_odd_inputs(self):
+        """Example 4.2: Q1 maps a^n to b^(n^2); (b.b)* fails at n odd."""
+        machine = q1_transducer()
+        result = typecheck(
+            machine, q1_input_dtd(), q1_output_even_dtd(),
+            method="bounded", max_inputs=6,
+        )
+        assert not result.ok
+        document = decode(result.counterexample_input)
+        n = len(document.children)
+        assert n % 2 == 1  # odd number of a's gives odd n^2
+
+    def test_q1_even_output_with_inverse_input_type(self):
+        """...and typechecks from the paper's inverse type (a.a)*."""
+        machine = q1_transducer()
+        result = typecheck(
+            machine, q1_inverse_dtd(), q1_output_even_dtd(),
+            method="bounded", max_inputs=6,
+        )
+        assert result.ok
+        # the enumerator explores a^0, a^2, a^4 within the default width
+        assert result.stats["inputs_checked"] >= 3
+
+    def test_q1_against_b_star(self):
+        machine = q1_transducer()
+        anything = parse_dtd("result := b*\nb :=")
+        result = typecheck(machine, q1_input_dtd(), anything,
+                           method="bounded", max_inputs=8)
+        assert result.ok
+
+    def test_bounded_counterexample_is_genuine(self):
+        machine = copy_transducer(ALPHA)
+        tau1 = as_automaton(leaves_all_a()).complemented()
+        result = typecheck(machine, tau1, leaves_all_a(), method="bounded",
+                           max_inputs=10)
+        assert not result.ok
+        assert tau1.accepts(result.counterexample_input)
+
+
+class TestAPI:
+    def test_dtd_types_accepted_directly(self):
+        machine = q1_transducer()
+        result = typecheck(
+            machine, q1_input_dtd(), parse_dtd("result := b*\nb :="),
+            method="bounded", max_inputs=4,
+        )
+        assert result.ok
+
+    def test_unknown_method(self):
+        machine = copy_transducer(ALPHA)
+        with pytest.raises(TypecheckError):
+            typecheck(machine, leaves_all_a(), leaves_all_a(),
+                      method="telepathy")
+
+    def test_bad_type_object(self):
+        with pytest.raises(TypecheckError):
+            as_automaton("not a type")  # type: ignore[arg-type]
+
+    def test_result_is_truthy(self):
+        machine = copy_transducer(ALPHA)
+        result = typecheck(machine, leaves_all_a(), leaves_all_a(),
+                           method="bounded", max_inputs=3)
+        assert bool(result)

@@ -1,0 +1,174 @@
+"""Forward type inference (the Related Work approach) vs the paper's
+exact inverse method."""
+
+from hypothesis import given, settings
+
+from conftest import btrees
+from repro.automata import BottomUpTA
+from repro.data import q1_input_dtd, q1_inverse_dtd, q1_output_even_dtd
+from repro.data.generators import flat_document
+from repro.lang import q1_transducer, q2_stylesheet, xslt_to_transducer
+from repro.pebble import (
+    Emit0,
+    Emit2,
+    Move,
+    PebbleTransducer,
+    RuleSet,
+    copy_transducer,
+    evaluate,
+    exponential_transducer,
+)
+from repro.trees import RankedAlphabet, encode, leaf, node
+from repro.typecheck import approximate_image, typecheck, typecheck_forward
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def constant_output_machine() -> PebbleTransducer:
+    """Always outputs f(a, b), whatever the input."""
+    rules = RuleSet()
+    rules.add(None, "q", Emit2("f", "l", "r"))
+    rules.add(None, "l", Emit0("a"))
+    rules.add(None, "r", Emit0("b"))
+    return PebbleTransducer(ALPHA, ALPHA, [["q", "l", "r"]], "q", rules)
+
+
+class TestApproximationSoundness:
+    @given(btrees(max_leaves=5))
+    @settings(max_examples=25, deadline=None)
+    def test_image_contained(self, tree):
+        """T(t) ⊆ L(approx) for every input — the defining property."""
+        for machine in (copy_transducer(ALPHA), exponential_transducer(ALPHA),
+                        constant_output_machine()):
+            approximation = approximate_image(machine)
+            output = evaluate(machine, tree)
+            if output is not None:
+                assert approximation.accepts(output)
+
+    def test_q1_image_contained(self):
+        machine = q1_transducer()
+        approximation = approximate_image(machine)
+        for n in range(5):
+            output = evaluate(machine, encode(flat_document("root", "a", n)))
+            assert approximation.accepts(output)
+
+
+class TestForwardVsExact:
+    def test_forward_certifies_constant_machine(self):
+        machine = constant_output_machine()
+        exactly_fab = BottomUpTA(
+            alphabet=ALPHA,
+            states={"qa", "qb", "top"},
+            leaf_rules={"a": {"qa"}, "b": {"qb"}},
+            rules={("f", "qa", "qb"): {"top"}},
+            accepting={"top"},
+        )
+        result = typecheck_forward(machine, exactly_fab)
+        assert result.ok
+
+    def test_forward_fails_on_q1_where_inverse_succeeds(self):
+        """The paper's Example 4.2 gap: forward inference must reject Q1
+        against (b.b)* even from inputs (a.a)*, because its inferred
+        type covers odd outputs; the input-aware method accepts."""
+        machine = q1_transducer()
+        forward = typecheck_forward(machine, q1_output_even_dtd())
+        assert not forward.ok
+        assert forward.witness is not None
+        # ...while the input-aware check from the inverse type passes:
+        exact_view = typecheck(machine, q1_inverse_dtd(),
+                               q1_output_even_dtd(),
+                               method="bounded", max_inputs=6)
+        assert exact_view.ok
+
+    def test_forward_fails_on_q2_where_exact_succeeds(self):
+        """Example 4.3: Q2's image needs the three a-groups to have equal
+        lengths; forward inference cannot know that."""
+        from repro.data import q2_good_output_dtd
+        from repro.xmlio import parse_dtd
+
+        machine = xslt_to_transducer(q2_stylesheet(), tags={"root", "a"},
+                                     root_tag="root")
+        # a type requiring the three groups equal *and short*: outputs
+        # b a^n b a^n b a^n with n <= 1
+        tight = parse_dtd("result := (b.b.b)|(b.a.b.a.b.a)\na :=\nb :=")
+        forward = typecheck_forward(machine, tight)
+        assert not forward.ok  # the approximation has, e.g., b a b b
+        exact = typecheck(machine, parse_dtd("root := a?\na :="), tight,
+                          method="exact")
+        assert exact.ok
+
+    def test_forward_never_contradicts_exact_success(self):
+        """forward ok ⇒ exact ok (soundness, on a machine where forward
+        happens to be precise)."""
+        machine = constant_output_machine()
+        exactly_fab = BottomUpTA(
+            alphabet=ALPHA,
+            states={"qa", "qb", "top"},
+            leaf_rules={"a": {"qa"}, "b": {"qb"}},
+            rules={("f", "qa", "qb"): {"top"}},
+            accepting={"top"},
+        )
+        assert typecheck_forward(machine, exactly_fab).ok
+        result = typecheck(
+            machine,
+            BottomUpTA(ALPHA, {"any"}, {"a": {"any"}, "b": {"any"}},
+                       {(s, "any", "any"): {"any"} for s in ("f", "g")},
+                       {"any"}),
+            exactly_fab,
+            method="exact",
+        )
+        assert result.ok
+
+
+class TestNoBestApproximation:
+    def test_paper_argument_on_q1(self):
+        """Example 4.2's argument: for any regular tau ⊇ image, removing
+        one non-image tree gives a strictly better regular
+        approximation — demonstrated concretely."""
+        machine = q1_transducer()
+        approximation = approximate_image(machine)
+        image_samples = {
+            evaluate(machine, encode(flat_document("root", "a", n)))
+            for n in range(4)
+        }
+        # find a non-image tree inside the approximation: b^2 is not a
+        # perfect-square count... b^2 IS 2 which is not a square -> good
+        two_bs = encode(flat_document("result", "b", 2))
+        assert approximation.accepts(two_bs)
+        assert two_bs not in image_samples
+        # tau' = approximation minus {two_bs} is regular, still contains
+        # the image samples, and is strictly smaller.
+        singleton = _singleton_automaton(two_bs, approximation.alphabet)
+        better = approximation.difference(singleton)
+        assert not better.accepts(two_bs)
+        for sample in image_samples:
+            assert better.accepts(sample)
+
+
+def _singleton_automaton(tree, alphabet) -> BottomUpTA:
+    """The regular language {tree}."""
+    states = {}
+    leaf_rules: dict = {}
+    rules: dict = {}
+
+    def build(node) -> object:
+        if node in states:
+            return states[node]
+        name = ("n", len(states), node.label)
+        states[node] = name
+        if node.is_leaf:
+            leaf_rules.setdefault(node.label, set()).add(name)
+        else:
+            left = build(node.left)
+            right = build(node.right)
+            rules.setdefault((node.label, left, right), set()).add(name)
+        return name
+
+    root = build(tree)
+    return BottomUpTA(
+        alphabet=alphabet,
+        states=set(states.values()),
+        leaf_rules=leaf_rules,
+        rules=rules,
+        accepting={root},
+    )

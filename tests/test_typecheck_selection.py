@@ -1,0 +1,119 @@
+"""Binding-type inference and selection typechecking (Section 5 / [28])."""
+
+import pytest
+
+from repro.data import bibliography_dtd
+from repro.lang import pattern, match_count
+from repro.regex import parse_regex
+from repro.trees import decode, encode, u
+from repro.typecheck import binding_type, typecheck_selection
+from repro.xmlio import SpecializedDTD, parse_dtd
+
+
+class TestBindingType:
+    def test_simple_binding(self):
+        dtd = bibliography_dtd()
+        bindings = binding_type(dtd, "bib.book.author")
+        assert bindings.accepts(encode(u("author")))
+
+    def test_bindings_are_the_selected_subtrees(self):
+        """For every instance and every match, the subtree is in the
+        binding type; and the witness machinery produces members."""
+        dtd = bibliography_dtd()
+        for path in ("bib.book", "bib.book.author", "bib.book.title"):
+            bindings = binding_type(dtd, path)
+            shape = pattern(path)
+            from repro.lang.patterns import match
+
+            for document in dtd.instances(8):
+                for binding in match(shape, document):
+                    subtree = document.subtree(binding[0])
+                    assert bindings.accepts(encode(subtree)), (path, subtree)
+
+    def test_binding_type_is_tight(self):
+        """No spurious members: every generated member is realizable as
+        a selected subtree of some instance (spot check by label)."""
+        dtd = bibliography_dtd()
+        bindings = binding_type(dtd, "bib.book.author")
+        members = list(bindings.generate(4))
+        assert members
+        for member in members:
+            assert decode(member).label == "author"
+
+    def test_unreachable_path_is_empty(self):
+        dtd = bibliography_dtd()
+        bindings = binding_type(dtd, "bib.author")  # authors sit under book
+        assert bindings.is_empty()
+
+    def test_star_paths(self):
+        dtd = parse_dtd("r := r?.x\nx :=")  # recursive nesting of r
+        bindings = binding_type(dtd, "r+.x")
+        members = list(bindings.generate(3))
+        assert members and all(decode(m).label == "x" for m in members)
+
+    def test_specialized_decoupling_respected(self):
+        """Binding types see through tag decoupling: only the reachable
+        *type* contributes."""
+        sdtd = SpecializedDTD(
+            types={"A": "a", "B1": "b", "B2": "b", "C": "c", "D": "d"},
+            content={
+                "A": parse_regex("B1.B2"),
+                "B1": parse_regex("C"),
+                "B2": parse_regex("D"),
+                "C": parse_regex("%"),
+                "D": parse_regex("%"),
+            },
+            roots={"A"},
+        )
+        from repro.trees import u
+
+        bindings = binding_type(sdtd, "a.b")
+        # both b-types are selected: b(c) and b(d) are possible bindings
+        assert bindings.accepts(encode(u("b", u("c"))))
+        assert bindings.accepts(encode(u("b", u("d"))))
+        assert not bindings.accepts(encode(u("b")))
+
+
+class TestTypecheckSelection:
+    def test_author_selection(self):
+        dtd = bibliography_dtd()
+        element = parse_dtd("author :=")
+        result = typecheck_selection("bib.book.author", dtd, element)
+        assert result.ok
+
+    def test_book_selection_against_wrong_element(self):
+        dtd = bibliography_dtd()
+        element = parse_dtd("author :=")
+        result = typecheck_selection("bib.book", dtd, element)
+        assert not result.ok
+        assert decode(result.witness_binding).label == "book"
+
+    def test_book_selection_against_book_type(self):
+        dtd = bibliography_dtd()
+        element = parse_dtd(
+            "book := title.author*.publisher?\ntitle :=\nauthor :=\n"
+            "publisher :="
+        )
+        result = typecheck_selection("bib.book", dtd, element)
+        assert result.ok
+
+    def test_agrees_with_pebble_machine_bounded(self):
+        """The dedicated checker and the generic 2-pebble machine agree
+        (on the bounded engine's verdicts)."""
+        from repro.lang import selection_transducer
+        from repro.typecheck import typecheck
+
+        dtd = bibliography_dtd()
+        for element_text, path in [
+            ("result := author*\nauthor :=", "bib.book.author"),
+            ("result := title*\ntitle :=", "bib.book.author"),
+        ]:
+            output_dtd = parse_dtd(element_text)
+            element_only = parse_dtd(
+                element_text.split("\n", 1)[1]  # drop the result rule
+            )
+            fast = typecheck_selection(path, dtd, element_only)
+            machine = selection_transducer(path, dtd.symbols, {"bib"})
+            slow = typecheck(machine, dtd, output_dtd, method="bounded",
+                             max_inputs=8)
+            assert fast.ok == slow.ok

@@ -1,0 +1,151 @@
+"""Tests for XML parsing/serialization and DTD validation (Sections 2.2-2.3)."""
+
+import pytest
+from hypothesis import given
+
+from conftest import utrees
+from repro.errors import DTDError, XMLParseError
+from repro.data import paper_dtd, paper_tree
+from repro.trees import parse_utree, u
+from repro.xmlio import (
+    DTD,
+    TEXT_LABEL,
+    SpecializedDTD,
+    parse_dtd,
+    parse_dtd_xml,
+    parse_xml,
+    to_xml,
+)
+from repro.regex import parse_regex
+
+
+class TestXMLParser:
+    def test_paper_document(self):
+        """Section 2.2's serialization of Figure 1."""
+        document = "<a> <b></b> <b></b> <c><d></d></c> <e></e> </a>"
+        assert parse_xml(document) == paper_tree()
+
+    def test_self_closing(self):
+        assert parse_xml("<a><b/><b/></a>") == u("a", u("b"), u("b"))
+
+    def test_comments_and_pis_skipped(self):
+        text = "<?xml version='1.0'?><!-- hi --><a><!-- inner --><b/></a>"
+        assert parse_xml(text) == u("a", u("b"))
+
+    def test_attributes_ignored(self):
+        assert parse_xml('<a id="1" href=\'x\'><b/></a>') == u("a", u("b"))
+
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><b/>")
+
+    def test_text_rejected_in_core_model(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a>hello</a>")
+
+    def test_text_kept_when_asked(self):
+        tree = parse_xml("<a>hello<b/>world</a>", keep_text=True)
+        assert tree == u("a", u(TEXT_LABEL), u("b"), u(TEXT_LABEL))
+
+    @given(utrees())
+    def test_serialize_parse_roundtrip(self, tree):
+        assert parse_xml(to_xml(tree)) == tree
+        assert parse_xml(to_xml(tree, indent=2)) == tree
+
+
+class TestDTD:
+    def test_paper_dtd_validates_figure1(self):
+        assert paper_dtd().is_valid(paper_tree())
+
+    def test_invalid_documents(self):
+        dtd = paper_dtd()
+        assert not dtd.is_valid(parse_utree("a(c)"))        # missing e
+        assert not dtd.is_valid(parse_utree("b"))           # wrong root
+        assert not dtd.is_valid(parse_utree("a(c(b), e)"))  # b under c
+
+    def test_validation_errors_are_located(self):
+        errors = paper_dtd().validation_errors(parse_utree("a(b, c(b), e)"))
+        assert any(addr == (1,) for addr, _ in errors)
+
+    def test_undeclared_element(self):
+        errors = paper_dtd().validation_errors(parse_utree("a(z, c, e)"))
+        assert any("undeclared" in message for _, message in errors)
+
+    def test_parse_dtd_comments_and_epsilon(self):
+        dtd = parse_dtd("r := x*  # root\nx :=\n\n# trailing comment")
+        assert dtd.root == "r"
+        assert dtd.is_valid(parse_utree("r(x, x)"))
+        assert dtd.is_valid(parse_utree("r"))
+
+    def test_parse_dtd_errors(self):
+        with pytest.raises(DTDError):
+            parse_dtd("")
+        with pytest.raises(DTDError):
+            parse_dtd("a = b")  # not :=
+        with pytest.raises(DTDError):
+            parse_dtd("a := b")  # b undeclared
+        with pytest.raises(DTDError):
+            parse_dtd("a := %\na := %")  # duplicate
+
+    def test_content_models_must_be_plain(self):
+        with pytest.raises(DTDError):
+            DTD("a", {"a": parse_regex("~a")})
+
+    def test_xml_dtd_syntax(self):
+        dtd = parse_dtd_xml(
+            "<!ELEMENT a (b*, c)> <!ELEMENT b EMPTY> <!ELEMENT c (#PCDATA)>"
+        )
+        assert dtd.root == "a"
+        assert dtd.is_valid(parse_utree("a(b, b, c)"))
+        assert not dtd.is_valid(parse_utree("a(c, b)"))
+
+    def test_instances_are_valid_and_distinct(self):
+        dtd = paper_dtd()
+        found = list(dtd.instances(8))
+        assert len(found) == len(set(found)) == 8
+        assert all(dtd.is_valid(tree) for tree in found)
+
+
+class TestSpecializedDTD:
+    def test_paper_motivating_example(self):
+        """{a(b(c), b(d))} needs decoupled types (Section 2.3)."""
+        sdtd = SpecializedDTD(
+            types={"A": "a", "B1": "b", "B2": "b", "C": "c", "D": "d"},
+            content={
+                "A": parse_regex("B1.B2"),
+                "B1": parse_regex("C"),
+                "B2": parse_regex("D"),
+                "C": parse_regex("%"),
+                "D": parse_regex("%"),
+            },
+            roots={"A"},
+        )
+        assert sdtd.is_valid(parse_utree("a(b(c), b(d))"))
+        assert not sdtd.is_valid(parse_utree("a(b(d), b(c))"))
+        assert not sdtd.is_valid(parse_utree("a(b(c), b(c))"))
+
+    def test_from_dtd_agrees(self):
+        dtd = paper_dtd()
+        sdtd = SpecializedDTD.from_dtd(dtd)
+        for document in dtd.instances(6):
+            assert sdtd.is_valid(document)
+        assert not sdtd.is_valid(parse_utree("a(c)"))
+
+    def test_validation_against_construction(self):
+        sdtd = SpecializedDTD.from_dtd(paper_dtd())
+        for document in sdtd.instances(6):
+            assert sdtd.is_valid(document)
+
+    def test_bad_definitions(self):
+        with pytest.raises(DTDError):
+            SpecializedDTD(types={"A": "a"}, content={}, roots={"A"})
+        with pytest.raises(DTDError):
+            SpecializedDTD(
+                types={"A": "a"},
+                content={"A": parse_regex("B")},
+                roots={"A"},
+            )
