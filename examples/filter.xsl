@@ -1,0 +1,8 @@
+<xsl:template match="doc">
+  <out>
+    <xsl:apply-templates/>
+  </out>
+</xsl:template>
+<xsl:template match="item">
+  <thing/>
+</xsl:template>

@@ -33,11 +33,19 @@ from repro.errors import (
     PebbleMachineError,
     RegexError,
     ReproError,
+    ResourceExhausted,
     TransducerRuntimeError,
     TreeError,
     TypecheckError,
     UndecidableError,
     XMLParseError,
+)
+from repro.runtime import (
+    Budget,
+    Deadline,
+    ResourceGovernor,
+    governed,
+    make_governor,
 )
 from repro.trees import (
     BTree,
@@ -76,11 +84,17 @@ __all__ = [
     "PebbleMachineError",
     "RegexError",
     "ReproError",
+    "ResourceExhausted",
     "TransducerRuntimeError",
     "TreeError",
     "TypecheckError",
     "UndecidableError",
     "XMLParseError",
+    "Budget",
+    "Deadline",
+    "ResourceGovernor",
+    "governed",
+    "make_governor",
     "BTree",
     "RankedAlphabet",
     "UTree",

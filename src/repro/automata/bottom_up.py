@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Optional
 
 from repro.errors import AutomatonError
+from repro.runtime.governor import current_governor
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.ranked import BTree, IndexedTree
 
@@ -110,6 +111,7 @@ class BottomUpTA:
 
     def reachable_states(self) -> frozenset[State]:
         """States that label the root of at least one tree (fixpoint)."""
+        governor = current_governor()
         reachable: set[State] = set()
         changed = True
         while changed:
@@ -120,6 +122,7 @@ class BottomUpTA:
                         reachable.add(state)
                         changed = True
             for (_, left, right), targets in self.rules.items():
+                governor.tick()
                 if left in reachable and right in reachable:
                     for state in targets:
                         if state not in reachable:
@@ -137,6 +140,7 @@ class BottomUpTA:
         Computed by the standard "cheapest derivation" fixpoint: each state
         gets the smallest tree known to reach it.
         """
+        governor = current_governor()
         best: dict[State, BTree] = {}
         changed = True
         while changed:
@@ -149,6 +153,7 @@ class BottomUpTA:
             for (symbol, left, right), targets in sorted(
                 self.rules.items(), key=lambda item: repr(item[0])
             ):
+                governor.tick()
                 if left in best and right in best:
                     candidate = BTree(symbol, best[left], best[right])
                     for state in targets:
@@ -162,47 +167,89 @@ class BottomUpTA:
             return None
         return min(accepted, key=lambda tree: tree.size())
 
-    def generate(self, limit: int, max_rounds: int = 12) -> Iterator[BTree]:
+    def generate(
+        self,
+        limit: int,
+        max_rounds: int = 12,
+        report: Optional[dict] = None,
+    ) -> Iterator[BTree]:
         """Yield up to ``limit`` distinct accepted trees, roughly smallest
-        first (round-based bottom-up enumeration)."""
+        first (round-based bottom-up enumeration).
+
+        When a ``report`` dict is supplied it is filled in as enumeration
+        proceeds: ``emitted`` (trees yielded so far), ``rounds`` (rounds
+        run) and — crucially for the bounded typechecker — ``exhausted``,
+        which is True when enumeration stopped at ``max_rounds`` (or a
+        per-state pool cap) while the language may still hold more trees,
+        i.e. fewer than ``limit`` trees were produced *and* that is not
+        proof the language was enumerated completely.
+        """
+        governor = current_governor()
         per_state: dict[State, list[BTree]] = {q: [] for q in self.states}
         seen_per_state: dict[State, set[BTree]] = {q: set() for q in self.states}
         emitted: set[BTree] = set()
         cap_per_state = max(4, limit)
+        progressed = False
+        ever_capped = False
+        rounds_run = 0
+
+        def note(exhausted: bool) -> None:
+            if report is not None:
+                report["emitted"] = len(emitted)
+                report["rounds"] = rounds_run
+                report["exhausted"] = exhausted
 
         def add(state: State, tree: BTree) -> None:
+            nonlocal progressed, ever_capped
             if tree in seen_per_state[state]:
                 return
             if len(per_state[state]) >= cap_per_state:
+                ever_capped = True
                 return
             seen_per_state[state].add(tree)
             per_state[state].append(tree)
+            progressed = True
 
         for symbol, targets in sorted(self.leaf_rules.items()):
             for state in targets:
                 add(state, BTree(symbol))
+        saturated = False
         for _ in range(max_rounds):
+            rounds_run += 1
             for state in self.accepting:
                 for tree in list(per_state[state]):
                     if tree not in emitted:
                         emitted.add(tree)
+                        note(False)
                         yield tree
                         if len(emitted) >= limit:
+                            note(False)
                             return
+            progressed = False
             snapshot = {q: list(ts) for q, ts in per_state.items()}
             for (symbol, left, right), targets in self.rules.items():
                 for left_tree in snapshot[left]:
                     for right_tree in snapshot[right]:
+                        governor.tick()
                         combined = BTree(symbol, left_tree, right_tree)
                         for state in targets:
                             add(state, combined)
+            if not progressed:
+                # fixpoint: no pool can ever grow again, stop early.
+                saturated = True
+                break
         for state in self.accepting:
             for tree in per_state[state]:
                 if tree not in emitted:
                     emitted.add(tree)
+                    note(False)
                     yield tree
                     if len(emitted) >= limit:
+                        note(False)
                         return
+        # fewer than ``limit`` trees: complete only if the fixpoint closed
+        # without any pool hitting its cap.
+        note(not (saturated and not ever_capped))
 
     # -- determinization and boolean algebra -------------------------------------
 
@@ -221,6 +268,7 @@ class BottomUpTA:
         uses this to derive several acceptance conditions from a single
         determinization.
         """
+        governor = current_governor()
         empty: frozenset[State] = frozenset()
         index: dict[frozenset[State], int] = {}
         leaf_rules: dict[str, set[int]] = {}
@@ -230,6 +278,7 @@ class BottomUpTA:
         def intern(states: frozenset[State]) -> int:
             if states not in index:
                 index[states] = len(index)
+                governor.add_states()
                 queue.append(states)
             return index[states]
 
@@ -242,6 +291,7 @@ class BottomUpTA:
             current_id = index[current]
             for symbol in self.alphabet.internals:
                 for other in list(index):
+                    governor.tick()
                     other_id = index[other]
                     for left_set, right_set, lid, rid in (
                         (current, other, current_id, other_id),
@@ -305,11 +355,13 @@ class BottomUpTA:
 
     def is_complete_deterministic(self) -> bool:
         """True when every symbol/state combination has exactly one target."""
+        governor = current_governor()
         for symbol in self.alphabet.leaves:
             if len(self.leaf_rules.get(symbol, frozenset())) != 1:
                 return False
         for symbol in self.alphabet.internals:
             for left in self.states:
+                governor.tick()
                 for right in self.states:
                     if len(self.rules.get((symbol, left, right), frozenset())) != 1:
                         return False
@@ -327,6 +379,7 @@ class BottomUpTA:
         """
         if self.alphabet.symbols != other.alphabet.symbols:
             raise AutomatonError("product requires identical alphabets")
+        governor = current_governor()
         empty: frozenset[State] = frozenset()
         pairs: set[tuple[State, State]] = set()
         leaf_rules: dict[str, set[tuple[State, State]]] = {}
@@ -346,6 +399,7 @@ class BottomUpTA:
                 known = list(pairs)
                 for left_pair in known:
                     for right_pair in known:
+                        governor.tick()
                         if (
                             left_pair not in frontier
                             and right_pair not in frontier
@@ -362,6 +416,7 @@ class BottomUpTA:
                         if targets:
                             rules[(symbol, left_pair, right_pair)] = targets
                             new_pairs |= targets - pairs
+            governor.add_states(len(new_pairs))
             pairs |= new_pairs
             frontier = new_pairs
         accepting = {
@@ -427,6 +482,7 @@ class BottomUpTA:
     def trimmed(self) -> "BottomUpTA":
         """Drop states that are unreachable or useless (cannot reach an
         accepting root context).  Keeps the language."""
+        governor = current_governor()
         reachable = self.reachable_states()
         # co-reachability: a state is useful if some context takes it to
         # acceptance; computed by a backward fixpoint.
@@ -435,6 +491,7 @@ class BottomUpTA:
         while changed:
             changed = False
             for (symbol, left, right), targets in self.rules.items():
+                governor.tick()
                 if left not in reachable or right not in reachable:
                     continue
                 if targets & useful:
@@ -466,6 +523,7 @@ class BottomUpTA:
         partition refinement.  The result is the canonical complete
         deterministic automaton (up to renaming) for the language.
         """
+        governor = current_governor()
         det = self if self.is_complete_deterministic() else self.determinized()
         states = sorted(det.states, key=repr)
         block_of: dict[State, int] = {
@@ -482,6 +540,7 @@ class BottomUpTA:
             signatures: dict[tuple, int] = {}
             new_block_of: dict[State, int] = {}
             for q in states:
+                governor.tick()
                 row = [block_of[q]]
                 for symbol in internal_symbols:
                     for other in states:

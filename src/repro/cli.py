@@ -5,11 +5,18 @@ Usage::
     python -m repro validate  --dtd schema.dtd document.xml
     python -m repro typecheck --input-dtd in.dtd --output-dtd out.dtd \
                               stylesheet.xsl [--method exact|bounded]
+                              [--timeout S] [--max-steps N]
+                              [--max-states N] [--no-fallback]
     python -m repro run       --stylesheet sheet.xsl document.xml
+                              [--timeout S] [--max-steps N]
 
 DTD files use either the paper's rule notation (``a := b*.c.e``) or
 classic ``<!ELEMENT ...>`` declarations (auto-detected); stylesheets use
 the XSLT fragment of :mod:`repro.lang.xslt`.
+
+Exit codes: 0 on success, 1 when typechecking/validation rejects, 2 on
+usage or input errors, 3 when a resource budget (``--timeout`` /
+``--max-steps`` / ``--max-states``) was exhausted with no fallback.
 """
 
 from __future__ import annotations
@@ -18,8 +25,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import ReproError, ResourceExhausted
 from repro.lang import apply_stylesheet, parse_stylesheet, xslt_to_transducer
+from repro.runtime import governed, make_governor
 from repro.trees import decode
 from repro.typecheck import typecheck
 from repro.xmlio import DTD, parse_dtd, parse_dtd_xml, parse_xml, to_xml
@@ -48,7 +56,12 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     sheet = parse_stylesheet(Path(args.stylesheet).read_text())
     document = parse_xml(Path(args.document).read_text())
-    output = apply_stylesheet(sheet, document)
+    governor = make_governor(timeout=args.timeout, max_steps=args.max_steps)
+    if governor is None:
+        output = apply_stylesheet(sheet, document)
+    else:
+        with governed(governor):
+            output = apply_stylesheet(sheet, document)
     print(to_xml(output, indent=2))
     return 0
 
@@ -60,11 +73,35 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     machine = xslt_to_transducer(
         sheet, tags=input_dtd.symbols, root_tag=input_dtd.root
     )
-    result = typecheck(machine, input_dtd, output_dtd, method=args.method,
-                       max_inputs=args.max_inputs)
+    result = typecheck(
+        machine,
+        input_dtd,
+        output_dtd,
+        method=args.method,
+        max_inputs=args.max_inputs,
+        timeout=args.timeout,
+        max_steps=args.max_steps,
+        max_states=args.max_states,
+        fallback=args.fallback,
+    )
+    degraded = result.method.startswith("exact-exhausted")
+    if degraded:
+        exhausted = result.stats.get("exact_exhausted", {})
+        print(
+            "note: exact engine ran out of "
+            f"{exhausted.get('reason', 'budget')} in phase "
+            f"{exhausted.get('phase', '?')!r}; "
+            "degraded to the bounded falsifier",
+            file=sys.stderr,
+        )
     if result.ok:
-        qualifier = "" if args.method == "exact" else \
-            f" (on {result.stats.get('inputs_checked', '?')} sample inputs)"
+        if result.method == "exact":
+            qualifier = ""
+        else:
+            qualifier = (
+                f" (on {result.stats.get('inputs_checked', '?')} "
+                "sample inputs)"
+            )
         print(f"typechecks{qualifier}")
         return 0
     print("DOES NOT typecheck")
@@ -74,6 +111,42 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
         print("  ill-typed output:     ",
               to_xml(decode(result.counterexample_output)))
     return 1
+
+
+def _nonnegative_float(text: str) -> float:
+    value = float(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+# argparse uses the converter's __name__ in its error messages
+_nonnegative_float.__name__ = "seconds"
+_nonnegative_int.__name__ = "count"
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser,
+                          states: bool = False) -> None:
+    parser.add_argument(
+        "--timeout", type=_nonnegative_float, default=None,
+        metavar="SECONDS", help="wall-clock deadline for the run",
+    )
+    parser.add_argument(
+        "--max-steps", type=_nonnegative_int, default=None, metavar="N",
+        help="abort after N units of work",
+    )
+    if states:
+        parser.add_argument(
+            "--max-states", type=_nonnegative_int, default=None, metavar="N",
+            help="abort after constructing N automaton states",
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -92,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="apply a stylesheet to a document")
     run.add_argument("--stylesheet", required=True)
     run.add_argument("document")
+    _add_budget_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     check = commands.add_parser(
@@ -103,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default="exact")
     check.add_argument("--max-inputs", type=int, default=50,
                        help="input budget for the bounded engine")
+    _add_budget_arguments(check, states=True)
+    check.add_argument(
+        "--fallback", action=argparse.BooleanOptionalAction, default=True,
+        help="degrade to the bounded falsifier when the exact engine "
+             "exhausts its budget (--no-fallback to fail instead)",
+    )
     check.add_argument("stylesheet")
     check.set_defaults(func=_cmd_typecheck)
     return parser
@@ -113,6 +193,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ResourceExhausted as error:
+        print(
+            f"error: resource budget exhausted: {error}", file=sys.stderr
+        )
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

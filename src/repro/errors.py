@@ -70,6 +70,61 @@ class TransducerRuntimeError(ReproError):
     """
 
 
+class ResourceExhausted(ReproError):
+    """A governed computation ran out of resources before finishing.
+
+    Raised cooperatively by :class:`repro.runtime.ResourceGovernor` when a
+    wall-clock deadline passes, a step or state budget is consumed, or the
+    computation is cancelled.  The exception carries the partial-progress
+    statistics at the moment of exhaustion so callers (and the
+    ``typecheck`` degradation policy) can report *where* the pipeline blew
+    up — the exact decision procedure is non-elementary (Theorem 4.8), so
+    exhaustion is an expected production outcome, not a bug.
+
+    Attributes:
+        reason: one of ``"deadline"``, ``"steps"``, ``"states"``,
+            ``"cancelled"``.
+        phase: name of the pipeline phase that was running (e.g.
+            ``"pebble-to-regular"``), or ``""`` when no phase was set.
+        steps: cooperative steps taken before exhaustion.
+        states: automaton states built before exhaustion.
+        elapsed: wall-clock seconds since the governor started.
+        limit: the budget value that was exceeded (``None`` for
+            cancellation).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "budget",
+        phase: str = "",
+        steps: int = 0,
+        states: int = 0,
+        elapsed: float = 0.0,
+        limit: float | None = None,
+    ) -> None:
+        self.reason = reason
+        self.phase = phase
+        self.steps = steps
+        self.states = states
+        self.elapsed = elapsed
+        self.limit = limit
+        super().__init__(message)
+
+    def progress(self) -> dict:
+        """The partial-progress statistics as a plain dict (for
+        ``TypecheckResult.stats`` and logging)."""
+        return {
+            "reason": self.reason,
+            "phase": self.phase,
+            "steps": self.steps,
+            "states": self.states,
+            "elapsed": self.elapsed,
+            "limit": self.limit,
+        }
+
+
 class TypecheckError(ReproError):
     """Raised when a typechecking request cannot be carried out.
 

@@ -34,6 +34,7 @@ from repro.pebble.transducer import (
     PebbleTransducer,
     RuleSet,
 )
+from repro.runtime.governor import current_governor
 from repro.trees.alphabet import CONS, NIL, encoded_alphabet
 from repro.trees.unranked import UTree
 from repro.xmlio.parser import parse_xml
@@ -115,9 +116,15 @@ class Stylesheet:
 
 
 def apply_stylesheet(stylesheet: Stylesheet, tree: UTree) -> UTree:
-    """Evaluate the stylesheet on a document (the reference semantics)."""
+    """Evaluate the stylesheet on a document (the reference semantics).
+
+    Runs under the ambient :class:`repro.runtime.ResourceGovernor` when
+    one is installed, so stylesheet application honours ``--timeout`` /
+    ``--max-steps`` budgets."""
+    governor = current_governor()
 
     def process(node: UTree) -> list[UTree]:
+        governor.tick()
         template = stylesheet.template_for(node.label)
         return splice(template.body, node)
 

@@ -29,6 +29,7 @@ from repro.mso.annotations import (
     project,
     singleton_automaton,
 )
+from repro.runtime.governor import current_governor
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.ranked import BTree
 
@@ -64,7 +65,8 @@ def compile_formula(
     """Compile an arbitrary MSO formula over the given tree alphabet."""
     sorts = formula.free_variables()
     compiler = _Compiler(base)
-    automaton = compiler.compile(formula)
+    with current_governor().phase("mso-compile"):
+        automaton = compiler.compile(formula)
     return CompiledFormula(
         base=base,
         variables=tuple(sorted(sorts)),
@@ -134,6 +136,7 @@ class _Compiler:
         variables: tuple[str, ...],
         sorts: Mapping[str, str],
     ) -> BottomUpTA:
+        current_governor().tick()
         if isinstance(formula, f.True_):
             return self._all_trees(variables)
         if isinstance(formula, f.False_):

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.pebble.automaton import PebbleAutomaton
+from repro.runtime.governor import current_governor
 from repro.pebble.transducer import (
     Branch0,
     Branch2,
@@ -32,6 +33,7 @@ from repro.pebble.transducer import (
 def quotient_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:
     """The bisimulation quotient (same language, possibly far fewer
     states)."""
+    governor = current_governor()
     states = sorted(automaton.level_of, key=repr)
     # initial partition: by level, and whether the state is initial
     # (keeping the initial state's block identifiable is convenient).
@@ -62,6 +64,7 @@ def quotient_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:
         signatures: dict[tuple, int] = {}
         new_block_of: dict[State, int] = {}
         for state in states:
+            governor.tick()
             rows = frozenset(
                 (symbol, bits, abstract(action))
                 for symbol, bits, action in by_state.get(state, [])

@@ -8,9 +8,24 @@ the exponential-output Example 3.6 cheap to evaluate, in line with the
 PTIME claim of Proposition 3.8 (whose per-input automaton lives in
 :mod:`repro.pebble.output_automaton`).
 
-A branch that gets stuck (no applicable action) or loops through moves
-forever never terminates, so the transducer produces *no* output on that
-input: :func:`evaluate` returns ``None``.
+Divergence vs. exhaustion — the ``None``-vs-raise contract:
+
+* :func:`evaluate` returns ``None`` when the transducer *provably*
+  produces no output on the input: a branch gets stuck (no applicable
+  action) or revisits a configuration (a genuine loop).  This is a
+  semantic answer — the machine's output is undefined — not an error.
+* It raises :class:`~repro.errors.ResourceExhausted` when the resource
+  governor's budget (steps, deadline, or cancellation) runs out before
+  the run settles.  This is an operational answer: we do not know whether
+  the machine diverges or is merely slow, so no verdict is implied.
+* It raises :class:`~repro.errors.TransducerRuntimeError` when the
+  machine is found to be genuinely nondeterministic (several applicable
+  actions in one configuration) — a property of the machine, not of the
+  budget.
+
+Evaluation runs under the ambient :class:`repro.runtime.ResourceGovernor`
+when one is installed (see :func:`repro.runtime.governed`); otherwise the
+legacy ``max_steps`` parameter provides a local step budget.
 """
 
 from __future__ import annotations
@@ -27,34 +42,60 @@ from repro.pebble.transducer import (
     Pick,
     Place,
 )
+from repro.runtime.governor import (
+    Budget,
+    ResourceGovernor,
+    current_governor,
+)
 from repro.trees.ranked import BTree, IndexedTree
 
 #: Sentinel stored in the memo table for "this branch diverges".
 _DIVERGES = object()
+
+#: Sentinel marking a post-processing frame on the expansion work stack.
+_COMBINE = object()
 
 
 def evaluate(
     transducer: PebbleTransducer,
     tree: BTree,
     max_steps: int = 1_000_000,
+    governor: Optional[ResourceGovernor] = None,
 ) -> Optional[BTree]:
     """Run a deterministic transducer on ``tree``.
 
     Returns the output tree, or ``None`` when the computation diverges
     (a branch gets stuck or loops).  Identical subcomputations share their
-    output subtrees, so exponentially large outputs cost linear work.
+    output subtrees, so exponentially large outputs cost linear work, and
+    the expansion is iterative, so arbitrarily deep outputs cost no Python
+    stack.
 
     The transducer must be *effectively* deterministic: at most one action
     applicable per configuration at runtime.  (The paper's Example 3.4
     pairs up-left/up-right rules under one guard; only one ever applies.)
 
+    Governor precedence: an explicit ``governor`` wins; otherwise the
+    ambient governor installed with :func:`repro.runtime.governed` is
+    used; otherwise a local governor with ``max_steps`` as its step
+    budget is created (pass ``max_steps=None`` for no budget at all).
+
     Raises:
+        ResourceExhausted: if the governing step/deadline budget runs out
+            before the run settles (see the module docstring for the
+            ``None``-vs-raise contract).
         TransducerRuntimeError: if several actions apply to one
-            configuration or the step budget is exhausted.
+            configuration (genuine nondeterminism).
     """
+    if governor is not None:
+        gov = governor
+    else:
+        ambient = current_governor()
+        if ambient.active:
+            gov = ambient
+        else:
+            gov = ResourceGovernor(budget=Budget(max_steps=max_steps))
     indexed = IndexedTree(tree)
     memo: dict[Config, object] = {}
-    steps = 0
 
     def advance_to_output(config: Config):
         """Follow move transitions until an output action (or divergence).
@@ -62,15 +103,9 @@ def evaluate(
         Returns ``(action, config)`` at the output transition, or
         ``None`` on divergence.
         """
-        nonlocal steps
         on_chain: set[Config] = set()
         while True:
-            steps += 1
-            if steps > max_steps:
-                raise TransducerRuntimeError(
-                    f"step budget exhausted ({max_steps}); the transducer "
-                    f"probably diverges on this input"
-                )
+            gov.tick()
             if config in on_chain:
                 return None  # a pure-move loop: diverges
             on_chain.add(config)
@@ -102,30 +137,55 @@ def evaluate(
                 return action, config
             config = (action.target, new_positions)  # type: ignore[assignment]
 
-    def expand(config: Config):
-        if config in memo:
-            return memo[config]
-        # mark as in-progress to catch output-level cycles (an Emit2 whose
-        # branch reaches the same configuration again can still diverge).
-        memo[config] = _DIVERGES
-        result: object = _DIVERGES
-        outcome = advance_to_output(config)
-        if outcome is not None:
+    def expand(initial: Config) -> object:
+        """Iterative memoized expansion (the recursion of Section 3.1,
+        run on an explicit stack so deep outputs cannot overflow the
+        Python stack).
+
+        A configuration is marked ``_DIVERGES`` in the memo when first
+        visited; a descendant that reaches it again while it is still
+        being expanded therefore sees a divergence — exactly the
+        output-level cycle check, since an ``Emit2`` whose branch reaches
+        the same configuration again produces an infinite output.
+        """
+        stack: list[object] = [initial]
+        # pending Emit2 combinations: entry config -> (action, positions)
+        pending: dict[Config, tuple[Emit2, tuple]] = {}
+        while stack:
+            item = stack.pop()
+            if isinstance(item, tuple) and item and item[0] is _COMBINE:
+                config = item[1]
+                action, positions = pending.pop(config)
+                left = memo.get((action.left, positions), _DIVERGES)
+                right = memo.get((action.right, positions), _DIVERGES)
+                if left is not _DIVERGES and right is not _DIVERGES:
+                    memo[config] = BTree(action.symbol, left, right)
+                # else: memo stays _DIVERGES
+                continue
+            config = item
+            if config in memo:
+                # already resolved, or an ancestor still in expansion
+                # (memo holds _DIVERGES): either way nothing to do here —
+                # the parent's combine frame reads the memo directly.
+                continue
+            memo[config] = _DIVERGES
+            outcome = advance_to_output(config)
+            if outcome is None:
+                continue  # stuck or move-loop: diverges
             action, at_config = outcome
             if isinstance(action, Emit0):
-                result = BTree(action.symbol)
-            else:
-                assert isinstance(action, Emit2)
-                _, positions = at_config
-                left = expand((action.left, positions))
-                right = expand((action.right, positions))
-                if left is not _DIVERGES and right is not _DIVERGES:
-                    result = BTree(action.symbol, left, right)
-        memo[config] = result
-        return result
+                memo[config] = BTree(action.symbol)
+                continue
+            assert isinstance(action, Emit2)
+            _, positions = at_config
+            pending[config] = (action, positions)
+            stack.append((_COMBINE, config))
+            stack.append((action.right, positions))
+            stack.append((action.left, positions))
+        return memo[initial]
 
-    initial: Config = (transducer.initial, (indexed.root,))
-    result = expand(initial)
+    with gov.phase("evaluate"):
+        result = expand((transducer.initial, (indexed.root,)))
     if result is _DIVERGES:
         return None
     assert isinstance(result, BTree)

@@ -47,6 +47,7 @@ from repro.mso.annotations import (
 )
 from repro.mso.annotations import project as project_vars
 from repro.pebble.automaton import PebbleAutomaton
+from repro.runtime.governor import current_governor
 from repro.pebble.transducer import (
     Branch0,
     Branch2,
@@ -260,10 +261,12 @@ class _LevelCompiler:
 
     def _rows(self) -> dict[tuple[str, tuple[int, ...]], list[_Row]]:
         """Distinct row signatures per (symbol, keep-bits)."""
+        governor = current_governor()
         keep_pos = [self.all_vars.index(v) for v in self.keep_vars]
         grouped: dict[tuple[str, tuple[int, ...]], dict[_RowKey, _Row]] = {}
         for a in sorted(self.base.symbols):
             for bits in all_bits(len(self.all_vars)):
+                governor.tick()
                 bv = dict(zip(self.all_vars, bits))
                 if not all(f(a, bv) for f in self.filters):
                     continue
@@ -318,6 +321,7 @@ class _LevelCompiler:
         return (status, viol | s1[1] | s2[1])
 
     def _compile(self) -> None:
+        governor = current_governor()
         rows = self._rows()
         base_leaves = sorted(self.base.leaves)
         base_internals = sorted(self.base.internals)
@@ -368,6 +372,7 @@ class _LevelCompiler:
                     symbol = pack(a, kb)
                     for s1 in known_list:
                         for s2 in known_list:
+                            governor.tick()
                             if (
                                 s1 not in frontier
                                 and s2 not in frontier
@@ -409,6 +414,7 @@ class _LevelCompiler:
                                 targets.add(composite)
                                 if composite not in known:
                                     new_states.add(composite)
+            governor.add_states(len(new_states))
             known |= new_states
             frontier = new_states
 
@@ -534,7 +540,8 @@ class _ToRegular:
     ) -> tuple[tuple[str, ...], BottomUpTA]:
         """``phi^(level)[target]`` with its free-variable order."""
         if level not in self._levels:
-            self._levels[level] = _LevelCompiler(self, level)
+            with current_governor().phase(f"regularize:level{level}"):
+                self._levels[level] = _LevelCompiler(self, level)
         compiler = self._levels[level]
         if target not in compiler.results:
             raise PebbleMachineError(
@@ -559,12 +566,15 @@ def pebble_automaton_to_ta(automaton: PebbleAutomaton) -> BottomUpTA:
     from repro.pebble.quotient import quotient_pebble_automaton
     from repro.pebble.two_way import is_walking, walking_automaton_to_ta
 
-    trimmed = quotient_pebble_automaton(trim_pebble_automaton(automaton))
-    if is_walking(trimmed):
-        return walking_automaton_to_ta(trimmed).minimized()
-    variables, result = _ToRegular(trimmed).phi(1, trimmed.initial)
-    assert variables == (), "level 1 must be variable-free"
-    return result
+    governor = current_governor()
+    with governor.phase("pebble-to-regular"):
+        trimmed = quotient_pebble_automaton(trim_pebble_automaton(automaton))
+        if is_walking(trimmed):
+            with governor.phase("walking-summary"):
+                return walking_automaton_to_ta(trimmed).minimized()
+        variables, result = _ToRegular(trimmed).phi(1, trimmed.initial)
+        assert variables == (), "level 1 must be variable-free"
+        return result
 
 
 def trim_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:

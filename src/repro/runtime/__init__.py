@@ -1,0 +1,37 @@
+"""Resource-governed execution (budgets, deadlines, cancellation).
+
+See :mod:`repro.runtime.governor` for the design; the headline entry
+points are::
+
+    from repro.runtime import Budget, Deadline, ResourceGovernor, governed
+
+    governor = ResourceGovernor(deadline=Deadline.after(5.0),
+                                budget=Budget(max_states=50_000))
+    with governed(governor):
+        result = typecheck(machine, tau1, tau2)   # raises ResourceExhausted
+
+or, more conveniently, the ``timeout=`` / ``max_steps=`` / ``max_states=``
+keywords of :func:`repro.typecheck.typecheck` itself.
+"""
+
+from repro.errors import ResourceExhausted
+from repro.runtime.governor import (
+    NULL_GOVERNOR,
+    Budget,
+    Deadline,
+    ResourceGovernor,
+    current_governor,
+    governed,
+    make_governor,
+)
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "ResourceGovernor",
+    "ResourceExhausted",
+    "NULL_GOVERNOR",
+    "current_governor",
+    "governed",
+    "make_governor",
+]

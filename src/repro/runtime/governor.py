@@ -1,0 +1,288 @@
+"""Resource governance: budgets, deadlines, cooperative cancellation.
+
+The paper's exact decision procedure is decidable but non-elementary
+(Theorem 4.8), so a production typechecker *will* meet inputs on which the
+automata pipeline blows up.  This module provides the machinery that keeps
+such runs from hanging a worker forever:
+
+* :class:`Budget` — step and state budgets (``None`` = unlimited);
+* :class:`Deadline` — a wall-clock deadline on the monotonic clock;
+* :class:`ResourceGovernor` — cooperative enforcement: hot loops call
+  :meth:`~ResourceGovernor.tick` / :meth:`~ResourceGovernor.add_states`
+  and the governor raises :class:`~repro.errors.ResourceExhausted` with
+  partial-progress statistics (phase, steps, states, elapsed) when a
+  limit is hit or :meth:`~ResourceGovernor.cancel` was called.
+
+The governor is *ambient*: :func:`governed` installs one in a
+``contextvars.ContextVar`` and every instrumented loop picks it up via
+:func:`current_governor`.  This avoids threading a parameter through the
+dozens of call sites between ``typecheck()`` and the innermost subset
+construction, and — because context variables are task- and thread-local —
+it composes with the async/sharded serving layer the roadmap aims for.
+When nothing is installed, :data:`NULL_GOVERNOR` (whose hooks are no-ops)
+is returned, so ungoverned runs pay only a no-op method call per loop
+iteration and behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ResourceExhausted
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "ResourceGovernor",
+    "NULL_GOVERNOR",
+    "current_governor",
+    "governed",
+    "make_governor",
+]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Cooperative step/state budgets; ``None`` means unlimited.
+
+    ``max_steps`` bounds loop iterations across the governed computation
+    (one :meth:`ResourceGovernor.tick` each); ``max_states`` bounds the
+    total number of automaton states built (the memory proxy for the
+    subset constructions of Theorem 4.7).
+    """
+
+    max_steps: Optional[int] = None
+    max_states: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_steps", "max_states"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be None or non-negative")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when neither budget is set."""
+        return self.max_steps is None and self.max_states is None
+
+
+class Deadline:
+    """A wall-clock deadline, measured on the monotonic clock."""
+
+    __slots__ = ("at", "seconds")
+
+    def __init__(self, at: float, seconds: Optional[float] = None) -> None:
+        self.at = float(at)
+        #: the originally requested duration, for reporting (may be None).
+        self.seconds = seconds
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(time.monotonic() + seconds, seconds)
+
+    def remaining(self) -> float:
+        """Seconds until the deadline (negative once passed)."""
+        return self.at - time.monotonic()
+
+    def expired(self) -> bool:
+        """True once the deadline has passed."""
+        return time.monotonic() >= self.at
+
+
+class ResourceGovernor:
+    """Cooperative budget/deadline enforcement for the pipeline's hot loops.
+
+    Loops call :meth:`tick` once per iteration and :meth:`add_states` when
+    they materialize automaton states; both raise
+    :class:`~repro.errors.ResourceExhausted` when a limit is exceeded.
+    Wall-clock checks are amortized: the clock is read once every
+    ``check_interval`` ticks (and at every :meth:`phase` entry and explicit
+    :meth:`check`), so governed loops stay cheap.
+
+    Pipeline stages label themselves with the :meth:`phase` context
+    manager; the innermost phase name is recorded in the exception so a
+    caller knows *where* the budget went.
+
+    Cancellation is cooperative: :meth:`cancel` (safe to call from another
+    thread) makes the next check raise with ``reason="cancelled"``.
+    """
+
+    #: ticks between wall-clock reads.
+    CHECK_INTERVAL = 2048
+
+    def __init__(
+        self,
+        deadline: Optional[Deadline] = None,
+        budget: Optional[Budget] = None,
+        *,
+        check_interval: Optional[int] = None,
+    ) -> None:
+        self.deadline = deadline
+        self.budget = budget if budget is not None else Budget()
+        self.steps = 0
+        self.states = 0
+        self.started = time.monotonic()
+        self._cancelled = False
+        self._phases: list[str] = []
+        self._interval = check_interval or self.CHECK_INTERVAL
+        self._next_time_check = self._interval
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True for real governors; False for :data:`NULL_GOVERNOR`."""
+        return True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def current_phase(self) -> str:
+        """The innermost phase label (``""`` outside any phase)."""
+        return self._phases[-1] if self._phases else ""
+
+    def elapsed(self) -> float:
+        """Wall-clock seconds since the governor was created."""
+        return time.monotonic() - self.started
+
+    def stats(self) -> dict:
+        """Progress statistics (also attached to ``ResourceExhausted``)."""
+        return {
+            "phase": self.current_phase,
+            "steps": self.steps,
+            "states": self.states,
+            "elapsed": self.elapsed(),
+        }
+
+    # -- cooperative hooks -------------------------------------------------
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation (thread-safe)."""
+        self._cancelled = True
+
+    def tick(self, n: int = 1) -> None:
+        """Count ``n`` loop iterations; raise on budget exhaustion."""
+        self.steps += n
+        limit = self.budget.max_steps
+        if limit is not None and self.steps > limit:
+            self._exhaust("steps", limit)
+        if self.steps >= self._next_time_check:
+            self._next_time_check = self.steps + self._interval
+            self.check()
+
+    def add_states(self, n: int = 1) -> None:
+        """Count ``n`` newly built automaton states; raise over budget."""
+        self.states += n
+        limit = self.budget.max_states
+        if limit is not None and self.states > limit:
+            self._exhaust("states", limit)
+
+    def check(self) -> None:
+        """Check cancellation and the deadline immediately."""
+        if self._cancelled:
+            self._exhaust("cancelled", None)
+        if self.deadline is not None and self.deadline.expired():
+            self._exhaust("deadline", self.deadline.seconds)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator["ResourceGovernor"]:
+        """Label the governed work done inside the ``with`` block."""
+        self._phases.append(name)
+        try:
+            self.check()
+            yield self
+        finally:
+            self._phases.pop()
+
+    # -- internals ---------------------------------------------------------
+
+    def _exhaust(self, reason: str, limit: Optional[float]) -> None:
+        quantified = f"{reason} > {limit}" if limit is not None else reason
+        phase = self.current_phase
+        where = f" in phase {phase!r}" if phase else ""
+        raise ResourceExhausted(
+            f"resource budget exhausted ({quantified}){where} after "
+            f"{self.steps} steps, {self.states} states, "
+            f"{self.elapsed():.3f}s",
+            reason=reason,
+            phase=phase,
+            steps=self.steps,
+            states=self.states,
+            elapsed=self.elapsed(),
+            limit=limit,
+        )
+
+
+class _NullGovernor(ResourceGovernor):
+    """The do-nothing governor installed by default.
+
+    Hot loops call ``tick``/``add_states`` unconditionally; when no budget
+    is installed these must cost as close to nothing as possible, and
+    ungoverned runs must behave exactly as the pre-governor code did.
+    """
+
+    @property
+    def active(self) -> bool:
+        return False
+
+    def tick(self, n: int = 1) -> None:
+        pass
+
+    def add_states(self, n: int = 1) -> None:
+        pass
+
+    def check(self) -> None:
+        pass
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator["ResourceGovernor"]:
+        yield self
+
+
+#: The ambient default: counts nothing, never raises.
+NULL_GOVERNOR = _NullGovernor()
+
+_ambient: ContextVar[ResourceGovernor] = ContextVar(
+    "repro_resource_governor", default=NULL_GOVERNOR
+)
+
+
+def current_governor() -> ResourceGovernor:
+    """The governor installed for the calling context (or the null one)."""
+    return _ambient.get()
+
+
+@contextmanager
+def governed(governor: ResourceGovernor) -> Iterator[ResourceGovernor]:
+    """Install ``governor`` as the ambient governor for this context.
+
+    Context-local (``contextvars``), so concurrent tasks/threads each see
+    their own governor.  Nested ``governed`` blocks shadow the outer
+    governor for their duration.
+    """
+    token = _ambient.set(governor)
+    try:
+        yield governor
+    finally:
+        _ambient.reset(token)
+
+
+def make_governor(
+    timeout: Optional[float] = None,
+    max_steps: Optional[int] = None,
+    max_states: Optional[int] = None,
+) -> Optional[ResourceGovernor]:
+    """Build a governor from the common knobs, or ``None`` if all unset."""
+    if timeout is None and max_steps is None and max_states is None:
+        return None
+    return ResourceGovernor(
+        deadline=Deadline.after(timeout) if timeout is not None else None,
+        budget=Budget(max_steps=max_steps, max_states=max_states),
+    )

@@ -39,44 +39,83 @@ def encode_forest(forest: tuple[UTree, ...]) -> BTree:
 
 
 def encode(tree: UTree) -> BTree:
-    """Encode an unranked tree as a complete binary tree (Fig. 1)."""
-    return BTree(tree.label, encode_forest(tree.children), _NIL_LEAF)
+    """Encode an unranked tree as a complete binary tree (Fig. 1).
+
+    Iterative (two passes over the nodes), so documents thousands of
+    levels deep encode without touching Python's recursion limit.
+    """
+    order: list[UTree] = []
+    stack = [tree]
+    while stack:
+        current = stack.pop()
+        order.append(current)
+        stack.extend(current.children)
+    # children always appear after their parent in pre-order, so a reverse
+    # sweep sees every child's encoding before it is needed.
+    encoded: dict[int, BTree] = {}
+    for current in reversed(order):
+        chain = _NIL_LEAF
+        for child in reversed(current.children):
+            chain = BTree(CONS, encoded[id(child)], chain)
+        encoded[id(current)] = BTree(current.label, chain, _NIL_LEAF)
+    return encoded[id(tree)]
 
 
-def _decode_forest(chain: BTree) -> tuple[UTree, ...]:
-    children: list[UTree] = []
-    current = chain
-    while True:
-        if current.label == NIL:
-            if not current.is_leaf:
-                raise TreeError("malformed encoding: internal nil node")
-            return tuple(children)
-        if current.label != CONS:
-            raise TreeError(
-                f"malformed encoding: expected {CONS!r} or {NIL!r} in a "
-                f"forest chain, got {current.label!r}"
-            )
-        if current.is_leaf:
-            raise TreeError("malformed encoding: cons cell without children")
-        children.append(decode(current.left))  # type: ignore[arg-type]
-        current = current.right  # type: ignore[assignment]
+def _check_element(node: BTree) -> None:
+    if node.label in (CONS, NIL):
+        raise TreeError(
+            f"malformed encoding: element node labeled {node.label!r}"
+        )
+    if node.is_leaf:
+        raise TreeError("malformed encoding: element node must be binary")
+    if node.right is None or node.right.label != NIL or not node.right.is_leaf:
+        raise TreeError("malformed encoding: element's right child must be nil")
 
 
 def decode(tree: BTree) -> UTree:
     """Invert :func:`encode`.
 
+    Iterative, like :func:`encode`: validation walks the cons chains with
+    an explicit work list and the result is assembled children-first.
+
     Raises:
         TreeError: if ``tree`` is not in the image of :func:`encode`.
     """
-    if tree.label in (CONS, NIL):
-        raise TreeError(
-            f"malformed encoding: element node labeled {tree.label!r}"
+    _check_element(tree)
+    order: list[BTree] = []
+    children_of: dict[int, list[BTree]] = {}
+    stack = [tree]
+    while stack:
+        element = stack.pop()
+        order.append(element)
+        kids: list[BTree] = []
+        current = element.left
+        while True:
+            if current.label == NIL:
+                if not current.is_leaf:
+                    raise TreeError("malformed encoding: internal nil node")
+                break
+            if current.label != CONS:
+                raise TreeError(
+                    f"malformed encoding: expected {CONS!r} or {NIL!r} in a "
+                    f"forest chain, got {current.label!r}"
+                )
+            if current.is_leaf:
+                raise TreeError(
+                    "malformed encoding: cons cell without children"
+                )
+            _check_element(current.left)  # type: ignore[arg-type]
+            kids.append(current.left)  # type: ignore[arg-type]
+            current = current.right  # type: ignore[assignment]
+        children_of[id(element)] = kids
+        stack.extend(kids)
+    decoded: dict[int, UTree] = {}
+    for element in reversed(order):
+        decoded[id(element)] = UTree(
+            element.label,
+            [decoded[id(kid)] for kid in children_of[id(element)]],
         )
-    if tree.is_leaf:
-        raise TreeError("malformed encoding: element node must be binary")
-    if tree.right is None or tree.right.label != NIL or not tree.right.is_leaf:
-        raise TreeError("malformed encoding: element's right child must be nil")
-    return UTree(tree.label, _decode_forest(tree.left))  # type: ignore[arg-type]
+    return decoded[id(tree)]
 
 
 def is_encoding(tree: BTree) -> bool:

@@ -21,12 +21,17 @@ from repro.trees.alphabet import RankedAlphabet
 BNodeAddress = tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BTree:
     """An immutable complete binary tree node.
 
     Either both ``left`` and ``right`` are present (internal node) or both
     are absent (leaf).
+
+    Equality and hashing are structural but *iterative*: the hash is
+    cached at construction (O(1) from the children's cached hashes) and
+    ``==`` runs on an explicit stack, so trees thousands of levels deep
+    never touch Python's recursion limit.
     """
 
     label: str
@@ -38,6 +43,39 @@ class BTree:
             raise TreeError(
                 "binary trees are complete: a node has zero or two children"
             )
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((
+                self.label,
+                None if self.left is None else self.left._hash,
+                None if self.right is None else self.right._hash,
+            )),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, BTree):
+            return NotImplemented
+        stack: list[tuple[BTree, BTree]] = [(self, other)]
+        while stack:
+            mine, theirs = stack.pop()
+            if mine is theirs:
+                continue
+            if (
+                mine._hash != theirs._hash  # type: ignore[attr-defined]
+                or mine.label != theirs.label
+                or (mine.left is None) != (theirs.left is None)
+            ):
+                return False
+            if mine.left is not None:
+                stack.append((mine.left, theirs.left))
+                stack.append((mine.right, theirs.right))  # type: ignore[arg-type]
+        return True
 
     # -- basic structure ---------------------------------------------------
 
@@ -242,14 +280,26 @@ class IndexedTree:
         return self.labels[node_id]
 
     def subtree(self, node_id: int) -> BTree:
-        """Rebuild the :class:`BTree` rooted at ``node_id``."""
-        if self.is_leaf(node_id):
-            return BTree(self.labels[node_id])
-        return BTree(
-            self.labels[node_id],
-            self.subtree(self.left[node_id]),
-            self.subtree(self.right[node_id]),
-        )
+        """Rebuild the :class:`BTree` rooted at ``node_id`` (iterative)."""
+        order: list[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            order.append(current)
+            if self.left[current] >= 0:
+                stack.append(self.left[current])
+                stack.append(self.right[current])
+        built: dict[int, BTree] = {}
+        for current in reversed(order):
+            if self.left[current] < 0:
+                built[current] = BTree(self.labels[current])
+            else:
+                built[current] = BTree(
+                    self.labels[current],
+                    built[self.left[current]],
+                    built[self.right[current]],
+                )
+        return built[node_id]
 
     def address(self, node_id: int) -> BNodeAddress:
         """The Dewey address of a node."""

@@ -20,13 +20,18 @@ from repro.errors import TreeError
 NodeAddress = tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class UTree:
     """An immutable unranked ordered tree.
 
     Attributes:
         label: the node's symbol (an XML tag).
         children: the ordered forest of child subtrees.
+
+    Equality and hashing are structural but *iterative*: the hash is
+    cached at construction (O(1) from the children's cached hashes) and
+    ``==`` runs on an explicit stack, so trees thousands of levels deep
+    never touch Python's recursion limit.
     """
 
     label: str
@@ -41,6 +46,33 @@ class UTree:
                 raise TreeError(f"child {child!r} is not a UTree")
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "children", kids)
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((label, tuple(kid._hash for kid in kids))),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, UTree):
+            return NotImplemented
+        stack: list[tuple[UTree, UTree]] = [(self, other)]
+        while stack:
+            mine, theirs = stack.pop()
+            if mine is theirs:
+                continue
+            if (
+                mine._hash != theirs._hash  # type: ignore[attr-defined]
+                or mine.label != theirs.label
+                or len(mine.children) != len(theirs.children)
+            ):
+                return False
+            stack.extend(zip(mine.children, theirs.children))
+        return True
 
     # -- basic structure ---------------------------------------------------
 

@@ -20,6 +20,16 @@ Two engines are provided:
   complete in the limit, and fast; the practical complement to the exact
   engine, in the spirit of Section 5's "restricted cases".
 
+Because the exact procedure is non-elementary, :func:`typecheck` also
+implements a *degradation policy*: run it under a resource governor
+(``timeout=`` / ``max_steps=`` / ``max_states=``, or an explicit
+``governor=``) and, with ``fallback=True``, a budget blow-up degrades
+automatically to the bounded falsifier instead of raising.  The result
+then carries ``method="exact-exhausted→bounded"`` and full exhaustion
+diagnostics in ``stats`` (phase reached, budget consumed, verdict
+caveats).  With no budget knobs set, behaviour is byte-for-byte the
+ungoverned exact/bounded run.
+
 Types may be given as :class:`~repro.automata.bottom_up.BottomUpTA` over
 binary trees, or as (specialized) DTDs — DTDs are converted with
 :func:`~repro.automata.from_dtd.dtd_to_automaton`, and DTD-typed inputs
@@ -35,11 +45,17 @@ from typing import Iterator, Optional, Union
 from repro.automata.bottom_up import BottomUpTA
 from repro.automata.convert import bu_to_td
 from repro.automata.from_dtd import dtd_to_automaton, specialized_to_automaton
-from repro.errors import TypecheckError
+from repro.errors import ResourceExhausted, TypecheckError
 from repro.pebble.output_automaton import output_language
 from repro.pebble.product import transducer_times_automaton
 from repro.pebble.to_regular import pebble_automaton_to_ta
 from repro.pebble.transducer import PebbleTransducer
+from repro.runtime.governor import (
+    ResourceGovernor,
+    current_governor,
+    governed,
+    make_governor,
+)
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.encoding import encode
 from repro.trees.ranked import BTree
@@ -47,6 +63,14 @@ from repro.xmlio.dtd import DTD
 from repro.xmlio.specialized import SpecializedDTD
 
 TypeLike = Union[BottomUpTA, DTD, SpecializedDTD]
+
+#: ``method`` string of results produced by the degradation policy.
+DEGRADED_METHOD = "exact-exhausted→bounded"
+
+_BOUNDED_CAVEAT = (
+    "ok=True from the bounded falsifier only means no counterexample was "
+    "found on the explored inputs; it is not a proof of type safety"
+)
 
 
 @dataclass(frozen=True)
@@ -118,9 +142,12 @@ def bad_input_language(
 ) -> BottomUpTA:
     """The regular language ``{t | T(t) ⊈ tau2}`` (the complement of the
     inverse type)."""
-    tau2 = as_automaton(output_type, transducer.output_alphabet)
-    not_tau2 = bu_to_td(tau2.complemented().trimmed())
-    product = transducer_times_automaton(transducer, not_tau2)
+    governor = current_governor()
+    with governor.phase("complement-output-type"):
+        tau2 = as_automaton(output_type, transducer.output_alphabet)
+        not_tau2 = bu_to_td(tau2.complemented().trimmed())
+    with governor.phase("transducer-product"):
+        product = transducer_times_automaton(transducer, not_tau2)
     return pebble_automaton_to_ta(product)
 
 
@@ -131,51 +158,125 @@ def typecheck(
     method: str = "exact",
     max_inputs: int = 50,
     max_depth: int = 6,
+    *,
+    timeout: Optional[float] = None,
+    max_steps: Optional[int] = None,
+    max_states: Optional[int] = None,
+    fallback: bool = False,
+    governor: Optional[ResourceGovernor] = None,
 ) -> TypecheckResult:
     """Decide (or refute) ``T(tau1) ⊆ tau2``.
 
     ``method="exact"`` runs the Theorem 4.4 decision procedure;
     ``method="bounded"`` enumerates up to ``max_inputs`` instances of the
     input type and checks each (a sound falsifier).
+
+    Resource governance (the procedure is non-elementary, Theorem 4.8):
+
+    * ``timeout`` (seconds), ``max_steps`` and ``max_states`` build a
+      :class:`~repro.runtime.ResourceGovernor` for the run; an explicit
+      ``governor`` overrides them.  When a budget runs out the run raises
+      :class:`~repro.errors.ResourceExhausted` carrying the phase reached
+      and the budget consumed.
+    * With ``fallback=True``, an exhausted *exact* run degrades to the
+      bounded falsifier instead of raising.  The result's ``method`` is
+      ``"exact-exhausted→bounded"`` and ``stats`` records the exhaustion
+      diagnostics (``exact_exhausted``) plus the falsifier's caveat.  The
+      fallback re-arms the wall-clock deadline (``timeout``) but drops
+      step/state budgets: those exist to stop the exact pipeline's
+      automata blow-up, while the falsifier is polynomial per input and
+      already bounded by ``max_inputs``/``max_depth``.
+
+    With none of the governance knobs set, behaviour (and cost) is
+    identical to the ungoverned engines.
     """
-    if method == "exact":
-        return _typecheck_exact(transducer, input_type, output_type)
+    if method not in ("exact", "bounded"):
+        raise TypecheckError(f"unknown method {method!r}")
+    gov = governor if governor is not None else make_governor(
+        timeout, max_steps, max_states
+    )
     if method == "bounded":
-        return _typecheck_bounded(
-            transducer, input_type, output_type, max_inputs, max_depth
+        if gov is None:
+            return _typecheck_bounded(
+                transducer, input_type, output_type, max_inputs, max_depth
+            )
+        with governed(gov), gov.phase("bounded"):
+            return _typecheck_bounded(
+                transducer, input_type, output_type, max_inputs, max_depth
+            )
+    if gov is None:
+        return _typecheck_exact(transducer, input_type, output_type)
+    try:
+        with governed(gov), gov.phase("exact"):
+            return _typecheck_exact(
+                transducer, input_type, output_type, governor=gov
+            )
+    except ResourceExhausted as exhausted:
+        if not fallback:
+            raise
+        fallback_gov = make_governor(timeout=timeout)
+        if fallback_gov is None:
+            result = _typecheck_bounded(
+                transducer, input_type, output_type, max_inputs, max_depth
+            )
+        else:
+            with governed(fallback_gov), fallback_gov.phase("fallback-bounded"):
+                result = _typecheck_bounded(
+                    transducer, input_type, output_type, max_inputs, max_depth
+                )
+        stats = dict(result.stats)
+        stats["degraded"] = True
+        stats["exact_exhausted"] = exhausted.progress()
+        if result.ok:
+            stats["caveat"] = _BOUNDED_CAVEAT
+        return TypecheckResult(
+            ok=result.ok,
+            method=DEGRADED_METHOD,
+            counterexample_input=result.counterexample_input,
+            counterexample_output=result.counterexample_output,
+            stats=stats,
         )
-    raise TypecheckError(f"unknown method {method!r}")
 
 
 def _typecheck_exact(
     transducer: PebbleTransducer,
     input_type: TypeLike,
     output_type: TypeLike,
+    governor: Optional[ResourceGovernor] = None,
 ) -> TypecheckResult:
     started = time.perf_counter()
+    ambient = current_governor()
     tau1 = as_automaton(input_type, transducer.input_alphabet)
     bad = bad_input_language(transducer, output_type)
-    # align alphabets before intersecting (types may use extra symbols)
-    tau1 = as_automaton(tau1, bad.alphabet)
-    bad = as_automaton(bad, tau1.alphabet)
-    offending = bad.intersection(tau1).trimmed()
+    with ambient.phase("intersect-input-type"):
+        # align alphabets before intersecting (types may use extra symbols)
+        tau1 = as_automaton(tau1, bad.alphabet)
+        bad = as_automaton(bad, tau1.alphabet)
+        offending = bad.intersection(tau1).trimmed()
     elapsed = time.perf_counter() - started
     stats = {
         "seconds": elapsed,
         "bad_language_states": len(bad.states),
         "offending_states": len(offending.states),
     }
-    witness = offending.witness()
-    if witness is None:
-        return TypecheckResult(ok=True, method="exact", stats=stats)
-    bad_output = (
-        output_language(transducer, witness)
-        .intersection(
-            as_automaton(output_type, transducer.output_alphabet)
-            .complemented()
+    if governor is not None:
+        stats["budget"] = {
+            "steps": governor.steps,
+            "states": governor.states,
+            "elapsed": governor.elapsed(),
+        }
+    with ambient.phase("witness"):
+        witness = offending.witness()
+        if witness is None:
+            return TypecheckResult(ok=True, method="exact", stats=stats)
+        bad_output = (
+            output_language(transducer, witness)
+            .intersection(
+                as_automaton(output_type, transducer.output_alphabet)
+                .complemented()
+            )
+            .witness()
         )
-        .witness()
-    )
     return TypecheckResult(
         ok=False,
         method="exact",
@@ -186,13 +287,32 @@ def _typecheck_exact(
 
 
 def _input_instances(
-    input_type: TypeLike, limit: int, max_depth: int
+    input_type: TypeLike,
+    limit: int,
+    max_depth: int,
+    report: Optional[dict] = None,
 ) -> Iterator[BTree]:
+    """Enumerate encoded instances of ``input_type``, up to ``limit``.
+
+    When ``report`` (a dict) is given it is filled in place with
+    enumeration metadata: ``emitted`` (trees yielded) and ``exhausted``
+    (``True`` if the enumeration was cut off with more instances likely
+    remaining, ``False`` if the language was covered completely, ``None``
+    when unknown — the DTD document enumerator does not track this).
+    """
     if isinstance(input_type, (DTD, SpecializedDTD)):
+        emitted = 0
         for document in input_type.instances(limit, max_depth):
+            emitted += 1
             yield encode(document)
+        if report is not None:
+            report["emitted"] = emitted
+            # the document enumerator does not distinguish "language
+            # covered" from "budget hit"; hitting the cap is suggestive
+            # but depth limits make completeness unknowable here.
+            report["exhausted"] = True if emitted >= limit else None
     else:
-        yield from as_automaton(input_type).generate(limit)
+        yield from as_automaton(input_type).generate(limit, report=report)
 
 
 def _typecheck_bounded(
@@ -203,30 +323,52 @@ def _typecheck_bounded(
     max_depth: int,
 ) -> TypecheckResult:
     started = time.perf_counter()
+    governor = current_governor()
     not_tau2 = as_automaton(
         output_type, transducer.output_alphabet
     ).complemented()
     checked = 0
-    for tree in _input_instances(input_type, max_inputs, max_depth):
-        checked += 1
-        bad_outputs = output_language(transducer, tree).intersection(not_tau2)
-        witness = bad_outputs.witness()
-        if witness is not None:
-            return TypecheckResult(
-                ok=False,
-                method="bounded",
-                counterexample_input=tree,
-                counterexample_output=witness,
-                stats={
-                    "seconds": time.perf_counter() - started,
-                    "inputs_checked": checked,
-                },
-            )
-    return TypecheckResult(
-        ok=True,
-        method="bounded",
-        stats={
+    enumeration: dict = {}
+
+    def base_stats() -> dict:
+        stats = {
             "seconds": time.perf_counter() - started,
+            "inputs_requested": max_inputs,
             "inputs_checked": checked,
-        },
+        }
+        if "exhausted" in enumeration:
+            stats["enumeration_exhausted"] = enumeration["exhausted"]
+        return stats
+
+    instances = _input_instances(
+        input_type, max_inputs, max_depth, report=enumeration
     )
+    try:
+        while True:
+            try:
+                tree = next(instances)
+            except StopIteration:
+                break
+            checked += 1
+            governor.tick()
+            bad_outputs = output_language(transducer, tree).intersection(
+                not_tau2
+            )
+            witness = bad_outputs.witness()
+            if witness is not None:
+                return TypecheckResult(
+                    ok=False,
+                    method="bounded",
+                    counterexample_input=tree,
+                    counterexample_output=witness,
+                    stats=base_stats(),
+                )
+    except ResourceExhausted as exhausted:
+        stats = base_stats()
+        stats["exhausted"] = exhausted.progress()
+        stats["caveat"] = (
+            "the bounded falsifier ran out of budget after checking "
+            f"{checked} instance(s); the verdict covers only those"
+        )
+        return TypecheckResult(ok=True, method="bounded", stats=stats)
+    return TypecheckResult(ok=True, method="bounded", stats=base_stats())

@@ -100,46 +100,65 @@ def _skip_attributes(scanner: _Scanner) -> None:
 
 
 def _parse_element(scanner: _Scanner, keep_text: bool) -> UTree:
-    scanner.expect("<")
-    name = scanner.read_name()
-    _skip_attributes(scanner)
-    if scanner.peek() == "/":
-        scanner.expect("/>")
-        return UTree(name)
-    scanner.expect(">")
-    children: list[UTree] = []
+    # Iterative: ``open_elements`` is the stack of ancestors still awaiting
+    # their end tag, so arbitrarily deep documents parse without touching
+    # Python's recursion limit.
+    open_elements: list[tuple[str, list[UTree]]] = []
     while True:
-        _skip_misc(scanner)
-        if scanner.eof():
-            raise XMLParseError(f"unterminated element <{name}>", scanner.pos)
-        if scanner.text.startswith("</", scanner.pos):
-            scanner.pos += 2
-            closing = scanner.read_name()
-            if closing != name:
-                raise XMLParseError(
-                    f"mismatched end tag </{closing}> for <{name}>",
-                    scanner.pos,
-                )
-            scanner.skip_ws()
+        # positioned at the "<" of a start (or self-closing) tag
+        scanner.expect("<")
+        name = scanner.read_name()
+        _skip_attributes(scanner)
+        completed: UTree | None
+        if scanner.peek() == "/":
+            scanner.expect("/>")
+            completed = UTree(name)
+        else:
             scanner.expect(">")
-            return UTree(name, children)
-        if scanner.peek() == "<":
-            children.append(_parse_element(scanner, keep_text))
-            continue
-        # text content
-        end = scanner.text.find("<", scanner.pos)
-        if end < 0:
-            end = len(scanner.text)
-        content = scanner.text[scanner.pos : end].strip()
-        scanner.pos = end
-        if content:
-            if not keep_text:
+            open_elements.append((name, []))
+            completed = None
+        # consume content until a new element opens or the document is done
+        while True:
+            if completed is not None:
+                if not open_elements:
+                    return completed
+                open_elements[-1][1].append(completed)
+                completed = None
+            _skip_misc(scanner)
+            if scanner.eof():
                 raise XMLParseError(
-                    "text content is outside the paper's core model; "
-                    "pass keep_text=True to preserve it as #text leaves",
+                    f"unterminated element <{open_elements[-1][0]}>",
                     scanner.pos,
                 )
-            children.append(UTree(TEXT_LABEL))
+            if scanner.text.startswith("</", scanner.pos):
+                scanner.pos += 2
+                closing = scanner.read_name()
+                name, children = open_elements.pop()
+                if closing != name:
+                    raise XMLParseError(
+                        f"mismatched end tag </{closing}> for <{name}>",
+                        scanner.pos,
+                    )
+                scanner.skip_ws()
+                scanner.expect(">")
+                completed = UTree(name, children)
+                continue
+            if scanner.peek() == "<":
+                break  # a child element starts: back to the outer loop
+            # text content
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                end = len(scanner.text)
+            content = scanner.text[scanner.pos : end].strip()
+            scanner.pos = end
+            if content:
+                if not keep_text:
+                    raise XMLParseError(
+                        "text content is outside the paper's core model; "
+                        "pass keep_text=True to preserve it as #text leaves",
+                        scanner.pos,
+                    )
+                open_elements[-1][1].append(UTree(TEXT_LABEL))
 
 
 def parse_xml(text: str, keep_text: bool = False) -> UTree:

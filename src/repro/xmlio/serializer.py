@@ -20,18 +20,37 @@ def to_xml(tree: UTree, indent: int | None = None) -> str:
 
 
 def _compact(tree: UTree) -> str:
-    if not tree.children:
-        return f"<{tree.label}/>"
-    inner = "".join(_compact(child) for child in tree.children)
-    return f"<{tree.label}>{inner}</{tree.label}>"
+    # iterative: plain strings on the stack are end tags to flush
+    parts: list[str] = []
+    stack: list[UTree | str] = [tree]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        if not item.children:
+            parts.append(f"<{item.label}/>")
+            continue
+        parts.append(f"<{item.label}>")
+        stack.append(f"</{item.label}>")
+        for child in reversed(item.children):
+            stack.append(child)
+    return "".join(parts)
 
 
 def _pretty(tree: UTree, depth: int, indent: int, lines: list[str]) -> None:
-    pad = " " * (depth * indent)
-    if not tree.children:
-        lines.append(f"{pad}<{tree.label}/>")
-        return
-    lines.append(f"{pad}<{tree.label}>")
-    for child in tree.children:
-        _pretty(child, depth + 1, indent, lines)
-    lines.append(f"{pad}</{tree.label}>")
+    # iterative: plain strings on the stack are end tags to flush
+    stack: list[tuple[UTree | str, int]] = [(tree, depth)]
+    while stack:
+        item, level = stack.pop()
+        pad = " " * (level * indent)
+        if isinstance(item, str):
+            lines.append(f"{pad}{item}")
+            continue
+        if not item.children:
+            lines.append(f"{pad}<{item.label}/>")
+            continue
+        lines.append(f"{pad}<{item.label}>")
+        stack.append((f"</{item.label}>", level))
+        for child in reversed(item.children):
+            stack.append((child, level + 1))

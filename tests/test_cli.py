@@ -92,6 +92,39 @@ class TestTypecheck:
         assert code == 0
         assert "sample inputs" in capsys.readouterr().out
 
+    def test_budget_with_fallback_degrades(self, files, capsys):
+        # the default --fallback turns an exhausted exact run into a
+        # bounded verdict; the bad DTD still yields its counterexample
+        code = main(["typecheck", "--max-steps", "10",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["bad.dtd"], files["sheet.xsl"]])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "degraded to the bounded falsifier" in captured.err
+        assert "DOES NOT typecheck" in captured.out
+
+    def test_budget_without_fallback_exits_3(self, files, capsys):
+        code = main(["typecheck", "--max-steps", "10", "--no-fallback",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 3
+        assert "resource budget exhausted" in capsys.readouterr().err
+
+    def test_generous_budget_changes_nothing(self, files, capsys):
+        code = main(["typecheck", "--timeout", "60", "--max-steps", "10000000",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "typechecks" in captured.out
+        assert "degraded" not in captured.err
+
+    def test_run_respects_step_budget(self, files, capsys):
+        code = main(["run", "--max-steps", "1",
+                     "--stylesheet", files["sheet.xsl"], files["indoc.xml"]])
+        assert code == 3
+        assert "resource budget exhausted" in capsys.readouterr().err
+
     def test_library_error_reported(self, files, tmp_path, capsys):
         broken = tmp_path / "broken.dtd"
         broken.write_text("a = oops")

@@ -138,10 +138,14 @@ class TestEvaluation:
         assert evaluate(machine, node("f", leaf("a"), leaf("a"))) == leaf("a")
 
     def test_step_budget(self):
+        from repro.errors import ResourceExhausted
         from repro.pebble.builders import exponential_transducer
         from repro.data.generators import full_binary_tree
 
         machine = exponential_transducer(ALPHA)
         tree = full_binary_tree(ALPHA, 3, "f", "a")
-        with pytest.raises(TransducerRuntimeError):
+        with pytest.raises(ResourceExhausted) as info:
             evaluate(machine, tree, max_steps=5)
+        assert info.value.reason == "steps"
+        assert info.value.phase == "evaluate"
+        assert info.value.steps > 5

@@ -1,0 +1,106 @@
+"""Robustness on adversarial tree shapes: very deep and very wide inputs.
+
+The encode/decode pair, the XML parser/serializer, tree equality/hashing
+and the transducer evaluator are all iterative, so documents far deeper
+than Python's default recursion limit (~1000 frames) must round-trip
+without ``RecursionError`` — and in roughly linear time.  These tests do
+NOT raise ``sys.setrecursionlimit``; surviving the default limit is the
+point.
+"""
+
+import sys
+import time
+
+from hypothesis import given, settings
+
+from repro.pebble import copy_transducer, evaluate
+from repro.trees import UTree, decode, encode, encoded_alphabet
+from repro.xmlio import parse_xml, to_xml
+
+from conftest import utrees
+
+#: Node count well past the default recursion limit.
+N = 5000
+
+#: Generous wall-clock ceiling: linear algorithms finish in well under a
+#: second here; an accidentally quadratic or recursive-with-retries one
+#: does not.
+WALL_CLOCK_LIMIT = 30.0
+
+
+def deep_chain(depth: int) -> UTree:
+    tree = UTree("a")
+    for _ in range(depth):
+        tree = UTree("a", [tree])
+    return tree
+
+
+def wide_node(width: int) -> UTree:
+    return UTree("r", [UTree("a") for _ in range(width)])
+
+
+def test_recursion_limit_is_default():
+    # guard: if some import raised the limit, these tests prove nothing
+    assert sys.getrecursionlimit() <= 10_000
+
+
+def test_deep_encode_decode_roundtrip():
+    tree = deep_chain(N)
+    started = time.perf_counter()
+    encoded = encode(tree)
+    decoded = decode(encoded)
+    assert decoded == tree
+    assert time.perf_counter() - started < WALL_CLOCK_LIMIT
+
+
+def test_wide_encode_decode_roundtrip():
+    tree = wide_node(N)
+    encoded = encode(tree)
+    assert decode(encoded) == tree
+
+
+def test_deep_equality_and_hash():
+    one, other = deep_chain(N), deep_chain(N)
+    assert one is not other
+    assert one == other
+    assert hash(one) == hash(other)
+    assert one != deep_chain(N - 1)
+    encoded_one, encoded_other = encode(one), encode(other)
+    assert encoded_one == encoded_other
+    assert hash(encoded_one) == hash(encoded_other)
+
+
+def test_deep_xml_parse_and_serialize_roundtrip():
+    text = "<a>" * N + "<a/>" + "</a>" * N
+    started = time.perf_counter()
+    tree = parse_xml(text)
+    assert tree.height() == N
+    assert to_xml(tree) == text
+    assert parse_xml(to_xml(tree, indent=2)) == tree
+    assert time.perf_counter() - started < WALL_CLOCK_LIMIT
+
+
+def test_wide_xml_parse_and_serialize_roundtrip():
+    text = "<r>" + "<a/>" * N + "</r>"
+    tree = parse_xml(text)
+    assert len(tree.children) == N
+    assert to_xml(tree) == text
+
+
+def test_evaluate_copy_on_deep_tree():
+    # the encoded chain is ~2N deep; the iterative evaluator must copy it
+    tree = deep_chain(1500)
+    machine = copy_transducer(encoded_alphabet({"a"}))
+    encoded = encode(tree)
+    started = time.perf_counter()
+    output = evaluate(machine, encoded, max_steps=None)
+    assert output == encoded
+    assert time.perf_counter() - started < WALL_CLOCK_LIMIT
+
+
+@settings(max_examples=50, deadline=None)
+@given(utrees())
+def test_roundtrips_agree_on_random_trees(tree):
+    assert decode(encode(tree)) == tree
+    assert parse_xml(to_xml(tree)) == tree
+    assert parse_xml(to_xml(tree, indent=1)) == tree

@@ -1,0 +1,380 @@
+"""The resource governor and the exact→bounded degradation policy.
+
+Covers the :mod:`repro.runtime` primitives (budgets, deadlines,
+cancellation, phases, the ambient installation), the governed pipeline
+(exact typechecking under tiny budgets raises
+:class:`~repro.errors.ResourceExhausted` with phase metadata — the
+non-elementary blow-up of Theorem 4.8 made survivable), and the
+``fallback=True`` degradation of :func:`repro.typecheck.typecheck`.
+"""
+
+import time
+
+import pytest
+
+from repro.automata import BottomUpTA
+from repro.errors import ResourceExhausted
+from repro.pebble import copy_transducer, evaluate
+from repro.pebble.builders import exponential_transducer
+from repro.runtime import (
+    Budget,
+    Deadline,
+    NULL_GOVERNOR,
+    ResourceGovernor,
+    current_governor,
+    governed,
+    make_governor,
+)
+from repro.trees import BTree, RankedAlphabet
+from repro.typecheck import typecheck
+from repro.typecheck.engine import DEGRADED_METHOD, as_automaton
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def leaves_all_a(alphabet=ALPHA) -> BottomUpTA:
+    return BottomUpTA(
+        alphabet=alphabet,
+        states={"ok"},
+        leaf_rules={"a": {"ok"}},
+        rules={(s, "ok", "ok"): {"ok"} for s in sorted(alphabet.internals)},
+        accepting={"ok"},
+    )
+
+
+def left_chains() -> BottomUpTA:
+    """Infinitely many trees, but only ~1 new one per enumeration round."""
+    alphabet = RankedAlphabet(leaves={"a"}, internals={"f"})
+    return BottomUpTA(
+        alphabet=alphabet,
+        states={"leaf", "chain"},
+        leaf_rules={"a": {"leaf"}},
+        rules={
+            ("f", "leaf", "leaf"): {"chain"},
+            ("f", "chain", "leaf"): {"chain"},
+        },
+        accepting={"chain"},
+    )
+
+
+class TestBudgetAndDeadline:
+    def test_budget_validates(self):
+        with pytest.raises(ValueError):
+            Budget(max_steps=-1)
+        with pytest.raises(ValueError):
+            Budget(max_states=-5)
+
+    def test_budget_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_steps=10).unlimited
+
+    def test_deadline_after(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired()
+        assert 0 < deadline.remaining() <= 60.0
+        assert deadline.seconds == 60.0
+
+    def test_deadline_expired(self):
+        deadline = Deadline(time.monotonic() - 1.0)
+        assert deadline.expired()
+        assert deadline.remaining() < 0
+
+
+class TestResourceGovernor:
+    def test_step_budget(self):
+        governor = ResourceGovernor(budget=Budget(max_steps=3))
+        governor.tick()
+        governor.tick(2)
+        with pytest.raises(ResourceExhausted) as info:
+            governor.tick()
+        assert info.value.reason == "steps"
+        assert info.value.steps == 4
+        assert info.value.limit == 3
+
+    def test_state_budget(self):
+        governor = ResourceGovernor(budget=Budget(max_states=10))
+        governor.add_states(10)
+        with pytest.raises(ResourceExhausted) as info:
+            governor.add_states()
+        assert info.value.reason == "states"
+        assert info.value.states == 11
+
+    def test_deadline_is_checked_amortized(self):
+        governor = ResourceGovernor(
+            deadline=Deadline(time.monotonic() - 1.0), check_interval=4
+        )
+        governor.tick(3)  # below the check interval: no clock read
+        with pytest.raises(ResourceExhausted) as info:
+            governor.tick()
+        assert info.value.reason == "deadline"
+
+    def test_cancel(self):
+        governor = ResourceGovernor()
+        governor.cancel()
+        assert governor.cancelled
+        with pytest.raises(ResourceExhausted) as info:
+            governor.check()
+        assert info.value.reason == "cancelled"
+
+    def test_phase_stack_and_metadata(self):
+        governor = ResourceGovernor(budget=Budget(max_steps=0))
+        assert governor.current_phase == ""
+        with governor.phase("outer"):
+            assert governor.current_phase == "outer"
+            with governor.phase("inner"):
+                with pytest.raises(ResourceExhausted) as info:
+                    governor.tick()
+                assert info.value.phase == "inner"
+            assert governor.current_phase == "outer"
+        assert governor.current_phase == ""
+        progress = info.value.progress()
+        assert progress["reason"] == "steps"
+        assert progress["phase"] == "inner"
+
+    def test_stats(self):
+        governor = ResourceGovernor()
+        governor.tick(7)
+        governor.add_states(2)
+        stats = governor.stats()
+        assert stats["steps"] == 7
+        assert stats["states"] == 2
+        assert stats["elapsed"] >= 0
+
+
+class TestAmbientGovernor:
+    def test_default_is_null(self):
+        governor = current_governor()
+        assert governor is NULL_GOVERNOR
+        assert not governor.active
+        governor.tick(10 ** 9)  # no-ops, never raises
+        governor.add_states(10 ** 9)
+        governor.check()
+
+    def test_governed_installs_and_restores(self):
+        mine = ResourceGovernor()
+        with governed(mine):
+            assert current_governor() is mine
+            other = ResourceGovernor()
+            with governed(other):
+                assert current_governor() is other
+            assert current_governor() is mine
+        assert current_governor() is NULL_GOVERNOR
+
+    def test_make_governor(self):
+        assert make_governor() is None
+        governor = make_governor(timeout=5.0, max_steps=10, max_states=20)
+        assert governor.deadline is not None
+        assert governor.budget.max_steps == 10
+        assert governor.budget.max_states == 20
+
+
+class TestGovernedPipeline:
+    def test_exact_typecheck_exhausts_steps_with_phase(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        with pytest.raises(ResourceExhausted) as info:
+            typecheck(machine, tau, tau, method="exact", max_steps=10)
+        assert info.value.reason == "steps"
+        assert info.value.phase != ""
+        assert info.value.steps > 10
+
+    def test_exponential_instance_exhausts_with_phase_metadata(self):
+        # Example 3.6: the output doubles per input level; the exact
+        # pipeline on this machine hits any tiny budget immediately.
+        machine = exponential_transducer(ALPHA)
+        tau1 = leaves_all_a()
+        tau2 = leaves_all_a(
+            RankedAlphabet(leaves={"a", "b"}, internals={"f", "g", "z"})
+        )
+        with pytest.raises(ResourceExhausted) as info:
+            typecheck(machine, tau1, tau2, method="exact", max_steps=25)
+        assert info.value.reason == "steps"
+        # the budget must die inside a named pipeline stage
+        assert info.value.phase in {
+            "exact",
+            "complement-output-type",
+            "transducer-product",
+            "pebble-to-regular",
+            "walking-summary",
+            "intersect-input-type",
+            "witness",
+        } or info.value.phase.startswith("regularize:level")
+
+    def test_determinization_respects_state_budget(self):
+        tau = leaves_all_a()
+        governor = ResourceGovernor(budget=Budget(max_states=1))
+        with governed(governor):
+            with pytest.raises(ResourceExhausted) as info:
+                as_automaton(tau).complemented()
+        assert info.value.reason == "states"
+
+    def test_evaluate_honours_ambient_governor(self):
+        machine = copy_transducer(ALPHA)
+        tree = BTree("f", BTree("a"), BTree("a"))
+        governor = ResourceGovernor(budget=Budget(max_steps=2))
+        with governed(governor):
+            with pytest.raises(ResourceExhausted) as info:
+                evaluate(machine, tree)
+        assert info.value.phase == "evaluate"
+
+    def test_no_budget_means_no_behaviour_change(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        plain = typecheck(machine, tau, tau, method="exact")
+        assert plain.ok
+        assert plain.method == "exact"
+        assert "budget" not in plain.stats
+
+
+class TestDegradation:
+    def test_fallback_off_raises(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        with pytest.raises(ResourceExhausted):
+            typecheck(
+                machine, tau, tau, method="exact",
+                max_steps=10, fallback=False,
+            )
+
+    def test_fallback_finds_known_counterexample(self):
+        machine = copy_transducer(ALPHA)
+        tau1 = as_automaton(leaves_all_a()).complemented()  # some b leaf
+        tau2 = leaves_all_a()
+        result = typecheck(
+            machine, tau1, tau2, method="exact",
+            max_steps=10, fallback=True,
+        )
+        assert result.method == DEGRADED_METHOD
+        assert not result.ok
+        assert tau1.accepts(result.counterexample_input)
+        assert not tau2.accepts(result.counterexample_output)
+        assert result.stats["degraded"] is True
+        exhausted = result.stats["exact_exhausted"]
+        assert exhausted["reason"] == "steps"
+        assert exhausted["phase"] != ""
+
+    def test_fallback_ok_carries_caveat(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        result = typecheck(
+            machine, tau, tau, method="exact",
+            max_steps=10, fallback=True,
+        )
+        assert result.method == DEGRADED_METHOD
+        assert result.ok
+        assert "caveat" in result.stats
+        assert result.stats["inputs_checked"] > 0
+
+    def test_deadline_degradation(self):
+        # an already-started governor whose deadline lapses mid-pipeline
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        governor = ResourceGovernor(
+            deadline=Deadline.after(0.0005), check_interval=1
+        )
+        result = typecheck(
+            machine, tau, tau, method="exact",
+            fallback=True, governor=governor,
+        )
+        assert result.method == DEGRADED_METHOD
+        assert result.stats["exact_exhausted"]["reason"] == "deadline"
+
+    def test_nonelementary_wall_degrades_under_deadline(self):
+        # Theorem 4.8 made survivable: the k=2 star-free decider blows up
+        # the exact pipeline (bench_e11 used to kill it from a separate
+        # process); under a deadline it degrades to the bounded falsifier,
+        # which still finds the genuine counterexample (the language of
+        # ~(a.~(a.b)) is non-empty, so the machine does NOT typecheck
+        # against {b}).
+        from repro.pebble import (
+            singleton_b_type,
+            starfree_to_transducer,
+            string_alphabet,
+            string_encodings_type,
+        )
+        from repro.regex import parse_regex
+
+        alpha = string_alphabet({"a", "b"})
+        machine = starfree_to_transducer(parse_regex("~(a.~(a.b))"), alpha)
+        started = time.perf_counter()
+        result = typecheck(
+            machine, string_encodings_type(alpha), singleton_b_type(),
+            method="exact", timeout=0.5, fallback=True, max_inputs=20,
+        )
+        elapsed = time.perf_counter() - started
+        assert result.method == DEGRADED_METHOD
+        assert not result.ok
+        assert result.stats["exact_exhausted"]["reason"] == "deadline"
+        assert elapsed < 30  # ungoverned, this runs essentially forever
+
+    def test_timeout_keyword_degrades_and_finishes_quickly(self):
+        machine = exponential_transducer(ALPHA)
+        tau1 = leaves_all_a()
+        tau2 = leaves_all_a(
+            RankedAlphabet(leaves={"a", "b"}, internals={"f", "g", "z"})
+        )
+        started = time.perf_counter()
+        result = typecheck(
+            machine, tau1, tau2, method="exact",
+            timeout=0.001, fallback=True,
+        )
+        elapsed = time.perf_counter() - started
+        assert result.method == DEGRADED_METHOD
+        assert result.stats["exact_exhausted"]["reason"] == "deadline"
+        assert elapsed < 30  # a loose sanity bound; typical runs are ~ms
+
+
+class TestGenerateReport:
+    def test_truncated_enumeration_is_flagged(self):
+        report: dict = {}
+        emitted = list(leaves_all_a().generate(10 ** 6, max_rounds=2,
+                                               report=report))
+        assert emitted
+        assert report["emitted"] == len(emitted)
+        assert report["rounds"] <= 2
+        assert report["exhausted"] is True
+
+    def test_complete_enumeration_is_not_flagged(self):
+        single = BottomUpTA(
+            alphabet=RankedAlphabet(leaves={"a"}, internals={"f"}),
+            states={"ok"},
+            leaf_rules={"a": {"ok"}},
+            rules={},
+            accepting={"ok"},
+        )
+        report: dict = {}
+        emitted = list(single.generate(10, report=report))
+        assert emitted == [BTree("a")]
+        assert report["emitted"] == 1
+        assert report["exhausted"] is False
+
+    def test_limit_reached_is_not_exhaustion(self):
+        report: dict = {}
+        emitted = list(leaves_all_a().generate(3, report=report))
+        assert len(emitted) == 3
+        assert report["exhausted"] is False
+
+
+class TestBoundedEnumerationStats:
+    def test_exhausted_enumeration_surfaces_in_stats(self):
+        # left_chains has one new accepted tree per round, so the default
+        # 12 rounds cannot satisfy 50 inputs: the truncation must be
+        # reported, not silently ignored (the pre-fix behaviour).
+        chain_alpha = RankedAlphabet(leaves={"a"}, internals={"f"})
+        machine = copy_transducer(chain_alpha)
+        tau = left_chains()
+        result = typecheck(machine, tau, tau, method="bounded",
+                           max_inputs=50)
+        assert result.ok
+        assert result.stats["inputs_requested"] == 50
+        assert 0 < result.stats["inputs_checked"] < 50
+        assert result.stats["enumeration_exhausted"] is True
+
+    def test_satisfied_enumeration_reports_complete(self):
+        machine = copy_transducer(ALPHA)
+        tau = leaves_all_a()
+        result = typecheck(machine, tau, tau, method="bounded",
+                           max_inputs=5)
+        assert result.ok
+        assert result.stats["inputs_checked"] == 5
+        assert result.stats["enumeration_exhausted"] is False
