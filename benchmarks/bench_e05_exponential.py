@@ -30,7 +30,9 @@ def test_output_growth_is_exponential():
     report("E5 output sizes", rows)
 
 
-@pytest.mark.parametrize("depth", [6, 9, 12])
+@pytest.mark.parametrize(
+    "depth", [6, 9, pytest.param(12, marks=pytest.mark.slow)]
+)
 def test_dag_evaluation_polynomial(benchmark, depth):
     """Shared-subtree evaluation touches O(n) configurations even though
     the output has ~2^depth nodes."""

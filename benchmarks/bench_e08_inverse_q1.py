@@ -32,7 +32,9 @@ def test_image_is_squares():
     report("E8 the non-regular image", rows)
 
 
-@pytest.mark.parametrize("n_max", [6, 10])
+@pytest.mark.parametrize(
+    "n_max", [6, pytest.param(10, marks=pytest.mark.slow)]
+)
 def test_inverse_characterization(benchmark, n_max):
     """T(a^n) ⊆ (b.b)*  iff  n is even — the (a.a)* inverse type."""
     machine = q1_transducer()

@@ -87,6 +87,7 @@ def test_reduction_agrees_with_dfa_emptiness(once, text, expect_empty):
     assert result.ok == expect_empty
 
 
+@pytest.mark.slow
 def test_exact_pipeline_hits_the_wall(once):
     """Regularizing even the k=2 decider through the Theorem 4.7
     quantifier blocks explodes: we bound the work and report how far a

@@ -8,7 +8,30 @@ the paper predicts (who wins, what grows how).
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def _quick_mode() -> bool:
+    """Truthy when the harness asked for the fast regression subset."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running benchmark, skipped when REPRO_BENCH_QUICK=1",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _quick_mode():
+        return
+    skip = pytest.mark.skip(reason="slow benchmark (REPRO_BENCH_QUICK=1)")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
 
 
 def report(title: str, rows: list[tuple]) -> None:

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Regression driver for the E01-E14 benchmark suite.
+
+Runs every ``benchmarks/bench_e*.py`` file in-process under a counting
+resource governor, collects wall time, governor steps/states, memo-table
+counters and pass/fail totals per experiment, then measures the E10
+typechecking suite cached vs. uncached, and writes everything to one
+schema-versioned JSON file (``BENCH_<revision>.json`` by default)::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick
+
+``--quick`` skips the tests marked ``slow`` (the multi-minute tail of
+E05/E08/E11) via ``REPRO_BENCH_QUICK=1`` so the whole sweep fits in CI;
+the JSON records which mode produced it.  Exit status is non-zero when
+any experiment fails, so CI can gate on regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import pytest  # noqa: E402
+
+from repro.runtime import (  # noqa: E402
+    GLOBAL_CACHE,
+    ResourceGovernor,
+    cache_stats,
+    clear_cache,
+    governed,
+)
+
+SCHEMA = "repro-bench/v1"
+CACHE_COUNTERS = ("hits", "misses", "stores", "evictions")
+
+
+class _Recorder:
+    """Minimal pytest plugin: count outcomes without touching output."""
+
+    def __init__(self) -> None:
+        self.passed = self.failed = self.skipped = 0
+
+    def pytest_runtest_logreport(self, report) -> None:
+        if report.when == "call":
+            if report.passed:
+                self.passed += 1
+            elif report.failed:
+                self.failed += 1
+            elif report.skipped:
+                self.skipped += 1
+        elif report.when == "setup" and report.skipped:
+            self.skipped += 1
+        elif report.when in ("setup", "teardown") and report.failed:
+            self.failed += 1
+
+
+def _revision() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_experiment(path: Path, name: str) -> dict:
+    """One in-process pytest session over ``path``, fully instrumented."""
+    recorder = _Recorder()
+    governor = ResourceGovernor()
+    cache_before = cache_stats()
+    start = time.perf_counter()
+    with governed(governor):
+        exit_code = int(pytest.main(
+            [str(path), "-q", "--no-header",
+             "-p", "no:cacheprovider", "--benchmark-disable"],
+            plugins=[recorder],
+        ))
+    seconds = time.perf_counter() - start
+    cache_after = cache_stats()
+    return {
+        "name": name,
+        "file": str(path.relative_to(REPO_ROOT)),
+        "ok": exit_code == 0,
+        "exit_code": exit_code,
+        "passed": recorder.passed,
+        "failed": recorder.failed,
+        "skipped": recorder.skipped,
+        "seconds": round(seconds, 4),
+        "steps": governor.steps,
+        "states": governor.states,
+        "cache": {
+            key: cache_after[key] - cache_before[key]
+            for key in CACHE_COUNTERS
+        },
+    }
+
+
+def run_e10_baseline(path: Path) -> dict:
+    """Measure the E10 typechecking suite uncached, cold and warm.
+
+    The committed baseline must show the warm cached run beating the
+    uncached one on the *same* file — that delta is the whole point of
+    the memo table.
+    """
+    previous = GLOBAL_CACHE.enabled
+
+    GLOBAL_CACHE.enabled = False
+    uncached = run_experiment(path, "e10_typecheck[uncached]")
+
+    GLOBAL_CACHE.enabled = True
+    clear_cache()
+    cold = run_experiment(path, "e10_typecheck[cached-cold]")
+    warm = run_experiment(path, "e10_typecheck[cached-warm]")
+
+    GLOBAL_CACHE.enabled = previous
+    speedup = (
+        uncached["seconds"] / warm["seconds"]
+        if warm["seconds"] > 0 else None
+    )
+    return {
+        "runs": [uncached, cold, warm],
+        "uncached_seconds": uncached["seconds"],
+        "cached_cold_seconds": cold["seconds"],
+        "cached_warm_seconds": warm["seconds"],
+        "warm_hits": warm["cache"]["hits"],
+        "speedup_warm_vs_uncached": round(speedup, 3) if speedup else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip tests marked slow (sets REPRO_BENCH_QUICK=1)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="where to write the JSON (default: BENCH_<revision>.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        os.environ["REPRO_BENCH_QUICK"] = "1"
+
+    revision = _revision()
+    output = args.output or REPO_ROOT / f"BENCH_{revision}.json"
+    bench_files = sorted(BENCH_DIR.glob("bench_e*.py"))
+    if not bench_files:
+        print("error: no benchmark files found", file=sys.stderr)
+        return 2
+
+    experiments = []
+    for path in bench_files:
+        name = path.stem.removeprefix("bench_")
+        print(f"== {name} ==", flush=True)
+        experiments.append(run_experiment(path, name))
+
+    print("== e10 cached-vs-uncached baseline ==", flush=True)
+    baseline = run_e10_baseline(BENCH_DIR / "bench_e10_typecheck.py")
+
+    report = {
+        "schema": SCHEMA,
+        "revision": revision,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "experiments": experiments,
+        "baseline_e10": baseline,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+
+    failures = [rec for rec in experiments + baseline["runs"]
+                if not rec["ok"]]
+    total = sum(rec["seconds"] for rec in experiments)
+    print(f"\nwrote {output}")
+    print(f"{len(experiments)} experiments in {total:.1f}s, "
+          f"{len(failures)} failed; e10 uncached "
+          f"{baseline['uncached_seconds']:.3f}s vs warm cached "
+          f"{baseline['cached_warm_seconds']:.3f}s "
+          f"(speedup {baseline['speedup_warm_vs_uncached']}x)")
+    if failures:
+        for rec in failures:
+            print(f"FAILED: {rec['name']} (exit {rec['exit_code']})",
+                  file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Optional
 
 from repro.errors import AutomatonError
+from repro.runtime.cache import memoized
 from repro.runtime.governor import current_governor
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.ranked import BTree, IndexedTree
@@ -266,8 +267,18 @@ class BottomUpTA:
         With ``keep_subsets=True`` the states of the result are the actual
         frozensets rather than opaque integers — the Theorem 4.7 pipeline
         uses this to derive several acceptance conditions from a single
-        determinization.
+        determinization.  (That variant's result embeds the input's state
+        names, so it is memoized under the *exact* fingerprint.)
         """
+        return memoized(
+            "ta.determinized",
+            (self,),
+            lambda: self._determinized(keep_subsets),
+            extra=(keep_subsets,),
+            exact=keep_subsets,
+        )
+
+    def _determinized(self, keep_subsets: bool) -> "BottomUpTA":
         governor = current_governor()
         empty: frozenset[State] = frozenset()
         index: dict[frozenset[State], int] = {}
@@ -344,6 +355,9 @@ class BottomUpTA:
 
     def complemented(self) -> "BottomUpTA":
         """The automaton for the complement language (over ``alphabet``)."""
+        return memoized("ta.complemented", (self,), self._complemented)
+
+    def _complemented(self) -> "BottomUpTA":
         det = self if self.is_complete_deterministic() else self.determinized()
         return BottomUpTA(
             alphabet=det.alphabet,
@@ -377,6 +391,22 @@ class BottomUpTA:
         runs that exist); use :meth:`complemented` + intersection for
         difference, which this module's :meth:`difference` does.
         """
+        # ``combine`` is an arbitrary callable; its truth table is the
+        # part of it the construction depends on, so that is what the
+        # memo key carries.
+        table = tuple(
+            combine(a, b) for a in (False, True) for b in (False, True)
+        )
+        return memoized(
+            "ta.product",
+            (self, other),
+            lambda: self._product(other, combine),
+            extra=(table,),
+        )
+
+    def _product(
+        self, other: "BottomUpTA", combine: Callable[[bool, bool], bool]
+    ) -> "BottomUpTA":
         if self.alphabet.symbols != other.alphabet.symbols:
             raise AutomatonError("product requires identical alphabets")
         governor = current_governor()
@@ -438,6 +468,9 @@ class BottomUpTA:
 
     def union(self, other: "BottomUpTA") -> "BottomUpTA":
         """Language union (via disjoint sum of automata)."""
+        return memoized("ta.union", (self, other), lambda: self._union(other))
+
+    def _union(self, other: "BottomUpTA") -> "BottomUpTA":
         if self.alphabet.symbols != other.alphabet.symbols:
             raise AutomatonError("union requires identical alphabets")
         tag = lambda side, q: (side, q)  # noqa: E731 - tiny local helper
@@ -482,6 +515,9 @@ class BottomUpTA:
     def trimmed(self) -> "BottomUpTA":
         """Drop states that are unreachable or useless (cannot reach an
         accepting root context).  Keeps the language."""
+        return memoized("ta.trimmed", (self,), self._trimmed)
+
+    def _trimmed(self) -> "BottomUpTA":
         governor = current_governor()
         reachable = self.reachable_states()
         # co-reachability: a state is useful if some context takes it to
@@ -523,6 +559,9 @@ class BottomUpTA:
         partition refinement.  The result is the canonical complete
         deterministic automaton (up to renaming) for the language.
         """
+        return memoized("ta.minimized", (self,), self._minimized)
+
+    def _minimized(self) -> "BottomUpTA":
         governor = current_governor()
         det = self if self.is_complete_deterministic() else self.determinized()
         states = sorted(det.states, key=repr)

@@ -7,6 +7,7 @@ Usage::
                               stylesheet.xsl [--method exact|bounded]
                               [--timeout S] [--max-steps N]
                               [--max-states N] [--no-fallback]
+                              [--no-cache] [--cache-stats]
     python -m repro run       --stylesheet sheet.xsl document.xml
                               [--timeout S] [--max-steps N]
 
@@ -22,12 +23,13 @@ usage or input errors, 3 when a resource budget (``--timeout`` /
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
 from repro.errors import ReproError, ResourceExhausted
 from repro.lang import apply_stylesheet, parse_stylesheet, xslt_to_transducer
-from repro.runtime import governed, make_governor
+from repro.runtime import cache_disabled, governed, make_governor
 from repro.trees import decode
 from repro.typecheck import typecheck
 from repro.xmlio import DTD, parse_dtd, parse_dtd_xml, parse_xml, to_xml
@@ -73,17 +75,32 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     machine = xslt_to_transducer(
         sheet, tags=input_dtd.symbols, root_tag=input_dtd.root
     )
-    result = typecheck(
-        machine,
-        input_dtd,
-        output_dtd,
-        method=args.method,
-        max_inputs=args.max_inputs,
-        timeout=args.timeout,
-        max_steps=args.max_steps,
-        max_states=args.max_states,
-        fallback=args.fallback,
-    )
+    with contextlib.ExitStack() as stack:
+        if args.no_cache:
+            stack.enter_context(cache_disabled())
+        result = typecheck(
+            machine,
+            input_dtd,
+            output_dtd,
+            method=args.method,
+            max_inputs=args.max_inputs,
+            timeout=args.timeout,
+            max_steps=args.max_steps,
+            max_states=args.max_states,
+            fallback=args.fallback,
+        )
+    if args.cache_stats:
+        counters = result.stats.get("cache", {})
+        print(
+            "cache: "
+            + " ".join(
+                f"{name}={counters.get(name, 0)}"
+                for name in ("hits", "misses", "stores", "evictions",
+                             "entries", "bytes")
+            )
+            + f" enabled={'yes' if counters.get('enabled') else 'no'}",
+            file=sys.stderr,
+        )
     degraded = result.method.startswith("exact-exhausted")
     if degraded:
         exhausted = result.stats.get("exact_exhausted", {})
@@ -182,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fallback", action=argparse.BooleanOptionalAction, default=True,
         help="degrade to the bounded falsifier when the exact engine "
              "exhausts its budget (--no-fallback to fail instead)",
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the automata memo table for this run "
+             "(every construction is recomputed from scratch)",
+    )
+    check.add_argument(
+        "--cache-stats", action="store_true",
+        help="report the memo table's hit/miss/eviction counters for "
+             "this run on stderr",
     )
     check.add_argument("stylesheet")
     check.set_defaults(func=_cmd_typecheck)

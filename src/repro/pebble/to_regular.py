@@ -47,6 +47,7 @@ from repro.mso.annotations import (
 )
 from repro.mso.annotations import project as project_vars
 from repro.pebble.automaton import PebbleAutomaton
+from repro.runtime.cache import memoized
 from repro.runtime.governor import current_governor
 from repro.pebble.transducer import (
     Branch0,
@@ -516,7 +517,9 @@ class _ToRegular:
         for level in automaton.levels:
             ordered.extend(sorted(level, key=repr))
         self._index = {state: i for i, state in enumerate(ordered)}
-        self._levels: dict[int, _LevelCompiler] = {}
+        # level -> (keep_vars, {target: automaton}); values come from the
+        # process-wide memo table when an identical automaton recurs.
+        self._levels: dict[int, tuple[tuple[str, ...], dict]] = {}
 
     def svar(self, state: State) -> str:
         return f"S{self._index[state]:04d}"
@@ -535,20 +538,32 @@ class _ToRegular:
                     targets.add(action.target)
         return targets
 
+    def _compile_level(self, level: int) -> tuple[tuple[str, ...], dict]:
+        compiler = _LevelCompiler(self, level)
+        return compiler.keep_vars, compiler.results
+
     def phi(
         self, level: int, target: State
     ) -> tuple[tuple[str, ...], BottomUpTA]:
         """``phi^(level)[target]`` with its free-variable order."""
         if level not in self._levels:
             with current_governor().phase(f"regularize:level{level}"):
-                self._levels[level] = _LevelCompiler(self, level)
-        compiler = self._levels[level]
-        if target not in compiler.results:
+                # memoized across _ToRegular instances: recurring product
+                # automata (same transducer x output type) skip the whole
+                # quantifier-block construction for the level.
+                self._levels[level] = memoized(
+                    "pebble.level",
+                    (self.automaton,),
+                    lambda: self._compile_level(level),
+                    extra=(level,),
+                )
+        keep_vars, results = self._levels[level]
+        if target not in results:
             raise PebbleMachineError(
                 f"state {target!r} is not a conclusion target of level "
                 f"{level}"
             )
-        return compiler.keep_vars, compiler.results[target]
+        return keep_vars, results[target]
 
 
 def pebble_automaton_to_ta(automaton: PebbleAutomaton) -> BottomUpTA:
@@ -563,6 +578,13 @@ def pebble_automaton_to_ta(automaton: PebbleAutomaton) -> BottomUpTA:
     of :mod:`repro.pebble.two_way`; the general case pays the paper's
     hyperexponential price (Theorem 4.8).
     """
+    return memoized(
+        "pebble.to_regular", (automaton,),
+        lambda: _pebble_automaton_to_ta(automaton),
+    )
+
+
+def _pebble_automaton_to_ta(automaton: PebbleAutomaton) -> BottomUpTA:
     from repro.pebble.quotient import quotient_pebble_automaton
     from repro.pebble.two_way import is_walking, walking_automaton_to_ta
 

@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.errors import RegexError
 from repro.regex.nfa import NFA, nfa_from_regex
 from repro.regex.syntax import Complement, Intersect, Regex, Sym
+from repro.runtime.cache import memoized
 
 
 @dataclass(frozen=True)
@@ -136,6 +137,19 @@ class DFA:
 
     def product(self, other: "DFA", combine: Callable[[bool, bool], bool]) -> "DFA":
         """Product construction; ``combine`` decides acceptance."""
+        table = tuple(
+            combine(a, b) for a in (False, True) for b in (False, True)
+        )
+        return memoized(
+            "dfa.product",
+            (self, other),
+            lambda: self._product(other, combine),
+            extra=(table,),
+        )
+
+    def _product(
+        self, other: "DFA", combine: Callable[[bool, bool], bool]
+    ) -> "DFA":
         if self.alphabet != other.alphabet:
             raise RegexError("product requires identical alphabets")
         index: dict[tuple[int, int], int] = {}
@@ -193,6 +207,9 @@ class DFA:
 
     def minimized(self) -> "DFA":
         """Moore partition-refinement minimization (reachable part only)."""
+        return memoized("dfa.minimized", (self,), self._minimized)
+
+    def _minimized(self) -> "DFA":
         reachable = sorted(self.reachable_states())
         symbols = sorted(self.alphabet)
         # initial partition: accepting / non-accepting
@@ -251,6 +268,15 @@ class DFA:
 def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
     """Subset construction, producing a complete DFA over ``alphabet``."""
     alpha = frozenset(alphabet)
+    return memoized(
+        "dfa.determinize",
+        (nfa,),
+        lambda: _determinize(nfa, alpha),
+        extra=(tuple(sorted(alpha)),),
+    )
+
+
+def _determinize(nfa: NFA, alpha: frozenset[str]) -> DFA:
     index: dict[frozenset[int], int] = {}
     delta: dict[tuple[int, str], int] = {}
     accepting: set[int] = set()
@@ -291,7 +317,12 @@ def compile_regex(expr: Regex, alphabet: Optional[Iterable[str]] = None) -> DFA:
     extra = expr.symbols() - alpha
     if extra:
         raise RegexError(f"expression uses symbols outside the alphabet: {extra}")
-    return _compile(expr, alpha).minimized()
+    return memoized(
+        "re.compile",
+        (expr,),
+        lambda: _compile(expr, alpha).minimized(),
+        extra=(tuple(sorted(alpha)),),
+    )
 
 
 def _compile(expr: Regex, alphabet: frozenset[str]) -> DFA:

@@ -12,9 +12,25 @@ points are::
 
 or, more conveniently, the ``timeout=`` / ``max_steps=`` / ``max_states=``
 keywords of :func:`repro.typecheck.typecheck` itself.
+
+The sibling :mod:`repro.runtime.cache` memoizes the hot automata algebra
+(determinize/complement/product/minimize/..., regex compilation, pebble
+level compilation) in a process-wide bounded LRU keyed on structural
+fingerprints; see ``cache_stats()`` / ``configure_cache()`` /
+``cache_disabled()`` below and the DESIGN.md section on memoization.
 """
 
 from repro.errors import ResourceExhausted
+from repro.runtime.cache import (
+    GLOBAL_CACHE,
+    MemoCache,
+    cache_disabled,
+    cache_stats,
+    clear_cache,
+    configure_cache,
+    fingerprint,
+    memoized,
+)
 from repro.runtime.governor import (
     NULL_GOVERNOR,
     Budget,
@@ -34,4 +50,12 @@ __all__ = [
     "current_governor",
     "governed",
     "make_governor",
+    "MemoCache",
+    "GLOBAL_CACHE",
+    "fingerprint",
+    "memoized",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
+    "cache_disabled",
 ]

@@ -1,0 +1,496 @@
+"""Memoized automata algebra: structural fingerprints + a bounded LRU.
+
+The exact pipeline of Theorem 4.4 is dominated by repeated automata
+algebra — the same determinizations, products, complements and
+minimizations are rebuilt over and over across typechecking runs (and
+even *within* one run: every per-level compilation of
+:mod:`repro.pebble.to_regular` re-derives structurally identical
+intermediate automata).  Frisch & Hosoya's observation for macro tree
+transducers applies verbatim here: practical typechecking lives or dies
+on sharing.  This module provides the sharing:
+
+* **Structural fingerprints** (:func:`fingerprint`) for
+  :class:`~repro.automata.bottom_up.BottomUpTA`,
+  :class:`~repro.regex.dfa.DFA`, :class:`~repro.regex.nfa.NFA`,
+  :class:`~repro.regex.syntax.Regex` and
+  :class:`~repro.pebble.automaton.PebbleAutomaton`: a canonical renaming
+  of the state set followed by a content hash, cached on the object, so
+  structurally identical values key to the same table slot no matter how
+  their states happen to be named.  Equal fingerprints imply *structural
+  isomorphism* (identical rule tables under the canonical numbering),
+  which is the soundness contract every memoized operation relies on.
+* **A process-wide bounded LRU memo table** (:data:`GLOBAL_CACHE`) keyed
+  on ``(operation, fingerprints, extras)``.  :func:`memoized` is the
+  single entry point the algebra call sites use.
+
+Composition with the resource governor (PR 1):
+
+* Entries are written **only on successful completion** — a
+  :class:`~repro.errors.ResourceExhausted` raised mid-operation
+  propagates before the store, so an exhausted run never poisons the
+  table with a partial result.
+* A cache **hit still charges one nominal governor step**
+  (:meth:`~repro.runtime.governor.ResourceGovernor.tick`), so step
+  budgets keep measuring work requested rather than becoming no-ops the
+  moment the cache is warm — and a hit can still trip an
+  already-exhausted budget or deadline.
+
+Observability: :func:`cache_stats` exposes hit/miss/store/eviction/bytes
+counters, surfaced by ``typecheck()`` (``stats["cache"]``) and by the
+CLI's ``--cache-stats`` flag; ``--no-cache`` (or ``REPRO_CACHE=0`` in
+the environment) disables the table entirely for A/B runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from repro.runtime.governor import current_governor
+
+__all__ = [
+    "MemoCache",
+    "GLOBAL_CACHE",
+    "fingerprint",
+    "memoized",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
+    "cache_disabled",
+]
+
+#: Defaults for the process-wide table; tuned so a heavy typechecking
+#: workload keeps its working set without the table growing unboundedly.
+DEFAULT_MAX_ENTRIES = 4096
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# size estimation (approximate, for the bytes budget/counter)
+# ---------------------------------------------------------------------------
+
+
+def estimate_size(value: Any) -> int:
+    """Rough deep ``sys.getsizeof`` of ``value`` (shared objects counted
+    once).  Used for the cache's bytes counter and eviction budget; the
+    number is an estimate, not an accounting guarantee."""
+    seen: set[int] = set()
+    total = 0
+    stack = [value]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic objects
+            total += 64
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.extend(vars(obj).values())
+    return total
+
+
+# ---------------------------------------------------------------------------
+# structural fingerprints
+# ---------------------------------------------------------------------------
+
+_FP_ATTR = "_repro_fp"
+_FP_EXACT_ATTR = "_repro_fp_exact"
+
+
+def _digest(tag: str, payload: Any) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(repr(payload).encode("utf-8", "backslashreplace"))
+    return f"{tag}:{hasher.hexdigest()}"
+
+
+def fingerprint(obj: Any, exact: bool = False) -> str:
+    """A stable structural fingerprint of ``obj``, cached on the object.
+
+    The default (canonical) fingerprint renames states canonically before
+    hashing, so deterministic automata that differ only in state naming
+    collide on purpose — that is what lets equivalent ``minimized()``
+    results share cache entries.  ``exact=True`` additionally hashes the
+    actual state names; operations whose *results* embed input state
+    names (e.g. ``determinized(keep_subsets=True)``) key on this variant
+    so a hit never returns an object built from someone else's states.
+    """
+    attr = _FP_EXACT_ATTR if exact else _FP_ATTR
+    cached = getattr(obj, attr, None)
+    if cached is not None:
+        return cached
+    fp = _compute_fingerprint(obj, exact)
+    try:
+        object.__setattr__(obj, attr, fp)
+    except (AttributeError, TypeError):  # __slots__ or builtins: recompute
+        pass
+    return fp
+
+
+def _compute_fingerprint(obj: Any, exact: bool) -> str:
+    # Imported lazily: this module must stay importable from the automata
+    # layers without a cycle.
+    from repro.automata.bottom_up import BottomUpTA
+    from repro.pebble.automaton import PebbleAutomaton
+    from repro.regex.dfa import DFA
+    from repro.regex.nfa import NFA
+    from repro.regex.syntax import Regex
+
+    if isinstance(obj, BottomUpTA):
+        return _ta_fingerprint(obj, exact)
+    if isinstance(obj, DFA):
+        return _dfa_fingerprint(obj)
+    if isinstance(obj, NFA):
+        return _nfa_fingerprint(obj)
+    if isinstance(obj, Regex):
+        return _regex_fingerprint(obj)
+    if isinstance(obj, PebbleAutomaton):
+        return _pebble_fingerprint(obj)
+    raise TypeError(f"no structural fingerprint for {type(obj).__name__}")
+
+
+def _ta_state_order(ta: Any) -> list:
+    """A canonical ordering of the state set.
+
+    For deterministic automata the order is derived purely from the rule
+    structure (discovery order over sorted symbols, the tree-automaton
+    analogue of canonical DFA numbering), so it is invariant under state
+    renaming.  Nondeterministic automata fall back to ``repr``-sorted
+    states — still deterministic for a given object, merely not
+    renaming-invariant (structurally identical objects still collide).
+    Unreached states are appended ``repr``-sorted in either case.
+    """
+    order: dict[Any, int] = {}
+    if ta.is_deterministic():
+        for symbol in sorted(ta.leaf_rules):
+            for state in ta.leaf_rules[symbol]:  # singleton
+                if state not in order:
+                    order[state] = len(order)
+        internals = sorted(ta.alphabet.internals)
+        while True:
+            known = sorted(order, key=order.get)
+            grew = False
+            for symbol in internals:
+                for left in known:
+                    for right in known:
+                        for state in ta.rules.get((symbol, left, right), ()):
+                            if state not in order:
+                                order[state] = len(order)
+                                grew = True
+            if not grew:
+                break
+    for state in sorted(ta.states - set(order), key=repr):
+        order[state] = len(order)
+    return sorted(order, key=order.get)
+
+
+def _ta_fingerprint(ta: Any, exact: bool) -> str:
+    ordered = _ta_state_order(ta)
+    index = {state: i for i, state in enumerate(ordered)}
+    payload = [
+        sorted(ta.alphabet.leaves),
+        sorted(ta.alphabet.internals),
+        len(ordered),
+        sorted(
+            (symbol, sorted(index[q] for q in targets))
+            for symbol, targets in ta.leaf_rules.items()
+        ),
+        sorted(
+            (symbol, index[left], index[right],
+             sorted(index[q] for q in targets))
+            for (symbol, left, right), targets in ta.rules.items()
+        ),
+        sorted(index[q] for q in ta.accepting),
+    ]
+    if exact:
+        payload.append([repr(state) for state in ordered])
+        return _digest("ta!", payload)
+    return _digest("ta", payload)
+
+
+def _dfa_fingerprint(dfa: Any) -> str:
+    # canonical numbering: BFS from the start state over sorted symbols;
+    # unreachable states appended in numeric order.
+    symbols = sorted(dfa.alphabet)
+    index = {dfa.start: 0}
+    frontier = [dfa.start]
+    while frontier:
+        state = frontier.pop(0)
+        for symbol in symbols:
+            succ = dfa.delta[(state, symbol)]
+            if succ not in index:
+                index[succ] = len(index)
+                frontier.append(succ)
+    for state in range(dfa.n_states):
+        if state not in index:
+            index[state] = len(index)
+    payload = [
+        symbols,
+        dfa.n_states,
+        index[dfa.start],
+        sorted(
+            (index[state], symbol, index[target])
+            for (state, symbol), target in dfa.delta.items()
+        ),
+        sorted(index[state] for state in dfa.accepting),
+    ]
+    return _digest("dfa", payload)
+
+
+def _nfa_fingerprint(nfa: Any) -> str:
+    payload = [
+        nfa.n_states,
+        nfa.start,
+        sorted(
+            (state, symbol, sorted(targets))
+            for (state, symbol), targets in nfa.delta.items()
+        ),
+        sorted(
+            (state, sorted(targets))
+            for state, targets in nfa.epsilon.items()
+        ),
+        sorted(nfa.accepting),
+    ]
+    return _digest("nfa", payload)
+
+
+def _regex_fingerprint(expr: Any) -> str:
+    from repro.regex.syntax import Star, Sym
+
+    # iterative pre-order with arities: unambiguous, no recursion limit.
+    tokens: list[str] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        tokens.append(type(node).__name__)
+        if isinstance(node, Sym):
+            tokens.append(node.symbol)
+        elif isinstance(node, Star):
+            tokens.append("+" if node.plus else "*")
+        children = node.children()
+        tokens.append(str(len(children)))
+        stack.extend(reversed(children))
+    return _digest("re", tokens)
+
+
+def _pebble_fingerprint(automaton: Any) -> str:
+    payload = [
+        sorted(automaton.alphabet.leaves),
+        sorted(automaton.alphabet.internals),
+        [sorted(map(repr, level)) for level in automaton.levels],
+        repr(automaton.initial),
+        sorted(
+            (repr(key), [repr(action) for action in actions])
+            for key, actions in automaton.rules.items()
+        ),
+    ]
+    return _digest("pa", payload)
+
+
+# ---------------------------------------------------------------------------
+# the bounded LRU memo table
+# ---------------------------------------------------------------------------
+
+
+class MemoCache:
+    """A bounded, thread-safe LRU memo table with observability counters.
+
+    Entries are ``key -> (value, size_estimate)``; the table evicts
+    least-recently-used entries whenever either the entry count or the
+    (estimated) byte budget is exceeded.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        enabled: bool = True,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._table: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.enabled = enabled
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # -- core ------------------------------------------------------------
+
+    _MISS = object()
+
+    def lookup(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or :data:`MemoCache._MISS`."""
+        with self._lock:
+            entry = self._table.get(key, self._MISS)
+            if entry is self._MISS:
+                self.misses += 1
+                return self._MISS
+            self._table.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert ``key -> value``, evicting LRU entries over budget."""
+        size = estimate_size(value)
+        with self._lock:
+            if key in self._table:
+                self._bytes -= self._table.pop(key)[1]
+            self._table[key] = (value, size)
+            self._bytes += size
+            self.stores += 1
+            while self._table and (
+                len(self._table) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, (_, evicted_size) = self._table.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
+        with self._lock:
+            self._table.clear()
+            self._bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/store/eviction counters."""
+        with self._lock:
+            self.hits = self.misses = self.stores = self.evictions = 0
+
+    def configure(
+        self,
+        *,
+        enabled: Optional[bool] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
+        """Adjust limits or toggle the cache; shrinking evicts immediately."""
+        with self._lock:
+            if enabled is not None:
+                self.enabled = enabled
+            if max_entries is not None:
+                self.max_entries = max_entries
+            if max_bytes is not None:
+                self.max_bytes = max_bytes
+            while self._table and (
+                len(self._table) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                _, (_, evicted_size) = self._table.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+
+    # -- observability ----------------------------------------------------
+
+    def stats(self) -> dict:
+        """A snapshot of the counters (safe to mutate)."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._table),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
+
+
+#: The process-wide memo table every memoized operation shares.
+GLOBAL_CACHE = MemoCache(
+    enabled=os.environ.get("REPRO_CACHE", "1").lower()
+    not in ("0", "off", "false", "no")
+)
+
+
+def memoized(
+    operation: str,
+    inputs: tuple,
+    compute: Callable[[], Any],
+    *,
+    extra: tuple = (),
+    exact: bool = False,
+) -> Any:
+    """Run ``compute()`` through the global memo table.
+
+    ``inputs`` are fingerprinted (see :func:`fingerprint`); ``extra``
+    holds additional hashable key components (flags, alphabets).  On a
+    hit the ambient governor is charged one nominal step — budgets stay
+    meaningful under a warm cache.  On a miss, ``compute()`` runs and its
+    result is stored **only if it completes**: a ``ResourceExhausted``
+    (or any other exception) leaves no entry behind.
+    """
+    cache = GLOBAL_CACHE
+    if not cache.enabled:
+        return compute()
+    key = (
+        operation,
+        tuple(fingerprint(value, exact=exact) for value in inputs),
+        extra,
+    )
+    value = cache.lookup(key)
+    if value is not MemoCache._MISS:
+        current_governor().tick()
+        return value
+    value = compute()
+    cache.store(key, value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences
+# ---------------------------------------------------------------------------
+
+
+def cache_stats() -> dict:
+    """Counters of the process-wide memo table (:data:`GLOBAL_CACHE`)."""
+    return GLOBAL_CACHE.stats()
+
+
+def clear_cache() -> None:
+    """Drop every entry of the process-wide memo table."""
+    GLOBAL_CACHE.clear()
+
+
+def configure_cache(
+    *,
+    enabled: Optional[bool] = None,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> None:
+    """Configure the process-wide memo table."""
+    GLOBAL_CACHE.configure(
+        enabled=enabled, max_entries=max_entries, max_bytes=max_bytes
+    )
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily disable the process-wide memo table.
+
+    Process-wide, not context-local: intended for A/B comparisons (the
+    differential tests, ``--no-cache``, the benchmark harness), not for
+    concurrent per-request toggling.
+    """
+    previous = GLOBAL_CACHE.enabled
+    GLOBAL_CACHE.configure(enabled=False)
+    try:
+        yield
+    finally:
+        GLOBAL_CACHE.configure(enabled=previous)

@@ -50,6 +50,7 @@ from repro.pebble.output_automaton import output_language
 from repro.pebble.product import transducer_times_automaton
 from repro.pebble.to_regular import pebble_automaton_to_ta
 from repro.pebble.transducer import PebbleTransducer
+from repro.runtime.cache import cache_stats
 from repro.runtime.governor import (
     ResourceGovernor,
     current_governor,
@@ -189,7 +190,44 @@ def typecheck(
 
     With none of the governance knobs set, behaviour (and cost) is
     identical to the ungoverned engines.
+
+    Every result's ``stats["cache"]`` records the memo-table activity of
+    this run (hit/miss/store/eviction deltas of
+    :data:`repro.runtime.cache.GLOBAL_CACHE`, plus its current size).
     """
+    cache_before = cache_stats()
+    result = _typecheck_dispatch(
+        transducer, input_type, output_type, method, max_inputs, max_depth,
+        timeout=timeout, max_steps=max_steps, max_states=max_states,
+        fallback=fallback, governor=governor,
+    )
+    cache_after = cache_stats()
+    result.stats["cache"] = {
+        "enabled": cache_after["enabled"],
+        "hits": cache_after["hits"] - cache_before["hits"],
+        "misses": cache_after["misses"] - cache_before["misses"],
+        "stores": cache_after["stores"] - cache_before["stores"],
+        "evictions": cache_after["evictions"] - cache_before["evictions"],
+        "entries": cache_after["entries"],
+        "bytes": cache_after["bytes"],
+    }
+    return result
+
+
+def _typecheck_dispatch(
+    transducer: PebbleTransducer,
+    input_type: TypeLike,
+    output_type: TypeLike,
+    method: str,
+    max_inputs: int,
+    max_depth: int,
+    *,
+    timeout: Optional[float],
+    max_steps: Optional[int],
+    max_states: Optional[int],
+    fallback: bool,
+    governor: Optional[ResourceGovernor],
+) -> TypecheckResult:
     if method not in ("exact", "bounded"):
         raise TypecheckError(f"unknown method {method!r}")
     gov = governor if governor is not None else make_governor(

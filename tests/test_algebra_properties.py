@@ -1,0 +1,136 @@
+"""Regression properties for the memoized automata algebra.
+
+These pin the invariants the memo table's correctness argument leans
+on: minimization is idempotent (so a cached minimal automaton is a
+fixed point), ``determinized(keep_subsets=True)`` is language- and
+structure-preserving (its subset states are what ``to_regular``
+correlates against), and structural fingerprints are stable across
+renamings of equivalent automata (so isomorphic inputs share entries).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import btrees
+from repro.automata import BottomUpTA
+from repro.runtime import fingerprint
+from repro.trees import RankedAlphabet
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+def _random_automaton(seed: int) -> BottomUpTA:
+    """A reproducible random bottom-up automaton over ALPHA."""
+    rng = random.Random(seed)
+    n_states = rng.randint(1, 3)
+    states = [f"s{i}" for i in range(n_states)]
+    leaf_rules = {
+        symbol: {s for s in states if rng.random() < 0.6}
+        for symbol in sorted(ALPHA.leaves)
+    }
+    rules = {}
+    for symbol in sorted(ALPHA.internals):
+        for left in states:
+            for right in states:
+                targets = {s for s in states if rng.random() < 0.35}
+                if targets:
+                    rules[(symbol, left, right)] = targets
+    accepting = {s for s in states if rng.random() < 0.5} or {states[0]}
+    return BottomUpTA(ALPHA, states, leaf_rules, rules, accepting)
+
+
+AUTOMATA = st.integers(min_value=0, max_value=60).map(_random_automaton)
+
+
+def _relabelled(automaton: BottomUpTA, tag: str) -> BottomUpTA:
+    """The same automaton with every state wrapped in a fresh name."""
+    def rename(state):
+        return (tag, state)
+
+    return BottomUpTA(
+        alphabet=automaton.alphabet,
+        states={rename(q) for q in automaton.states},
+        leaf_rules={
+            symbol: {rename(q) for q in targets}
+            for symbol, targets in automaton.leaf_rules.items()
+        },
+        rules={
+            (symbol, rename(left), rename(right)): {
+                rename(q) for q in targets
+            }
+            for (symbol, left, right), targets in automaton.rules.items()
+        },
+        accepting={rename(q) for q in automaton.accepting},
+    )
+
+
+class TestMinimizationIdempotent:
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=40, deadline=None)
+    def test_minimized_is_a_fixed_point(self, automaton):
+        minimal = automaton.minimized()
+        again = minimal.minimized()
+        assert len(again.states) == len(minimal.states)
+        assert again.n_rules() == minimal.n_rules()
+        assert again.equivalent(minimal)
+        # stronger than equivalence: the canonical fingerprint agrees,
+        # i.e. re-minimizing yields a structurally isomorphic automaton.
+        assert fingerprint(again) == fingerprint(minimal)
+
+
+class TestDeterminizeKeepSubsets:
+    @given(automaton=AUTOMATA, tree=btrees(max_leaves=4))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_acceptance(self, automaton, tree):
+        det = automaton.determinized(keep_subsets=True)
+        assert det.accepts(tree) == automaton.accepts(tree)
+
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=25, deadline=None)
+    def test_states_are_subsets_of_the_input(self, automaton):
+        det = automaton.determinized(keep_subsets=True)
+        original = frozenset(automaton.states)
+        assert all(isinstance(state, frozenset) for state in det.states)
+        assert all(state <= original for state in det.states)
+
+
+class TestFingerprintStability:
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=40, deadline=None)
+    def test_renaming_is_invisible(self, automaton):
+        """Equivalent deterministic automata fingerprint identically,
+        whatever their states are called."""
+        minimal = automaton.minimized()
+        assert fingerprint(minimal.renamed()) == fingerprint(minimal)
+        assert fingerprint(_relabelled(minimal, "x")) == fingerprint(minimal)
+
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=30, deadline=None)
+    def test_equivalent_constructions_converge(self, automaton):
+        """Two different routes to the same minimal automaton agree."""
+        direct = automaton.minimized()
+        via_det = automaton.determinized().minimized()
+        assert fingerprint(direct) == fingerprint(via_det)
+
+    def test_different_languages_differ(self):
+        tau = BottomUpTA(
+            alphabet=ALPHA,
+            states={"ok"},
+            leaf_rules={"a": {"ok"}},
+            rules={(s, "ok", "ok"): {"ok"} for s in ("f", "g")},
+            accepting={"ok"},
+        )
+        assert fingerprint(tau.minimized()) \
+            != fingerprint(tau.complemented().minimized())
+
+    def test_exact_fingerprint_sees_state_names(self):
+        """The ``exact`` variant (used for keep_subsets results) must
+        distinguish renamed twins that the canonical one merges."""
+        automaton = _random_automaton(7).minimized()
+        twin = _relabelled(automaton, "y")
+        assert fingerprint(automaton) == fingerprint(twin)
+        assert fingerprint(automaton, exact=True) \
+            != fingerprint(twin, exact=True)

@@ -1,0 +1,248 @@
+"""Differential tests for the automata memo table.
+
+Every memoized operation is run three ways — cache disabled (the
+reference), cache enabled on a cold table, and again on the now-warm
+table — and the results must be language-equivalent.  The warm run must
+actually hit the table, so these tests also pin the fingerprinting: a
+key that failed to match its own inputs would show up as a miss here.
+
+The typechecking scenarios mirror the E10 worked-example suite
+(copy/E02, the XSLT wrapper/E04, Q2 against its DTDs/E09-E10) and
+assert the verdict is identical with and without the cache.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata import BottomUpTA
+from repro.lang import (
+    Apply,
+    Out,
+    Stylesheet,
+    Template,
+    q2_stylesheet,
+    xslt_to_transducer,
+)
+from repro.data import q1_input_dtd, q2_good_output_dtd
+from repro.pebble import copy_transducer
+from repro.regex import EPSILON, compile_regex, star, sym, union, concat
+from repro.runtime import (
+    GLOBAL_CACHE,
+    cache_disabled,
+    cache_stats,
+    clear_cache,
+)
+from repro.trees import RankedAlphabet
+from repro.typecheck import typecheck
+from repro.xmlio import parse_dtd
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _cache_on():
+    """Force the memo table on (and empty) regardless of REPRO_CACHE.
+
+    Module-scoped: hypothesis would flag a function-scoped fixture, and
+    every test below clears the table itself where freshness matters.
+    """
+    previous = GLOBAL_CACHE.enabled
+    GLOBAL_CACHE.enabled = True
+    clear_cache()
+    yield
+    GLOBAL_CACHE.enabled = previous
+    clear_cache()
+
+
+def _random_automaton(seed: int) -> BottomUpTA:
+    """A reproducible random bottom-up automaton over ALPHA."""
+    rng = random.Random(seed)
+    n_states = rng.randint(1, 3)
+    states = [f"s{i}" for i in range(n_states)]
+    leaf_rules = {
+        symbol: {s for s in states if rng.random() < 0.6}
+        for symbol in sorted(ALPHA.leaves)
+    }
+    rules = {}
+    for symbol in sorted(ALPHA.internals):
+        for left in states:
+            for right in states:
+                targets = {s for s in states if rng.random() < 0.35}
+                if targets:
+                    rules[(symbol, left, right)] = targets
+    accepting = {s for s in states if rng.random() < 0.5} or {states[0]}
+    return BottomUpTA(ALPHA, states, leaf_rules, rules, accepting)
+
+
+AUTOMATA = st.integers(min_value=0, max_value=60).map(_random_automaton)
+
+REGEXES = st.recursive(
+    st.one_of(st.just(EPSILON), st.sampled_from(["a", "b"]).map(sym)),
+    lambda sub: st.one_of(
+        st.builds(concat, sub, sub),
+        st.builds(union, sub, sub),
+        st.builds(star, sub),
+    ),
+    max_leaves=5,
+)
+
+
+def _differential(op, *inputs):
+    """Run ``op`` uncached / cold / warm; return the three results."""
+    with cache_disabled():
+        reference = op(*inputs)
+    clear_cache()
+    cold = op(*inputs)
+    before = cache_stats()["hits"]
+    warm = op(*inputs)
+    assert cache_stats()["hits"] > before, "warm re-run never hit the table"
+    return reference, cold, warm
+
+
+UNARY_OPS = [
+    ("determinized", lambda a: a.determinized()),
+    ("determinized_subsets", lambda a: a.determinized(keep_subsets=True)),
+    ("complemented", lambda a: a.complemented()),
+    ("minimized", lambda a: a.minimized()),
+    ("trimmed", lambda a: a.trimmed()),
+]
+
+BINARY_OPS = [
+    ("intersection", lambda a, b: a.intersection(b)),
+    ("union", lambda a, b: a.union(b)),
+    ("difference", lambda a, b: a.difference(b)),
+    ("product_xor", lambda a, b: a.product(b, lambda x, y: x != y)),
+]
+
+
+class TestAutomataDifferential:
+    @pytest.mark.parametrize("name,op", UNARY_OPS, ids=[n for n, _ in UNARY_OPS])
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=25, deadline=None)
+    def test_unary_cached_equals_uncached(self, name, op, automaton):
+        reference, cold, warm = _differential(op, automaton)
+        assert reference.equivalent(cold)
+        assert reference.equivalent(warm)
+
+    @pytest.mark.parametrize("name,op", BINARY_OPS, ids=[n for n, _ in BINARY_OPS])
+    @given(one=AUTOMATA, two=AUTOMATA)
+    @settings(max_examples=20, deadline=None)
+    def test_binary_cached_equals_uncached(self, name, op, one, two):
+        reference, cold, warm = _differential(op, one, two)
+        assert reference.equivalent(cold)
+        assert reference.equivalent(warm)
+
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=20, deadline=None)
+    def test_isomorphic_twin_shares_cache_entries(self, automaton):
+        """A structurally identical but distinct object must hit the same
+        entry (fingerprints are structural, not ``id``-based)."""
+        seed_twin = BottomUpTA(
+            automaton.alphabet,
+            automaton.states,
+            automaton.leaf_rules,
+            automaton.rules,
+            automaton.accepting,
+        )
+        clear_cache()
+        first = automaton.minimized()
+        before = cache_stats()["hits"]
+        second = seed_twin.minimized()
+        assert cache_stats()["hits"] > before
+        assert first.equivalent(second)
+
+
+class TestRegexDifferential:
+    @given(expr=REGEXES)
+    @settings(max_examples=25, deadline=None)
+    def test_compile_cached_equals_uncached(self, expr):
+        reference, cold, warm = _differential(
+            lambda e: compile_regex(e, alphabet={"a", "b"}), expr
+        )
+        assert reference.equivalent(cold)
+        assert reference.equivalent(warm)
+
+    @given(one=REGEXES, two=REGEXES)
+    @settings(max_examples=15, deadline=None)
+    def test_dfa_product_cached_equals_uncached(self, one, two):
+        left = compile_regex(one, alphabet={"a", "b"})
+        right = compile_regex(two, alphabet={"a", "b"})
+        reference, cold, warm = _differential(
+            lambda l, r: l.intersection(r), left, right
+        )
+        assert reference.equivalent(cold)
+        assert reference.equivalent(warm)
+
+
+def _leaves_all_a() -> BottomUpTA:
+    return BottomUpTA(
+        alphabet=ALPHA,
+        states={"ok"},
+        leaf_rules={"a": {"ok"}},
+        rules={(s, "ok", "ok"): {"ok"} for s in ("f", "g")},
+        accepting={"ok"},
+    )
+
+
+def _wrap_machine():
+    sheet = Stylesheet([
+        Template("doc", [Out("D", [Apply()])]),
+        Template("sec", [Out("S", [Apply()])]),
+        Template("par", [Out("P")]),
+    ])
+    return xslt_to_transducer(sheet, tags={"doc", "sec", "par"},
+                              root_tag="doc")
+
+
+def _typecheck_scenarios():
+    wrap_in = parse_dtd("doc := sec*\nsec := par*\npar :=")
+    wrap_out_good = parse_dtd("D := S*\nS := P*\nP :=")
+    wrap_out_bad = parse_dtd("D := S.S*\nS := P*\nP :=")
+    return [
+        # E02/E10: the copy transducer typechecks against tau -> tau ...
+        ("copy_ok", copy_transducer(ALPHA), _leaves_all_a(),
+         _leaves_all_a(), True),
+        # ... and fails against tau -> complement(tau).
+        ("copy_bad", copy_transducer(ALPHA), _leaves_all_a(),
+         _leaves_all_a().complemented(), False),
+        # E04/E10: the wrapping stylesheet against matching DTDs ...
+        ("wrap_ok", _wrap_machine(), wrap_in, wrap_out_good, True),
+        # ... and against a DTD that forbids the empty document.
+        ("wrap_bad", _wrap_machine(), wrap_in, wrap_out_bad, False),
+        # E09/E10: XSLT Q2 against its good output DTD.
+        ("q2_ok",
+         xslt_to_transducer(q2_stylesheet(), tags={"root", "a"},
+                            root_tag="root"),
+         q1_input_dtd(), q2_good_output_dtd(), True),
+    ]
+
+
+class TestTypecheckDifferential:
+    @pytest.mark.parametrize(
+        "name,machine,tau1,tau2,expect_ok",
+        _typecheck_scenarios(),
+        ids=[row[0] for row in _typecheck_scenarios()],
+    )
+    def test_verdict_identical_with_and_without_cache(
+        self, name, machine, tau1, tau2, expect_ok
+    ):
+        with cache_disabled():
+            reference = typecheck(machine, tau1, tau2, method="exact")
+        clear_cache()
+        cold = typecheck(machine, tau1, tau2, method="exact")
+        warm = typecheck(machine, tau1, tau2, method="exact")
+
+        for result in (reference, cold, warm):
+            assert result.ok is expect_ok
+            assert result.method == "exact"
+        assert (reference.counterexample_input is None) \
+            == (cold.counterexample_input is None) \
+            == (warm.counterexample_input is None)
+
+        # the stats block reflects the cache's involvement
+        assert reference.stats["cache"]["enabled"] is False
+        assert cold.stats["cache"]["enabled"] is True
+        assert warm.stats["cache"]["hits"] > 0

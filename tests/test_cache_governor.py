@@ -1,0 +1,112 @@
+"""Interaction between the memo table and the resource governor.
+
+The contract (see DESIGN.md): entries are written only after a
+construction *succeeds*, so a budget that dies mid-operation can never
+poison the table with a partial result; and a cache hit is not free —
+it charges one nominal step, so budgets and deadlines still observe
+cached work.
+"""
+
+import pytest
+
+from repro.automata import BottomUpTA
+from repro.errors import ResourceExhausted
+from repro.runtime import (
+    GLOBAL_CACHE,
+    cache_disabled,
+    cache_stats,
+    clear_cache,
+    governed,
+    make_governor,
+)
+from repro.trees import RankedAlphabet
+
+ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+
+
+@pytest.fixture(autouse=True)
+def _cache_on():
+    """Force the memo table on (and empty) regardless of REPRO_CACHE."""
+    previous = GLOBAL_CACHE.enabled
+    GLOBAL_CACHE.enabled = True
+    clear_cache()
+    GLOBAL_CACHE.reset_stats()
+    yield
+    GLOBAL_CACHE.enabled = previous
+    clear_cache()
+
+
+def _busy_automaton() -> BottomUpTA:
+    """Nondeterministic enough that determinization does real work."""
+    states = [f"s{i}" for i in range(4)]
+    leaf_rules = {"a": set(states[:2]), "b": set(states[2:])}
+    rules = {}
+    for symbol in ("f", "g"):
+        for left in states:
+            for right in states:
+                rules[(symbol, left, right)] = {
+                    states[(hash((symbol, left, right, k)) % 4)]
+                    for k in range(2)
+                }
+    return BottomUpTA(ALPHA, states, leaf_rules, rules, {states[0]})
+
+
+class TestNoPoisoning:
+    def test_exhaustion_mid_determinize_stores_nothing(self):
+        automaton = _busy_automaton()
+        with governed(make_governor(max_steps=5)):
+            with pytest.raises(ResourceExhausted):
+                automaton.determinized()
+        stats = cache_stats()
+        assert stats["stores"] == 0
+        assert stats["entries"] == 0
+        assert stats["misses"] >= 1  # the lookup happened, the store did not
+
+    def test_fresh_budget_recomputes_correctly(self):
+        automaton = _busy_automaton()
+        with governed(make_governor(max_steps=5)):
+            with pytest.raises(ResourceExhausted):
+                automaton.determinized()
+
+        # an ungoverned (or generously governed) retry starts from scratch
+        result = automaton.determinized()
+        assert cache_stats()["stores"] >= 1
+        with cache_disabled():
+            reference = automaton.determinized()
+        assert result.equivalent(reference)
+        assert result.is_complete_deterministic()
+
+    def test_exhausted_retry_then_hit(self):
+        """After the successful retry the entry exists and is served."""
+        automaton = _busy_automaton()
+        with governed(make_governor(max_steps=5)):
+            with pytest.raises(ResourceExhausted):
+                automaton.determinized()
+        first = automaton.determinized()
+        before = cache_stats()["hits"]
+        second = automaton.determinized()
+        assert cache_stats()["hits"] > before
+        assert second is first  # served verbatim from the table
+
+
+class TestHitsAreCharged:
+    def test_cache_hit_advances_budget_steps(self):
+        automaton = _busy_automaton()
+        automaton.determinized()  # warm the table, ungoverned
+
+        governor = make_governor(max_steps=1_000_000)
+        with governed(governor):
+            before_steps = governor.steps
+            before_hits = cache_stats()["hits"]
+            automaton.determinized()
+        assert cache_stats()["hits"] > before_hits
+        assert governor.steps > before_steps
+
+    def test_cache_hit_can_trip_an_exhausted_budget(self):
+        """A warm table does not let work sneak past a spent budget."""
+        automaton = _busy_automaton()
+        automaton.determinized()  # warm the table, ungoverned
+
+        with governed(make_governor(max_steps=0)):
+            with pytest.raises(ResourceExhausted):
+                automaton.determinized()

@@ -94,8 +94,10 @@ class TestTypecheck:
 
     def test_budget_with_fallback_degrades(self, files, capsys):
         # the default --fallback turns an exhausted exact run into a
-        # bounded verdict; the bad DTD still yields its counterexample
-        code = main(["typecheck", "--max-steps", "10",
+        # bounded verdict; the bad DTD still yields its counterexample.
+        # --no-cache keeps the tiny budget meaningful: a warm memo table
+        # would absorb the very work the budget is sized to interrupt.
+        code = main(["typecheck", "--max-steps", "10", "--no-cache",
                      "--input-dtd", files["in.dtd"],
                      "--output-dtd", files["bad.dtd"], files["sheet.xsl"]])
         assert code == 1
@@ -105,6 +107,7 @@ class TestTypecheck:
 
     def test_budget_without_fallback_exits_3(self, files, capsys):
         code = main(["typecheck", "--max-steps", "10", "--no-fallback",
+                     "--no-cache",
                      "--input-dtd", files["in.dtd"],
                      "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
         assert code == 3
@@ -118,6 +121,51 @@ class TestTypecheck:
         captured = capsys.readouterr()
         assert "typechecks" in captured.out
         assert "degraded" not in captured.err
+
+    def test_no_cache_same_verdict_zero_hits(self, files, capsys):
+        code = main(["typecheck", "--no-cache", "--cache-stats",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "typechecks" in captured.out
+        assert "hits=0" in captured.err
+        assert "enabled=no" in captured.err
+
+    def test_cache_stats_reports_counters(self, files, capsys):
+        code = main(["typecheck", "--cache-stats",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        captured = capsys.readouterr()
+        line = next(l for l in captured.err.splitlines()
+                    if l.startswith("cache: "))
+        for counter in ("hits=", "misses=", "stores=", "evictions=",
+                        "entries=", "bytes=", "enabled="):
+            assert counter in line
+
+    def test_cached_rerun_reports_hits(self, files, capsys):
+        from repro.runtime import GLOBAL_CACHE, clear_cache
+
+        previous = GLOBAL_CACHE.enabled
+        GLOBAL_CACHE.enabled = True
+        clear_cache()
+        try:
+            argv = ["typecheck", "--cache-stats",
+                    "--input-dtd", files["in.dtd"],
+                    "--output-dtd", files["good.dtd"], files["sheet.xsl"]]
+            assert main(argv) == 0
+            capsys.readouterr()
+            assert main(argv) == 0
+            captured = capsys.readouterr()
+            assert "typechecks" in captured.out
+            line = next(l for l in captured.err.splitlines()
+                        if l.startswith("cache: "))
+            hits = int(line.split("hits=")[1].split()[0])
+            assert hits > 0
+        finally:
+            GLOBAL_CACHE.enabled = previous
+            clear_cache()
 
     def test_run_respects_step_budget(self, files, capsys):
         code = main(["run", "--max-steps", "1",

@@ -32,6 +32,17 @@ from repro.typecheck.engine import DEGRADED_METHOD, as_automaton
 ALPHA = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
 
 
+@pytest.fixture(autouse=True)
+def _uncached():
+    """These tests pin the budget-exhaustion behaviour of the *uncached*
+    pipeline; a warm process-wide memo table would absorb exactly the work
+    the tiny budgets here are sized to interrupt."""
+    from repro.runtime import cache_disabled
+
+    with cache_disabled():
+        yield
+
+
 def leaves_all_a(alphabet=ALPHA) -> BottomUpTA:
     return BottomUpTA(
         alphabet=alphabet,
