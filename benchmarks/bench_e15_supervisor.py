@@ -1,0 +1,138 @@
+"""E15 — supervised execution: isolation overhead and batch throughput.
+
+The paper's Theorem 4.8 makes exact typechecking non-elementary, which
+is why the runtime wraps every job in a SIGKILL-armed worker process.
+This experiment prices that wrapper: per-job supervision overhead (fork
++ pipe + monitor loop) against a bare in-process call, batch throughput
+as workers scale, and the cost of riding out injected crashes with
+retries.  The shape claims: overhead stays in tens of milliseconds
+(negligible against any job the supervisor exists for), more workers do
+not slow a batch down, and a 30%-crash chaos batch still reaches the
+same verdicts.
+"""
+
+import time
+
+from conftest import report
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.jobs import execute_job
+from repro.runtime.supervisor import (
+    OK,
+    JobSpec,
+    RetryPolicy,
+    Supervisor,
+)
+
+TINY_DTD = "doc := item*\nitem :="
+IDENTITY_SHEET = (
+    '<xsl:template match="doc"><doc><xsl:apply-templates/></doc>'
+    "</xsl:template>"
+    '<xsl:template match="item"><item/></xsl:template>'
+)
+
+
+def typecheck_spec(job_id: str) -> JobSpec:
+    return JobSpec(
+        id=job_id,
+        kind="typecheck",
+        params={
+            "stylesheet_text": IDENTITY_SHEET,
+            "input_dtd_text": TINY_DTD,
+            "output_dtd_text": TINY_DTD,
+            "method": "bounded",
+            "max_inputs": 5,
+        },
+    )
+
+
+def test_supervision_overhead_per_job(once):
+    spec = typecheck_spec("overhead")
+    payload = {"kind": spec.kind, "params": dict(spec.params)}
+    execute_job(payload)  # warm the parent's imports and caches
+
+    rounds = 10
+    start = time.perf_counter()
+    for _ in range(rounds):
+        execute_job(payload)
+    bare = (time.perf_counter() - start) / rounds
+
+    supervisor = Supervisor()
+
+    def supervised_round():
+        for _ in range(rounds):
+            result = supervisor.run_job(spec)
+            assert result.status == OK
+
+    once(supervised_round)
+    start = time.perf_counter()
+    supervised_round()
+    wrapped = (time.perf_counter() - start) / rounds
+
+    report("E15 per-job supervision overhead", [
+        ("in-process", f"{bare * 1000:.1f} ms"),
+        ("supervised", f"{wrapped * 1000:.1f} ms"),
+        ("overhead", f"{(wrapped - bare) * 1000:.1f} ms"),
+    ])
+    # fork + pipe + monitor must stay far under any real job's runtime
+    assert wrapped - bare < 1.0
+
+
+def test_batch_throughput_scales_with_workers(once):
+    specs = [typecheck_spec(f"job-{i:02d}") for i in range(24)]
+    rows = []
+    seconds = {}
+    for workers in (1, 2, 4):
+        supervisor = Supervisor()
+        start = time.perf_counter()
+        outcome = once(supervisor.run_batch, specs, workers=workers) \
+            if workers == 1 else supervisor.run_batch(specs, workers=workers)
+        seconds[workers] = time.perf_counter() - start
+        assert outcome.executed == 24
+        assert all(result.status == OK for result in outcome.results)
+        rows.append((f"workers={workers}",
+                     f"{seconds[workers]:.2f} s",
+                     f"{24 / seconds[workers]:.1f} jobs/s"))
+    report("E15 batch throughput (24 bounded typechecks)", rows)
+    # parallelism must never make the batch slower (generous margin for
+    # noisy CI machines)
+    assert seconds[4] < seconds[1] * 1.5
+
+
+def test_chaos_retries_cost_only_the_crashed_attempts(once):
+    specs = [typecheck_spec(f"job-{i:02d}") for i in range(20)]
+
+    clean_supervisor = Supervisor()
+    start = time.perf_counter()
+    clean = clean_supervisor.run_batch(specs, workers=2)
+    clean_seconds = time.perf_counter() - start
+
+    plan = FaultPlan(
+        seed=22,
+        points={"worker:result": FaultSpec(action="crash", rate=0.3)},
+    )
+    chaos_supervisor = Supervisor(
+        fault_plan=plan,
+        retry=RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0),
+    )
+
+    def chaos_batch():
+        return chaos_supervisor.run_batch(specs, workers=2)
+
+    chaos = once(chaos_batch)
+    start = time.perf_counter()
+    chaos = chaos_batch()
+    chaos_seconds = time.perf_counter() - start
+
+    retried = sum(1 for result in chaos.results if result.attempts > 1)
+    extra_attempts = sum(result.attempts - 1 for result in chaos.results)
+    report("E15 chaos overhead (30% crash rate, 20 jobs)", [
+        ("fault-free", f"{clean_seconds:.2f} s"),
+        ("chaos", f"{chaos_seconds:.2f} s"),
+        ("jobs retried", retried),
+        ("extra attempts", extra_attempts),
+    ])
+    assert retried > 0
+    assert {r.id: r.status for r in chaos.results} == \
+        {r.id: r.status for r in clean.results}
+    # retries cost attempts, not a systemic slowdown
+    assert chaos_seconds < clean_seconds * (1 + extra_attempts) + 1.0

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regression driver for the E01-E14 benchmark suite.
+"""Regression driver for the E01-E15 benchmark suite.
 
 Runs every ``benchmarks/bench_e*.py`` file in-process under a counting
 resource governor, collects wall time, governor steps/states, memo-table

@@ -10,24 +10,39 @@ Usage::
                               [--no-cache] [--cache-stats]
     python -m repro run       --stylesheet sheet.xsl document.xml
                               [--timeout S] [--max-steps N]
+    python -m repro batch     manifest.jsonl --results results.jsonl
+                              [--workers N] [--resume]
+                              [--wall-limit S] [--rss-limit-mb M]
+                              [--max-attempts K] [--retry-delay S]
+                              [--no-degrade] [--faults plan.json]
 
 DTD files use either the paper's rule notation (``a := b*.c.e``) or
 classic ``<!ELEMENT ...>`` declarations (auto-detected); stylesheets use
 the XSLT fragment of :mod:`repro.lang.xslt`.
 
-Exit codes: 0 on success, 1 when typechecking/validation rejects, 2 on
-usage or input errors, 3 when a resource budget (``--timeout`` /
-``--max-steps`` / ``--max-states``) was exhausted with no fallback.
+``batch`` consumes a JSONL manifest (one job object per line — see
+:mod:`repro.runtime.supervisor` and the README schema), runs every job
+in a supervised worker subprocess with hard wall/RSS limits, streams one
+JSON result line per job to ``--results``, and — with ``--resume`` —
+skips jobs already recorded there, so a killed batch picks up where it
+left off.
+
+Exit codes (see :mod:`repro.errors`): 0 on success, 1 when
+typechecking/validation rejects, 2 on usage or input errors, 3 when a
+resource budget (``--timeout`` / ``--max-steps`` / ``--max-states``) was
+exhausted with no fallback, 4 when a worker crashed or was killed at a
+hard limit.  ``batch`` exits with the most severe job status.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError, ResourceExhausted
+from repro.errors import ReproError, ResourceExhausted, exit_code_for
 from repro.lang import apply_stylesheet, parse_stylesheet, xslt_to_transducer
 from repro.runtime import cache_disabled, governed, make_governor
 from repro.trees import decode
@@ -130,6 +145,59 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.supervisor import (
+        JobLimits,
+        RetryPolicy,
+        Supervisor,
+        load_manifest,
+    )
+
+    specs = load_manifest(args.manifest)
+    if not specs:
+        print("error: empty manifest", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.faults:
+        fault_plan = FaultPlan.from_dict(
+            json.loads(Path(args.faults).read_text())
+        )
+    limits = JobLimits(
+        wall_seconds=args.wall_limit,
+        rss_bytes=(
+            int(args.rss_limit_mb * 1024 * 1024)
+            if args.rss_limit_mb is not None
+            else None
+        ),
+    )
+    retry = RetryPolicy(
+        max_attempts=args.max_attempts,
+        base_delay=args.retry_delay,
+        degrade=args.degrade,
+    )
+    supervisor = Supervisor(
+        limits=limits, retry=retry, fault_plan=fault_plan
+    )
+    report = supervisor.run_batch(
+        specs,
+        workers=args.workers,
+        results_path=args.results,
+        resume=args.resume,
+    )
+    counts = " ".join(
+        f"{status}={count}"
+        for status, count in sorted(report.by_status.items())
+    )
+    print(
+        f"batch: {report.total} job(s), {report.executed} executed, "
+        f"{report.skipped} resumed from checkpoint"
+        + (f" [{counts}]" if counts else ""),
+        file=sys.stderr,
+    )
+    return report.exit_code()
+
+
 def _nonnegative_float(text: str) -> float:
     value = float(text)
     if value < 0:
@@ -212,6 +280,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("stylesheet")
     check.set_defaults(func=_cmd_typecheck)
+
+    batch = commands.add_parser(
+        "batch",
+        help="run a JSONL manifest of jobs under process supervision",
+    )
+    batch.add_argument("manifest", help="JSONL file, one job object per line")
+    batch.add_argument(
+        "--results", required=True, metavar="PATH",
+        help="JSONL result log (also the --resume checkpoint)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="number of concurrent worker subprocesses",
+    )
+    batch.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs already recorded in --results",
+    )
+    batch.add_argument(
+        "--wall-limit", type=_nonnegative_float, default=None,
+        metavar="SECONDS",
+        help="hard per-job wall-clock limit (SIGKILL on breach)",
+    )
+    batch.add_argument(
+        "--rss-limit-mb", type=_nonnegative_float, default=None, metavar="MB",
+        help="hard per-job resident-set limit (SIGKILL on breach)",
+    )
+    batch.add_argument(
+        "--max-attempts", type=int, default=1, metavar="K",
+        help="attempts per job (crashed/killed jobs are retried)",
+    )
+    batch.add_argument(
+        "--retry-delay", type=_nonnegative_float, default=0.5,
+        metavar="SECONDS", help="base backoff before a retry (doubles "
+        "per attempt, with jitter)",
+    )
+    batch.add_argument(
+        "--degrade", action=argparse.BooleanOptionalAction, default=True,
+        help="degrade retries after a resource kill (exact typechecking "
+             "falls back to the bounded engine with tighter budgets; "
+             "--no-degrade retries the job unchanged)",
+    )
+    batch.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="arm a fault-injection plan in every worker (chaos testing)",
+    )
+    batch.set_defaults(func=_cmd_batch)
     return parser
 
 
@@ -224,13 +339,10 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"error: resource budget exhausted: {error}", file=sys.stderr
         )
-        return 3
-    except ReproError as error:
+        return exit_code_for(error)
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
-    except OSError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover

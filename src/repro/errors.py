@@ -2,11 +2,43 @@
 
 Every error raised by the library derives from :class:`ReproError`, so
 clients can catch one base class.  The subclasses mirror the subsystems:
-trees, regexes, XML/DTD handling, automata, MSO, pebble machines and the
-typechecker.
+trees, regexes, XML/DTD handling, automata, MSO, pebble machines, the
+typechecker, and the supervised runtime.
+
+CLI exit codes
+--------------
+
+Every user-facing entry point (``repro validate|run|typecheck|batch``)
+maps its outcome onto one process exit code:
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     success — the document validates / the stylesheet typechecks
+1     a *type* error: validation or typechecking rejected the input
+2     usage or parse error: bad flags, malformed XML/DTD/stylesheet
+      (:class:`ReproError` other than the resource/worker classes)
+3     a resource budget was exhausted cooperatively
+      (:class:`ResourceExhausted`, no fallback available)
+4     a worker was killed or crashed: SIGKILL at a wall/RSS limit,
+      a worker process that died without reporting
+      (:class:`WorkerCrashed`), or — for ``repro batch`` — any job
+      in the batch finishing ``crashed``/``timeout``/``oom``
+====  ==========================================================
+
+:func:`exit_code_for` implements the exception half of this table and is
+the single authority the CLI consults, so a new exception class only has
+to be slotted in here to exit consistently everywhere.
 """
 
 from __future__ import annotations
+
+#: CLI exit codes (see the module docstring for the full table).
+EXIT_OK = 0
+EXIT_TYPE_ERROR = 1
+EXIT_USAGE = 2
+EXIT_EXHAUSTED = 3
+EXIT_CRASHED = 4
 
 
 class ReproError(Exception):
@@ -135,3 +167,54 @@ class TypecheckError(ReproError):
 
 class UndecidableError(TypecheckError):
     """The requested analysis is undecidable for the given machine class."""
+
+
+class SupervisorError(ReproError):
+    """Misuse of the supervised runtime: malformed job spec or manifest,
+    duplicate job ids, unknown job kind, bad retry policy."""
+
+
+class WorkerCrashed(ReproError):
+    """A supervised worker process died without reporting a result.
+
+    Carries enough forensic detail for the batch log: the process exit
+    status (negative = killed by that signal number, per
+    ``multiprocessing.Process.exitcode``) and which hard limit, if any,
+    triggered the kill.
+
+    Attributes:
+        exitcode: the worker's exit status (``None`` if unknown).
+        killed_by: ``"timeout"`` / ``"oom"`` when the supervisor itself
+            SIGKILLed the worker at a hard limit, else ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        exitcode: int | None = None,
+        killed_by: str | None = None,
+    ) -> None:
+        self.exitcode = exitcode
+        self.killed_by = killed_by
+        super().__init__(message)
+
+
+class FaultInjected(ReproError):
+    """Raised by an armed ``exception`` fault point (chaos testing only).
+
+    Never raised in production configurations: :mod:`repro.runtime.faults`
+    only fires when a fault plan has been explicitly installed.
+    """
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The CLI exit code for ``error`` (see the module docstring table)."""
+    if isinstance(error, WorkerCrashed):
+        return EXIT_CRASHED
+    if isinstance(error, ResourceExhausted):
+        return EXIT_EXHAUSTED
+    if isinstance(error, (ReproError, OSError)):
+        return EXIT_USAGE
+    # anything else is a genuine crash of ours, not a usage problem
+    return EXIT_CRASHED

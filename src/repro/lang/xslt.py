@@ -186,13 +186,18 @@ def _match_values(text: str) -> list[str]:
         if start < 0:
             return values
         end = text.find(">", start)
+        if end < 0:
+            raise XMLParseError("unterminated <xsl:template> tag", start)
         head = text[start:end]
         marker = 'match="'
         at = head.find(marker)
         if at < 0:
             raise XMLParseError("template without match= attribute")
         at += len(marker)
-        values.append(head[at : head.find('"', at)])
+        close = head.find('"', at)
+        if close < 0:
+            raise XMLParseError("unterminated match= attribute", start)
+        values.append(head[at:close])
         pos = end + 1
 
 

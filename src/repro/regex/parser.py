@@ -68,10 +68,29 @@ def _tokenize(text: str) -> list[_Token]:
     return tokens
 
 
+#: Maximum operator-nesting depth.  Real content models nest a handful of
+#: levels; the cap keeps adversarial inputs (``((((…))))``) from blowing
+#: the interpreter's recursion limit here or in the recursive passes over
+#: the resulting syntax tree (``symbols()``, ``is_plain()``, ``str()``).
+MAX_NESTING = 100
+
+
 class _Parser:
     def __init__(self, text: str) -> None:
         self.tokens = _tokenize(text)
         self.index = 0
+        self.depth = 0
+
+    def _enter(self) -> None:
+        self.depth += 1
+        if self.depth > MAX_NESTING:
+            raise RegexParseError(
+                f"expression nested more than {MAX_NESTING} levels deep",
+                self.current.position,
+            )
+
+    def _leave(self) -> None:
+        self.depth -= 1
 
     @property
     def current(self) -> _Token:
@@ -119,14 +138,24 @@ class _Parser:
 
     def unary(self) -> Regex:
         if self.current.kind == "op" and self.current.text == "~":
+            self._enter()
             self._advance()
-            return syntax.complement(self.unary())
+            expr = syntax.complement(self.unary())
+            self._leave()
+            return expr
         return self.postfix()
 
     def postfix(self) -> Regex:
         expr = self.atom()
+        applied = 0
         while self.current.kind == "op" and self.current.text in "*+?":
             op = self._advance().text
+            applied += 1
+            if applied > MAX_NESTING:
+                raise RegexParseError(
+                    f"more than {MAX_NESTING} postfix operators on one atom",
+                    self.current.position,
+                )
             if op == "*":
                 expr = syntax.star(expr)
             elif op == "+":
@@ -141,9 +170,11 @@ class _Parser:
             self._advance()
             return syntax.sym(token.text)
         if token.kind == "op" and token.text == "(":
+            self._enter()
             self._advance()
             expr = self.union()
             self._expect_op(")")
+            self._leave()
             return expr
         if token.kind == "op" and token.text == "%":
             self._advance()

@@ -18,6 +18,14 @@ The sibling :mod:`repro.runtime.cache` memoizes the hot automata algebra
 level compilation) in a process-wide bounded LRU keyed on structural
 fingerprints; see ``cache_stats()`` / ``configure_cache()`` /
 ``cache_disabled()`` below and the DESIGN.md section on memoization.
+
+Above the cooperative governor sits the *supervised* runtime
+(:mod:`repro.runtime.supervisor`): isolated worker subprocesses with
+hard wall/RSS limits (SIGKILL, not cooperation), a seven-way outcome
+taxonomy, declarative retry with backoff and exact→bounded degradation,
+and checkpointed JSONL batches (the ``repro batch`` CLI).  Its chaos
+harness is :mod:`repro.runtime.faults` — deterministic seeded fault
+points in the worker path.
 """
 
 from repro.errors import ResourceExhausted
@@ -31,6 +39,13 @@ from repro.runtime.cache import (
     fingerprint,
     memoized,
 )
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultSpec,
+    fault_point,
+    injected_faults,
+    install_plan,
+)
 from repro.runtime.governor import (
     NULL_GOVERNOR,
     Budget,
@@ -39,6 +54,17 @@ from repro.runtime.governor import (
     current_governor,
     governed,
     make_governor,
+)
+from repro.runtime.jobs import JOB_KINDS, execute_job
+from repro.runtime.supervisor import (
+    BatchReport,
+    JobLimits,
+    JobResult,
+    JobSpec,
+    RetryPolicy,
+    Supervisor,
+    completed_job_ids,
+    load_manifest,
 )
 
 __all__ = [
@@ -58,4 +84,19 @@ __all__ = [
     "clear_cache",
     "configure_cache",
     "cache_disabled",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_point",
+    "injected_faults",
+    "install_plan",
+    "JOB_KINDS",
+    "execute_job",
+    "BatchReport",
+    "JobLimits",
+    "JobResult",
+    "JobSpec",
+    "RetryPolicy",
+    "Supervisor",
+    "completed_job_ids",
+    "load_manifest",
 ]

@@ -1,0 +1,149 @@
+"""Job-serializable entry points: run CLI-shaped work from a plain dict.
+
+The supervised executor (:mod:`repro.runtime.supervisor`) ships jobs to
+worker subprocesses, so a job must be a value: a JSON-able dict naming
+the kind of work and its inputs, never a live Python object.  This
+module is the bridge between that wire format and the library — the same
+three operations the CLI exposes (``typecheck`` / ``run`` /
+``validate``), taking their inputs as file paths *or* inline text and
+returning a JSON-able outcome dict.
+
+Job parameter schema (the ``params`` of a manifest entry)::
+
+    typecheck: stylesheet|stylesheet_text, input_dtd|input_dtd_text,
+               output_dtd|output_dtd_text, method, max_inputs,
+               timeout, max_steps, max_states, fallback
+    run:       stylesheet|stylesheet_text, document|document_text,
+               timeout, max_steps
+    validate:  dtd|dtd_text, document|document_text
+
+Every ``X`` parameter is a file path; ``X_text`` carries the content
+inline (handy for generated manifests and hermetic tests).  When both
+are given the inline text wins.
+
+:func:`execute_job` returns ``{"status": ..., ...detail}`` where status
+is ``ok`` or ``type-error``; resource exhaustion propagates as
+:class:`~repro.errors.ResourceExhausted` (the worker classifies it
+``exhausted``), malformed inputs as the usual parse errors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.errors import SupervisorError
+
+__all__ = ["JOB_KINDS", "execute_job"]
+
+JOB_KINDS = ("typecheck", "run", "validate")
+
+
+def _text_input(params: Mapping, name: str, required: bool = True
+                ) -> Optional[str]:
+    """The ``name`` input as text: inline ``<name>_text`` or a file path."""
+    inline = params.get(f"{name}_text")
+    if inline is not None:
+        return str(inline)
+    path = params.get(name)
+    if path is not None:
+        return Path(path).read_text()
+    if required:
+        raise SupervisorError(
+            f"job needs either {name!r} (a path) or '{name}_text' (inline)"
+        )
+    return None
+
+
+def _load_dtd(text: str):
+    from repro.xmlio import parse_dtd, parse_dtd_xml
+
+    if "<!ELEMENT" in text:
+        return parse_dtd_xml(text)
+    return parse_dtd(text)
+
+
+def execute_job(payload: Mapping) -> dict:
+    """Run one job payload to completion in this process.
+
+    ``payload`` is a manifest entry: ``{"kind": ..., "params": {...}}``
+    (unknown keys are ignored, so a full :class:`JobSpec` dict works).
+    """
+    kind = payload.get("kind")
+    params = payload.get("params") or {}
+    if not isinstance(params, Mapping):
+        raise SupervisorError("job 'params' must be a mapping")
+    if kind == "typecheck":
+        return _job_typecheck(params)
+    if kind == "run":
+        return _job_run(params)
+    if kind == "validate":
+        return _job_validate(params)
+    raise SupervisorError(
+        f"unknown job kind {kind!r}; expected one of {', '.join(JOB_KINDS)}"
+    )
+
+
+def _job_typecheck(params: Mapping) -> dict:
+    from repro.lang import parse_stylesheet, xslt_to_transducer
+    from repro.typecheck import typecheck
+
+    sheet = parse_stylesheet(_text_input(params, "stylesheet"))
+    input_dtd = _load_dtd(_text_input(params, "input_dtd"))
+    output_dtd = _load_dtd(_text_input(params, "output_dtd"))
+    machine = xslt_to_transducer(
+        sheet, tags=input_dtd.symbols, root_tag=input_dtd.root
+    )
+    result = typecheck(
+        machine,
+        input_dtd,
+        output_dtd,
+        method=params.get("method", "exact"),
+        max_inputs=int(params.get("max_inputs", 50)),
+        max_depth=int(params.get("max_depth", 6)),
+        timeout=params.get("timeout"),
+        max_steps=params.get("max_steps"),
+        max_states=params.get("max_states"),
+        fallback=bool(params.get("fallback", False)),
+    )
+    outcome = result.to_jsonable()
+    outcome["status"] = "ok" if result.ok else "type-error"
+    return outcome
+
+
+def _job_run(params: Mapping) -> dict:
+    from repro.lang import apply_stylesheet, parse_stylesheet
+    from repro.runtime.governor import governed, make_governor
+    from repro.xmlio import parse_xml, to_xml
+
+    sheet = parse_stylesheet(_text_input(params, "stylesheet"))
+    document = parse_xml(_text_input(params, "document"))
+    governor = make_governor(
+        timeout=params.get("timeout"), max_steps=params.get("max_steps")
+    )
+    if governor is None:
+        output = apply_stylesheet(sheet, document)
+    else:
+        with governed(governor):
+            output = apply_stylesheet(sheet, document)
+    return {"status": "ok", "output": to_xml(output)}
+
+
+def _job_validate(params: Mapping) -> dict:
+    from repro.xmlio import parse_xml
+
+    dtd = _load_dtd(_text_input(params, "dtd"))
+    document = parse_xml(_text_input(params, "document"))
+    errors = dtd.validation_errors(document)
+    if not errors:
+        return {"status": "ok"}
+    return {
+        "status": "type-error",
+        "errors": [
+            {
+                "address": "/" + "/".join(str(step) for step in address),
+                "message": message,
+            }
+            for address, message in errors
+        ],
+    }

@@ -1,0 +1,816 @@
+"""Supervised job execution: process isolation, hard limits, retries.
+
+PR 1's :class:`~repro.runtime.governor.ResourceGovernor` is cooperative:
+it stops a loop that *ticks*.  Theorem 4.8 guarantees the exact pipeline
+can blow up anyway — inside one huge C-level set operation, or by
+allocating faster than any step counter can express.  A serving system
+survives that only with *process* supervision, which is what this module
+adds:
+
+* **Isolation** — every job attempt runs in its own worker subprocess
+  with a fresh memo table and a fresh ambient governor; nothing leaks
+  between jobs, and nothing a job does can corrupt the supervisor.
+* **Hard limits** — the supervisor polls the worker's wall clock and
+  resident set (``/proc/<pid>/statm``) and ``SIGKILL``\\ s on breach; the
+  worker additionally arms an ``RLIMIT_AS`` backstop so a single giant
+  allocation between polls dies as ``MemoryError`` instead of taking the
+  host down.  Not cooperative: a worker stuck in C is killed all the
+  same.
+* **Classification** — every attempt ends in exactly one of
+  ``ok`` / ``type-error`` / ``usage-error`` / ``exhausted`` (cooperative
+  budget, with the governor's diagnostics) / ``timeout`` (SIGKILL at the
+  wall limit) / ``oom`` (SIGKILL at the RSS limit, or the rlimit
+  backstop) / ``crashed`` (died without reporting).
+* **Retry with degradation** — a declarative :class:`RetryPolicy`
+  (attempts, exponential backoff, deterministic jitter) re-runs hard
+  failures; on a *resource* failure the retried job is degraded — exact
+  typechecking falls back to the bounded falsifier and cooperative
+  budgets are installed/tightened (scaled by ``budget_scale`` per
+  resource failure) so the retry fails fast and diagnosably instead of
+  being killed again.
+* **Checkpointed batches** — :meth:`Supervisor.run_batch` fans a JSONL
+  manifest out across worker threads, streams one JSON line per finished
+  job to the results log (flushed and fsynced), and treats that log as
+  the checkpoint: a killed batch re-run with ``resume=True`` skips every
+  job already recorded, so finished work is never recomputed and no job
+  is reported twice.
+
+Correctness of all of the above is exercised by the chaos tests through
+:mod:`repro.runtime.faults` — deterministic, seeded fault points in the
+worker path (crash, delay, exception, spurious OOM allocation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from collections import Counter, deque
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import (
+    EXIT_CRASHED,
+    EXIT_EXHAUSTED,
+    EXIT_OK,
+    EXIT_TYPE_ERROR,
+    EXIT_USAGE,
+    FaultInjected,
+    ReproError,
+    ResourceExhausted,
+    SupervisorError,
+)
+from repro.runtime.faults import FaultPlan, fault_point, install_plan
+from repro.runtime.jobs import JOB_KINDS, execute_job
+
+__all__ = [
+    "OK",
+    "TYPE_ERROR",
+    "USAGE_ERROR",
+    "EXHAUSTED",
+    "TIMEOUT",
+    "OOM",
+    "CRASHED",
+    "STATUSES",
+    "JobLimits",
+    "RetryPolicy",
+    "JobSpec",
+    "JobResult",
+    "BatchReport",
+    "Supervisor",
+    "load_manifest",
+    "completed_job_ids",
+]
+
+# -- outcome taxonomy --------------------------------------------------------
+
+OK = "ok"
+TYPE_ERROR = "type-error"
+USAGE_ERROR = "usage-error"
+EXHAUSTED = "exhausted"
+TIMEOUT = "timeout"
+OOM = "oom"
+CRASHED = "crashed"
+
+#: Every status a job can finish with, exactly one per job.
+STATUSES = (OK, TYPE_ERROR, USAGE_ERROR, EXHAUSTED, TIMEOUT, OOM, CRASHED)
+
+#: Statuses caused by resource blow-ups — these trigger degradation.
+RESOURCE_FAILURES = (TIMEOUT, OOM, EXHAUSTED)
+
+#: Map a job status to the CLI exit code it implies (worst-of for a batch).
+_STATUS_EXIT = {
+    OK: EXIT_OK,
+    TYPE_ERROR: EXIT_TYPE_ERROR,
+    USAGE_ERROR: EXIT_USAGE,
+    EXHAUSTED: EXIT_EXHAUSTED,
+    TIMEOUT: EXIT_CRASHED,
+    OOM: EXIT_CRASHED,
+    CRASHED: EXIT_CRASHED,
+}
+
+#: Severity order for the batch exit code (highest wins).
+_SEVERITY = (CRASHED, OOM, TIMEOUT, EXHAUSTED, USAGE_ERROR, TYPE_ERROR, OK)
+
+
+# -- declarative pieces ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobLimits:
+    """Hard, non-cooperative limits enforced by the supervisor.
+
+    ``wall_seconds`` — SIGKILL the worker once it has run this long.
+    ``rss_bytes`` — SIGKILL once its resident set exceeds this (polled
+    via ``/proc``; on platforms without ``/proc`` only the worker-side
+    ``RLIMIT_AS`` backstop applies).  ``None`` disables a limit.
+    """
+
+    wall_seconds: Optional[float] = None
+    rss_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise SupervisorError("wall_seconds must be positive")
+        if self.rss_bytes is not None and self.rss_bytes <= 0:
+            raise SupervisorError("rss_bytes must be positive")
+
+    def to_dict(self) -> dict:
+        return {"wall_seconds": self.wall_seconds, "rss_bytes": self.rss_bytes}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobLimits":
+        rss = data.get("rss_bytes")
+        if rss is None and data.get("rss_mb") is not None:
+            rss = int(float(data["rss_mb"]) * 1024 * 1024)
+        wall = data.get("wall_seconds")
+        return cls(
+            wall_seconds=float(wall) if wall is not None else None,
+            rss_bytes=int(rss) if rss is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failures are retried, declaratively.
+
+    ``max_attempts`` bounds total attempts (1 = never retry).  Between
+    attempts the supervisor sleeps ``base_delay * factor**(attempt-1)``,
+    stretched by up to ``jitter`` (a fraction, drawn deterministically
+    from ``seed`` and the job id so schedules are reproducible).  Only
+    statuses in ``retry_on`` are retried.  With ``degrade=True`` a
+    retry after a *resource* failure (timeout / oom / exhausted) runs a
+    degraded job: exact typechecking becomes the bounded falsifier, and
+    cooperative budgets are installed from the wall limit and multiplied
+    by ``budget_scale`` for every resource failure seen so far.
+    """
+
+    max_attempts: int = 1
+    base_delay: float = 0.0
+    factor: float = 2.0
+    jitter: float = 0.1
+    retry_on: tuple = (CRASHED, TIMEOUT, OOM)
+    degrade: bool = True
+    budget_scale: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SupervisorError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.jitter < 0 or self.factor < 1.0:
+            raise SupervisorError(
+                "base_delay/jitter must be non-negative and factor >= 1"
+            )
+        if not 0.0 < self.budget_scale <= 1.0:
+            raise SupervisorError("budget_scale must be within (0, 1]")
+        unknown = set(self.retry_on) - set(STATUSES)
+        if unknown:
+            raise SupervisorError(f"unknown retry_on statuses: {unknown}")
+
+    def delay(self, attempt: int, job_id: str) -> float:
+        """Backoff before attempt ``attempt + 1`` (deterministic)."""
+        base = self.base_delay * self.factor ** (attempt - 1)
+        if base <= 0 or self.jitter <= 0:
+            return max(base, 0.0)
+        digest = hashlib.blake2b(
+            f"{self.seed}|{job_id}|{attempt}".encode(), digest_size=8
+        ).digest()
+        draw = int.from_bytes(digest, "big") / 2**64
+        return base * (1.0 + self.jitter * draw)
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "factor": self.factor,
+            "jitter": self.jitter,
+            "retry_on": list(self.retry_on),
+            "degrade": self.degrade,
+            "budget_scale": self.budget_scale,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RetryPolicy":
+        kwargs = {}
+        for name in ("max_attempts", "seed"):
+            if data.get(name) is not None:
+                kwargs[name] = int(data[name])
+        for name in ("base_delay", "factor", "jitter", "budget_scale"):
+            if data.get(name) is not None:
+                kwargs[name] = float(data[name])
+        if data.get("retry_on") is not None:
+            kwargs["retry_on"] = tuple(data["retry_on"])
+        if data.get("degrade") is not None:
+            kwargs["degrade"] = bool(data["degrade"])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of supervised work (one line of a batch manifest)."""
+
+    id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    limits: Optional[JobLimits] = None
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if not self.id or not isinstance(self.id, str):
+            raise SupervisorError("job id must be a non-empty string")
+        if self.kind not in JOB_KINDS:
+            raise SupervisorError(
+                f"job {self.id!r}: unknown kind {self.kind!r}; expected one "
+                f"of {', '.join(JOB_KINDS)}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobSpec":
+        if not isinstance(data, Mapping):
+            raise SupervisorError(f"manifest entry is not an object: {data!r}")
+        limits = data.get("limits")
+        retry = data.get("retry")
+        params = data.get("params")
+        if params is None:
+            # tolerate flat manifests: everything that is not a known
+            # envelope key is a job parameter.
+            params = {
+                key: value
+                for key, value in data.items()
+                if key not in ("id", "kind", "limits", "retry")
+            }
+        return cls(
+            id=str(data.get("id", "")),
+            kind=data.get("kind", ""),
+            params=dict(params),
+            limits=JobLimits.from_dict(limits) if limits else None,
+            retry=RetryPolicy.from_dict(retry) if retry else None,
+        )
+
+    def to_dict(self) -> dict:
+        payload: dict = {"id": self.id, "kind": self.kind,
+                         "params": dict(self.params)}
+        if self.limits is not None:
+            payload["limits"] = self.limits.to_dict()
+        if self.retry is not None:
+            payload["retry"] = self.retry.to_dict()
+        return payload
+
+
+@dataclass
+class JobResult:
+    """The final, exactly-once outcome of one supervised job."""
+
+    id: str
+    status: str
+    attempts: int
+    wall_seconds: float
+    detail: dict = field(default_factory=dict)
+    history: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def to_jsonable(self) -> dict:
+        return {
+            "id": self.id,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "detail": self.detail,
+            "history": self.history,
+        }
+
+
+@dataclass
+class BatchReport:
+    """What a batch run did: totals, per-status counts, the results."""
+
+    total: int
+    executed: int
+    skipped: int
+    results: list = field(default_factory=list)
+
+    @property
+    def by_status(self) -> dict:
+        return dict(Counter(result.status for result in self.results))
+
+    def exit_code(self) -> int:
+        """The batch exit code: the most severe job status wins."""
+        seen = {result.status for result in self.results}
+        for status in _SEVERITY:
+            if status in seen:
+                return _STATUS_EXIT[status]
+        return EXIT_OK
+
+
+# -- the worker body (runs in the subprocess) --------------------------------
+
+#: Slack multiplier for the worker-side ``RLIMIT_AS`` backstop: address
+#: space exceeds resident set by a wide margin (arenas, mappings), so the
+#: rlimit is a guard against *runaway* allocation between supervisor
+#: polls, not the primary limit.
+_AS_BACKSTOP_FACTOR = 4
+_AS_BACKSTOP_SLACK = 256 * 1024 * 1024
+
+
+def _worker_setup(payload: Mapping) -> None:
+    """Reset inherited state and arm limits — the isolation contract.
+
+    Workers may be forked, so anything ambient in the parent (memo table
+    contents and counters, an installed governor, an armed fault plan)
+    must be explicitly reset for ``stats`` deltas to be per-job truths.
+    """
+    limits = payload.get("limits") or {}
+    rss = limits.get("rss_bytes")
+    if rss:
+        try:
+            import resource
+
+            backstop = int(rss) * _AS_BACKSTOP_FACTOR + _AS_BACKSTOP_SLACK
+            _, hard = resource.getrlimit(resource.RLIMIT_AS)
+            if hard != resource.RLIM_INFINITY:
+                backstop = min(backstop, hard)
+            resource.setrlimit(resource.RLIMIT_AS, (backstop, hard))
+        except (ImportError, ValueError, OSError):  # pragma: no cover
+            pass
+    from repro.runtime.cache import GLOBAL_CACHE, clear_cache
+    from repro.runtime.governor import NULL_GOVERNOR, _ambient
+
+    _ambient.set(NULL_GOVERNOR)
+    clear_cache()
+    GLOBAL_CACHE.reset_stats()
+    plan = payload.get("faults")
+    install_plan(FaultPlan.from_dict(plan) if plan else None)
+
+
+def _worker_main(payload: dict, conn) -> None:
+    """Run one job attempt and report exactly one outcome dict (or die)."""
+    key = str(payload.get("fault_key", ""))
+    try:
+        _worker_setup(payload)
+        fault_point("worker:setup", key)
+        fault_point("worker:compute", key)
+        outcome = execute_job(payload)
+    except ResourceExhausted as error:
+        outcome = {
+            "status": EXHAUSTED,
+            "error": str(error),
+            "exhausted": error.progress(),
+        }
+    except MemoryError:
+        outcome = {
+            "status": OOM,
+            "error": "worker hit its address-space backstop (MemoryError)",
+        }
+    except FaultInjected as error:
+        outcome = {
+            "status": CRASHED,
+            "error": str(error),
+            "error_type": "FaultInjected",
+        }
+    except ReproError as error:
+        outcome = {
+            "status": USAGE_ERROR,
+            "error": str(error),
+            "error_type": type(error).__name__,
+        }
+    except BaseException as error:  # noqa: BLE001 - forensic reporting
+        outcome = {
+            "status": CRASHED,
+            "error": repr(error),
+            "traceback": traceback.format_exc(),
+        }
+    try:
+        fault_point("worker:result", key)
+        conn.send(outcome)
+    finally:
+        conn.close()
+
+
+def _rss_bytes(pid: int) -> Optional[int]:
+    """Resident set of ``pid`` in bytes via ``/proc`` (None if unknown)."""
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+# -- the supervisor ----------------------------------------------------------
+
+
+class Supervisor:
+    """Runs jobs in isolated, hard-limited, retried worker subprocesses.
+
+    ``limits`` and ``retry`` are defaults; a :class:`JobSpec` may carry
+    its own.  ``fault_plan`` (chaos testing) is shipped to every worker.
+    ``start_method`` picks the :mod:`multiprocessing` start method —
+    ``fork`` by default where available (worker startup is milliseconds
+    and :func:`_worker_setup` re-establishes isolation), overridable via
+    the ``REPRO_MP_START`` environment variable for e.g. ``spawn``
+    debugging.
+    """
+
+    def __init__(
+        self,
+        *,
+        limits: Optional[JobLimits] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.default_limits = limits if limits is not None else JobLimits()
+        self.default_retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        chosen = (
+            start_method
+            or os.environ.get("REPRO_MP_START")
+            or ("fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn")
+        )
+        if chosen not in multiprocessing.get_all_start_methods():
+            raise SupervisorError(f"unknown start method {chosen!r}")
+        self.start_method = chosen
+        self.poll_interval = poll_interval
+
+    # -- single jobs -------------------------------------------------------
+
+    def run_job(self, spec: JobSpec) -> JobResult:
+        """Run ``spec`` to a final classified outcome, retrying per policy."""
+        policy = spec.retry if spec.retry is not None else self.default_retry
+        limits = spec.limits if spec.limits is not None else self.default_limits
+        effective = spec
+        history: list[dict] = []
+        started = time.monotonic()
+        resource_failures = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            outcome = self._run_attempt(effective, limits, attempt)
+            history.append(outcome)
+            status = outcome["status"]
+            if status in RESOURCE_FAILURES:
+                resource_failures += 1
+            if status not in policy.retry_on or attempt == policy.max_attempts:
+                break
+            pause = policy.delay(attempt, spec.id)
+            if pause > 0:
+                time.sleep(pause)
+            if policy.degrade and status in RESOURCE_FAILURES:
+                effective = _degraded(effective, limits, policy,
+                                      resource_failures)
+        final = history[-1]
+        return JobResult(
+            id=spec.id,
+            status=final["status"],
+            attempts=len(history),
+            wall_seconds=time.monotonic() - started,
+            detail=final.get("detail", {}),
+            history=history,
+        )
+
+    def _run_attempt(
+        self, spec: JobSpec, limits: JobLimits, attempt: int
+    ) -> dict:
+        """One worker subprocess, monitored to SIGKILL, classified."""
+        payload = spec.to_dict()
+        payload["limits"] = limits.to_dict()
+        payload["fault_key"] = f"{spec.id}#{attempt}"
+        if self.fault_plan is not None:
+            payload["faults"] = self.fault_plan.to_dict()
+        context = multiprocessing.get_context(self.start_method)
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main, args=(payload, sender), daemon=True
+        )
+        started = time.monotonic()
+        process.start()
+        sender.close()
+        deadline = (
+            started + limits.wall_seconds
+            if limits.wall_seconds is not None
+            else None
+        )
+        outcome: Optional[dict] = None
+        killed: Optional[str] = None
+        try:
+            while True:
+                try:
+                    if receiver.poll(self.poll_interval):
+                        outcome = receiver.recv()
+                        break
+                except (EOFError, OSError):
+                    break  # worker died with the pipe open
+                if deadline is not None and time.monotonic() >= deadline:
+                    if receiver.poll(0):
+                        outcome = receiver.recv()
+                        break
+                    killed = TIMEOUT
+                    process.kill()
+                    break
+                if limits.rss_bytes is not None and process.pid is not None:
+                    usage = _rss_bytes(process.pid)
+                    if usage is not None and usage > limits.rss_bytes:
+                        if receiver.poll(0):
+                            outcome = receiver.recv()
+                            break
+                        killed = OOM
+                        process.kill()
+                        break
+                if not process.is_alive():
+                    # exited: a result may still be buffered in the pipe
+                    try:
+                        if receiver.poll(0.25):
+                            outcome = receiver.recv()
+                    except (EOFError, OSError):
+                        pass
+                    break
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5.0)
+        finally:
+            receiver.close()
+        wall = time.monotonic() - started
+        return self._classify(
+            spec, attempt, outcome, killed, process.exitcode, wall, limits
+        )
+
+    @staticmethod
+    def _classify(
+        spec: JobSpec,
+        attempt: int,
+        outcome: Optional[dict],
+        killed: Optional[str],
+        exitcode: Optional[int],
+        wall: float,
+        limits: JobLimits,
+    ) -> dict:
+        record: dict = {
+            "attempt": attempt,
+            "wall_seconds": round(wall, 6),
+            "kind": spec.kind,
+        }
+        if killed == TIMEOUT:
+            record["status"] = TIMEOUT
+            record["killed_by"] = "wall-limit"
+            record["detail"] = {
+                "error": (
+                    f"SIGKILLed after exceeding the {limits.wall_seconds}s "
+                    "wall limit"
+                ),
+                "wall_limit": limits.wall_seconds,
+            }
+        elif killed == OOM:
+            record["status"] = OOM
+            record["killed_by"] = "rss-limit"
+            record["detail"] = {
+                "error": (
+                    f"SIGKILLed after exceeding the {limits.rss_bytes}-byte "
+                    "RSS limit"
+                ),
+                "rss_limit": limits.rss_bytes,
+            }
+        elif outcome is not None:
+            status = outcome.get("status")
+            if status not in STATUSES:  # defensive: worker spoke nonsense
+                record["status"] = CRASHED
+                record["detail"] = {
+                    "error": f"worker reported unknown status {status!r}"
+                }
+            else:
+                record["status"] = status
+                record["detail"] = {
+                    key: value
+                    for key, value in outcome.items()
+                    if key != "status"
+                }
+        else:
+            record["status"] = CRASHED
+            record["exitcode"] = exitcode
+            signalled = exitcode is not None and exitcode < 0
+            record["detail"] = {
+                "error": (
+                    f"worker died from signal {-exitcode}"
+                    if signalled
+                    else f"worker exited with status {exitcode} "
+                    "without reporting"
+                ),
+            }
+        return record
+
+    # -- batches -----------------------------------------------------------
+
+    def run_batch(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        workers: int = 1,
+        results_path: Optional[str] = None,
+        resume: bool = False,
+    ) -> BatchReport:
+        """Fan ``specs`` across ``workers`` supervision threads.
+
+        With ``results_path``, every finished job appends one JSON line
+        (flushed + fsynced) — and with ``resume=True`` jobs whose ids are
+        already in that file are skipped, which is the crash-recovery
+        contract: kill the batch at any point, re-run it with ``resume``,
+        and completed work is neither recomputed nor re-reported.
+        """
+        if workers < 1:
+            raise SupervisorError("workers must be at least 1")
+        seen: set[str] = set()
+        for spec in specs:
+            if spec.id in seen:
+                raise SupervisorError(f"duplicate job id {spec.id!r}")
+            seen.add(spec.id)
+        done: set[str] = set()
+        if resume and results_path:
+            done = completed_job_ids(results_path)
+        pending = deque(spec for spec in specs if spec.id not in done)
+        skipped = len(specs) - len(pending)
+        results: list[JobResult] = []
+        queue_lock = threading.Lock()
+        write_lock = threading.Lock()
+        handle = None
+        if results_path:
+            path = Path(results_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(results_path, "a", encoding="utf-8")
+            # a SIGKILLed previous run can leave a truncated final line;
+            # terminate it so the next record starts on a line of its own
+            # (the torn line stays unparseable and its job is re-run).
+            if handle.tell() > 0:
+                with open(results_path, "rb") as probe:
+                    probe.seek(-1, os.SEEK_END)
+                    if probe.read(1) != b"\n":
+                        handle.write("\n")
+
+        def record(result: JobResult) -> None:
+            with write_lock:
+                results.append(result)
+                if handle is not None:
+                    handle.write(
+                        json.dumps(result.to_jsonable(), sort_keys=True) + "\n"
+                    )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+        def drain() -> None:
+            while True:
+                with queue_lock:
+                    if not pending:
+                        return
+                    spec = pending.popleft()
+                record(self.run_job(spec))
+
+        try:
+            count = min(workers, len(pending))
+            if count <= 1:
+                drain()
+            else:
+                threads = [
+                    threading.Thread(target=drain, name=f"supervise-{i}")
+                    for i in range(count)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            if handle is not None:
+                handle.close()
+        return BatchReport(
+            total=len(specs),
+            executed=len(results),
+            skipped=skipped,
+            results=results,
+        )
+
+
+# -- manifest / checkpoint I/O -----------------------------------------------
+
+
+def load_manifest(path: str) -> list[JobSpec]:
+    """Parse a JSONL job manifest (one :class:`JobSpec` object per line).
+
+    Blank lines and ``#`` comment lines are skipped; malformed JSON or
+    malformed specs raise :class:`~repro.errors.SupervisorError` naming
+    the line.
+    """
+    specs: list[JobSpec] = []
+    for line_no, raw in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise SupervisorError(
+                f"{path}:{line_no}: manifest line is not valid JSON: {error}"
+            )
+        try:
+            specs.append(JobSpec.from_dict(data))
+        except SupervisorError as error:
+            raise SupervisorError(f"{path}:{line_no}: {error}")
+    return specs
+
+
+def completed_job_ids(results_path: str) -> set[str]:
+    """Job ids recorded in a results log (the resume checkpoint).
+
+    Tolerates a truncated final line — the one a SIGKILL mid-write can
+    leave behind — by ignoring lines that fail to parse.
+    """
+    done: set[str] = set()
+    path = Path(results_path)
+    if not path.exists():
+        return done
+    for raw in path.read_text(encoding="utf-8", errors="replace").splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        job_id = data.get("id") if isinstance(data, dict) else None
+        if isinstance(job_id, str) and job_id:
+            done.add(job_id)
+    return done
+
+
+# -- degradation -------------------------------------------------------------
+
+
+def _degraded(
+    spec: JobSpec,
+    limits: JobLimits,
+    policy: RetryPolicy,
+    resource_failures: int,
+) -> JobSpec:
+    """The spec to retry after ``resource_failures`` resource blow-ups.
+
+    Two moves, mirroring ``typecheck(fallback=...)``'s exact→bounded
+    policy but applied *between* attempts:
+
+    * exact typechecking degrades to the bounded falsifier (sound for
+      rejection, cheap, and the paper's Section 5 answer to Theorem 4.8);
+    * cooperative budgets are installed (from the wall limit) or
+      tightened by ``budget_scale`` per resource failure, so the retry
+      exhausts *cooperatively* — with phase/step diagnostics — instead of
+      being SIGKILLed into an opaque ``timeout`` again.
+    """
+    params = dict(spec.params)
+    scale = policy.budget_scale**resource_failures
+    if spec.kind == "typecheck":
+        if params.get("method", "exact") == "exact":
+            params["method"] = "bounded"
+            params["max_inputs"] = max(
+                1, int(params.get("max_inputs", 50) * scale)
+            )
+        else:
+            params["max_inputs"] = max(
+                1,
+                int(params.get("max_inputs", 50) * policy.budget_scale),
+            )
+    if params.get("timeout") is not None:
+        params["timeout"] = float(params["timeout"]) * policy.budget_scale
+    elif limits.wall_seconds is not None:
+        # leave headroom below the hard wall so the governor fires first
+        params["timeout"] = limits.wall_seconds * 0.8 * scale
+    for knob in ("max_steps", "max_states"):
+        if params.get(knob) is not None:
+            params[knob] = max(1, int(params[knob] * policy.budget_scale))
+    return replace(spec, params=params)

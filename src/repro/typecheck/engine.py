@@ -93,6 +93,43 @@ class TypecheckResult:
     def __bool__(self) -> bool:
         return self.ok
 
+    def to_jsonable(self) -> dict:
+        """The result as a plain JSON-able dict (the wire format of the
+        supervised runtime's job results and the ``repro batch`` log).
+
+        Counterexamples are decoded back to documents and serialized as
+        XML strings; ``stats`` values that JSON cannot carry are
+        stringified rather than dropped.
+        """
+        from repro.trees.encoding import decode
+        from repro.xmlio.serializer import to_xml
+
+        payload: dict = {
+            "ok": self.ok,
+            "method": self.method,
+            "stats": _jsonable(self.stats),
+        }
+        if self.counterexample_input is not None:
+            payload["counterexample_input"] = to_xml(
+                decode(self.counterexample_input)
+            )
+        if self.counterexample_output is not None:
+            payload["counterexample_output"] = to_xml(
+                decode(self.counterexample_output)
+            )
+        return payload
+
+
+def _jsonable(value):
+    """``value`` with anything JSON cannot represent stringified."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
 
 def as_automaton(
     type_like: TypeLike, alphabet: Optional[RankedAlphabet] = None

@@ -20,6 +20,44 @@ def small_alphabet() -> RankedAlphabet:
     return RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
 
 
+@pytest.fixture
+def pathological_typecheck():
+    """Factory for supervised typecheck jobs whose *exact* run blows up.
+
+    A copying stylesheet over a choice-heavy DTD (every element allows
+    every other, E05-style exponential content models): the Theorem 4.7
+    pipeline takes several seconds and >100 MB — far past any small hard
+    limit — while carrying no cooperative budget of its own.
+    """
+    from repro.runtime.supervisor import JobSpec
+
+    def build(job_id: str, n: int = 8) -> JobSpec:
+        rules = ["r := " + ".".join(f"s{i}*" for i in range(n))]
+        for i in range(n):
+            rules.append(
+                f"s{i} := (" + "|".join(f"s{j}" for j in range(n)) + ")*"
+            )
+        dtd_text = "\n".join(rules)
+        sheet_text = "".join(
+            f'<xsl:template match="{tag}">'
+            f"<{tag}><xsl:apply-templates/></{tag}>"
+            "</xsl:template>"
+            for tag in ["r"] + [f"s{i}" for i in range(n)]
+        )
+        return JobSpec(
+            id=job_id,
+            kind="typecheck",
+            params={
+                "stylesheet_text": sheet_text,
+                "input_dtd_text": dtd_text,
+                "output_dtd_text": dtd_text,
+                "method": "exact",
+            },
+        )
+
+    return build
+
+
 def utrees(labels=("a", "b", "c"), max_leaves=6):
     """Hypothesis strategy for small unranked trees."""
     label = st.sampled_from(list(labels))

@@ -1,0 +1,141 @@
+"""The error taxonomy and its CLI exit-code contract.
+
+Every failure anywhere in the repo must surface as a ``ReproError``
+subclass, and the CLI must translate outcomes to the documented codes:
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     success (typechecks / document valid / batch all-ok)
+1     type error or invalid document — the *analysis* rejected
+2     usage or input error (bad flags, malformed DTD/XML/manifest)
+3     a resource budget was exhausted with no fallback
+4     a worker crashed or was killed at a hard limit
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import (
+    EXIT_CRASHED,
+    EXIT_EXHAUSTED,
+    EXIT_OK,
+    EXIT_TYPE_ERROR,
+    EXIT_USAGE,
+    AutomatonError,
+    FaultInjected,
+    ReproError,
+    ResourceExhausted,
+    SupervisorError,
+    WorkerCrashed,
+    XMLParseError,
+    exit_code_for,
+)
+
+TINY_DTD = "doc := item*\nitem :="
+IDENTITY_SHEET = (
+    '<xsl:template match="doc"><doc><xsl:apply-templates/></doc>'
+    "</xsl:template>"
+    '<xsl:template match="item"><item/></xsl:template>'
+)
+
+
+def test_every_domain_error_is_a_repro_error():
+    for cls in (AutomatonError, FaultInjected, ResourceExhausted,
+                SupervisorError, WorkerCrashed, XMLParseError):
+        assert issubclass(cls, ReproError)
+
+
+@pytest.mark.parametrize(
+    ("error", "code"),
+    [
+        (WorkerCrashed("died", exitcode=-9), EXIT_CRASHED),
+        (ResourceExhausted("steps"), EXIT_EXHAUSTED),
+        (XMLParseError("bad tag"), EXIT_USAGE),
+        (SupervisorError("duplicate id"), EXIT_USAGE),
+        (FaultInjected("chaos"), EXIT_USAGE),
+        (OSError("no such file"), EXIT_USAGE),
+        (ValueError("not ours"), EXIT_CRASHED),
+        (KeyboardInterrupt(), EXIT_CRASHED),
+    ],
+)
+def test_exit_code_for_is_total(error, code):
+    assert exit_code_for(error) == code
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "tiny.dtd").write_text(TINY_DTD)
+    (tmp_path / "identity.xsl").write_text(IDENTITY_SHEET)
+    (tmp_path / "valid.xml").write_text("<doc><item/></doc>")
+    (tmp_path / "invalid.xml").write_text("<doc><bad/></doc>")
+    (tmp_path / "broken.xml").write_text("<doc><item></doc>")
+    return tmp_path
+
+
+def test_cli_validate_exit_codes(workspace, capsys):
+    dtd = str(workspace / "tiny.dtd")
+    assert main(["validate", "--dtd", dtd,
+                 str(workspace / "valid.xml")]) == EXIT_OK
+    assert main(["validate", "--dtd", dtd,
+                 str(workspace / "invalid.xml")]) == EXIT_TYPE_ERROR
+    assert main(["validate", "--dtd", dtd,
+                 str(workspace / "broken.xml")]) == EXIT_USAGE
+    assert main(["validate", "--dtd", dtd,
+                 str(workspace / "missing.xml")]) == EXIT_USAGE
+    capsys.readouterr()
+
+
+def test_cli_typecheck_exhausted_without_fallback(workspace, capsys):
+    code = main([
+        "typecheck",
+        "--input-dtd", str(workspace / "tiny.dtd"),
+        "--output-dtd", str(workspace / "tiny.dtd"),
+        "--max-steps", "3", "--no-fallback",
+        str(workspace / "identity.xsl"),
+    ])
+    assert code == EXIT_EXHAUSTED
+    assert "exhausted" in capsys.readouterr().err
+
+
+def test_cli_batch_exit_code_is_most_severe_status(workspace, capsys):
+    manifest = workspace / "jobs.jsonl"
+    ok_job = {"id": "ok", "kind": "validate",
+              "params": {"dtd_text": TINY_DTD,
+                         "document_text": "<doc><item/></doc>"}}
+    bad_job = {"id": "bad", "kind": "validate",
+               "params": {"dtd_text": TINY_DTD,
+                          "document_text": "<doc><bad/></doc>"}}
+
+    manifest.write_text(json.dumps(ok_job) + "\n")
+    assert main(["batch", str(manifest),
+                 "--results", str(workspace / "r1.jsonl")]) == EXIT_OK
+
+    manifest.write_text(
+        json.dumps(ok_job) + "\n" + json.dumps(bad_job) + "\n"
+    )
+    assert main(["batch", str(manifest),
+                 "--results",
+                 str(workspace / "r2.jsonl")]) == EXIT_TYPE_ERROR
+    capsys.readouterr()
+
+
+def test_cli_batch_usage_errors(workspace, capsys):
+    results = str(workspace / "r.jsonl")
+    missing = str(workspace / "nope.jsonl")
+    assert main(["batch", missing, "--results", results]) == EXIT_USAGE
+
+    mangled = workspace / "mangled.jsonl"
+    mangled.write_text('{"id": "a", "kind": "validate"\n')
+    assert main(["batch", str(mangled),
+                 "--results", results]) == EXIT_USAGE
+
+    empty = workspace / "empty.jsonl"
+    empty.write_text("")
+    assert main(["batch", str(empty), "--results", results]) == EXIT_USAGE
+    capsys.readouterr()

@@ -1,0 +1,94 @@
+"""Fuzzing the input layer: malformed text must fail *predictably*.
+
+Satellite of the supervision PR: every parser entry point — XML, both
+DTD notations, the regex notation, and the XSLT fragment — must either
+return a parse or raise the repo's own :class:`ReproError` taxonomy.
+``RecursionError`` / ``IndexError`` / ``KeyError`` escaping from a
+parser is a crash, and under the batch supervisor a crash costs a whole
+worker; a ``ParseError`` is a clean ``usage-error`` verdict.
+
+The regression tests at the bottom pin the two escapes this fuzz run
+originally found: unbounded recursion in the regex parser and an
+infinite loop on an unterminated ``match=`` attribute in the XSLT
+reader.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RegexParseError, ReproError, XMLParseError
+from repro.lang import parse_stylesheet
+from repro.regex import parse_regex
+from repro.xmlio import parse_dtd, parse_dtd_xml, parse_xml
+
+PARSERS = (parse_xml, parse_dtd, parse_dtd_xml, parse_regex,
+           parse_stylesheet)
+
+# plain unicode, markup-flavoured text, and mangled fragments of valid
+# inputs — three generations of increasingly parser-shaped garbage
+markup_alphabet = st.sampled_from(list("<>/!&;\"'= \n\tabPCDATA*|.~()#:"))
+garbage = st.one_of(
+    st.text(max_size=200),
+    st.text(alphabet=markup_alphabet, max_size=200),
+    st.binary(max_size=200).map(lambda b: b.decode("latin-1")),
+)
+
+SEEDS = [
+    "<doc><item/></doc>",
+    "doc := item*\nitem :=",
+    "<!ELEMENT doc (item)*><!ELEMENT item EMPTY>",
+    "a*.(b|c).~d",
+    '<xsl:template match="doc"><doc/></xsl:template>',
+]
+
+
+@st.composite
+def mangled_seed(draw):
+    seed = draw(st.sampled_from(SEEDS))
+    cut = draw(st.integers(0, len(seed)))
+    insert = draw(st.text(alphabet=markup_alphabet, max_size=10))
+    return seed[:cut] + insert + seed[cut:]
+
+
+@pytest.mark.parametrize("parse", PARSERS, ids=lambda p: p.__name__)
+@given(text=st.one_of(garbage, mangled_seed()))
+@settings(max_examples=150, deadline=None)
+def test_parsers_never_leak_internal_errors(parse, text):
+    try:
+        parse(text)
+    except ReproError:
+        pass  # the one acceptable failure mode
+
+
+def test_deep_regex_nesting_is_a_parse_error_not_a_recursion_error():
+    with pytest.raises(RegexParseError):
+        parse_regex("(" * 20_000 + "a" + ")" * 20_000)
+
+
+def test_deep_dtd_nesting_is_a_parse_error_not_a_recursion_error():
+    with pytest.raises(ReproError):
+        parse_dtd("doc := " + "(" * 20_000 + "a" + ")" * 20_000)
+
+
+def test_deeply_negated_regex_is_a_parse_error():
+    with pytest.raises(RegexParseError):
+        parse_regex("~" * 20_000 + "a")
+
+
+def test_pathologically_starred_regex_is_a_parse_error():
+    with pytest.raises(RegexParseError):
+        parse_regex("a" + "*" * 20_000)
+
+
+def test_unterminated_xslt_match_attribute_raises_instead_of_hanging():
+    # regression: this looped forever scanning for a closing quote
+    with pytest.raises(XMLParseError):
+        parse_stylesheet('<xsl:template match="a')
+
+
+def test_unterminated_xslt_template_tag_raises():
+    with pytest.raises(XMLParseError):
+        parse_stylesheet("<xsl:template match=")

@@ -1,0 +1,103 @@
+"""Governor/cache state must not leak across the process boundary.
+
+Workers are forked from the batch driver, so without explicit hygiene a
+child would inherit the parent's warm ``GLOBAL_CACHE`` (reporting bogus
+hit rates) and whatever ambient governor the parent had installed.
+``_worker_setup`` clears both; these tests pin that contract.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    GLOBAL_CACHE,
+    cache_stats,
+    clear_cache,
+    governed,
+    make_governor,
+)
+from repro.runtime.jobs import execute_job
+from repro.runtime.supervisor import OK, JobSpec, Supervisor
+
+TINY_DTD = "doc := item*\nitem :="
+IDENTITY_SHEET = (
+    '<xsl:template match="doc"><doc><xsl:apply-templates/></doc>'
+    "</xsl:template>"
+    '<xsl:template match="item"><item/></xsl:template>'
+)
+
+TYPECHECK_PARAMS = {
+    "stylesheet_text": IDENTITY_SHEET,
+    "input_dtd_text": TINY_DTD,
+    "output_dtd_text": TINY_DTD,
+    "method": "exact",
+}
+
+
+def warm_parent_cache():
+    clear_cache()
+    GLOBAL_CACHE.reset_stats()
+    execute_job({"kind": "typecheck", "params": dict(TYPECHECK_PARAMS)})
+    stats = cache_stats()
+    assert stats["entries"] > 0, "warm-up should populate the memo table"
+    return stats
+
+
+def test_worker_starts_with_a_cold_cache():
+    warm_parent_cache()
+    # in-process, a second identical run is served from the warm table
+    rerun = execute_job(
+        {"kind": "typecheck", "params": dict(TYPECHECK_PARAMS)}
+    )
+    assert rerun["stats"]["cache"]["misses"] == 0
+    assert rerun["stats"]["cache"]["hits"] > 0
+
+    # the same job under supervision computes from scratch: fork gave the
+    # child a copy of the warm table, and _worker_setup threw it away
+    result = Supervisor().run_job(
+        JobSpec(id="cold", kind="typecheck",
+                params=dict(TYPECHECK_PARAMS))
+    )
+    assert result.status == OK
+    child = result.detail["stats"]["cache"]
+    assert child["hits"] < child["misses"] + child["hits"]
+    assert child["misses"] > 0, "child saw the parent's warm entries"
+
+
+def test_sequential_jobs_each_report_fresh_counters():
+    warm_parent_cache()
+    supervisor = Supervisor()
+    spec = JobSpec(id="j", kind="typecheck", params=dict(TYPECHECK_PARAMS))
+    first = supervisor.run_job(spec)
+    second = supervisor.run_job(spec)
+    for result in (first, second):
+        assert result.status == OK
+        counters = result.detail["stats"]["cache"]
+        # each worker is a fresh process: same cold-start profile
+        assert counters["misses"] > 0
+    assert (
+        first.detail["stats"]["cache"]["misses"]
+        == second.detail["stats"]["cache"]["misses"]
+    )
+
+
+def test_worker_jobs_do_not_mutate_the_parent_cache():
+    warm_parent_cache()
+    before = cache_stats()
+    Supervisor().run_job(
+        JobSpec(id="j", kind="typecheck", params=dict(TYPECHECK_PARAMS))
+    )
+    after = cache_stats()
+    assert after["entries"] == before["entries"]
+    assert after["misses"] == before["misses"]
+
+
+def test_worker_ignores_parent_ambient_governor():
+    # a strangling governor in the parent must not throttle the child:
+    # _worker_setup resets the ambient governor to NULL_GOVERNOR, and the
+    # job's own params are the only budget source inside the worker
+    with governed(make_governor(max_steps=1)):
+        result = Supervisor().run_job(
+            JobSpec(id="j", kind="typecheck",
+                    params=dict(TYPECHECK_PARAMS))
+        )
+    assert result.status == OK
