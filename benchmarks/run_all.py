@@ -2,10 +2,14 @@
 """Regression driver for the E01-E15 benchmark suite.
 
 Runs every ``benchmarks/bench_e*.py`` file in-process under a counting
-resource governor, collects wall time, governor steps/states, memo-table
-counters and pass/fail totals per experiment, then measures the E10
-typechecking suite cached vs. uncached, and writes everything to one
-schema-versioned JSON file (``BENCH_<revision>.json`` by default)::
+resource governor **and a tracer**, collects wall time, governor
+steps/states, memo-table counters, a per-phase span breakdown (wall time
+and span counts per pipeline phase — the ``phases`` key of each
+experiment record) and pass/fail totals per experiment, then measures
+the E10 typechecking suite cached vs. uncached plus the overhead of
+tracing itself (traced vs. untraced warm runs, the ``trace_overhead``
+section), and writes everything to one schema-versioned JSON file
+(``BENCH_<revision>.json`` by default)::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
 
@@ -35,12 +39,14 @@ import pytest  # noqa: E402
 from repro.runtime import (  # noqa: E402
     GLOBAL_CACHE,
     ResourceGovernor,
+    Tracer,
     cache_stats,
     clear_cache,
     governed,
+    tracing,
 )
 
-SCHEMA = "repro-bench/v1"
+SCHEMA = "repro-bench/v2"
 CACHE_COUNTERS = ("hits", "misses", "stores", "evictions")
 
 
@@ -74,21 +80,47 @@ def _revision() -> str:
         return "unknown"
 
 
-def run_experiment(path: Path, name: str) -> dict:
-    """One in-process pytest session over ``path``, fully instrumented."""
+#: Span cap for a whole benchmark file traced end to end.
+_BENCH_MAX_SPANS = 500_000
+
+
+def _phase_breakdown(tracer: Tracer) -> dict:
+    """Aggregate a benchmark run's span tree per phase name: the
+    ``{name: {count, wall, steps}}`` map of each experiment record."""
+    from repro.runtime import summarize
+
+    summary = summarize(tracer.root, dropped=tracer.dropped)
+    return {
+        "spans": summary["spans"],
+        "dropped": summary["dropped"],
+        "by_name": summary["phases"],
+    }
+
+
+def run_experiment(path: Path, name: str, trace: bool = True) -> dict:
+    """One in-process pytest session over ``path``, fully instrumented.
+
+    With ``trace=True`` (the default) the session runs under an ambient
+    :class:`Tracer` and the record carries a per-phase breakdown
+    (``phases``); ``trace=False`` measures the disabled-instrumentation
+    path (used by the trace-overhead comparison).
+    """
     recorder = _Recorder()
     governor = ResourceGovernor()
+    tracer = Tracer(max_spans=_BENCH_MAX_SPANS) if trace else None
     cache_before = cache_stats()
+    pytest_args = [str(path), "-q", "--no-header",
+                   "-p", "no:cacheprovider", "--benchmark-disable"]
     start = time.perf_counter()
-    with governed(governor):
-        exit_code = int(pytest.main(
-            [str(path), "-q", "--no-header",
-             "-p", "no:cacheprovider", "--benchmark-disable"],
-            plugins=[recorder],
-        ))
+    if tracer is None:
+        with governed(governor):
+            exit_code = int(pytest.main(pytest_args, plugins=[recorder]))
+    else:
+        with governed(governor), tracing(tracer):
+            exit_code = int(pytest.main(pytest_args, plugins=[recorder]))
     seconds = time.perf_counter() - start
     cache_after = cache_stats()
-    return {
+    record = {
         "name": name,
         "file": str(path.relative_to(REPO_ROOT)),
         "ok": exit_code == 0,
@@ -97,6 +129,7 @@ def run_experiment(path: Path, name: str) -> dict:
         "failed": recorder.failed,
         "skipped": recorder.skipped,
         "seconds": round(seconds, 4),
+        "traced": trace,
         "steps": governor.steps,
         "states": governor.states,
         "cache": {
@@ -104,14 +137,37 @@ def run_experiment(path: Path, name: str) -> dict:
             for key in CACHE_COUNTERS
         },
     }
+    if tracer is not None:
+        record["phases"] = _phase_breakdown(tracer)
+    return record
 
 
-def run_e10_baseline(path: Path) -> dict:
-    """Measure the E10 typechecking suite uncached, cold and warm.
+def _prior_bench(output: Path) -> dict | None:
+    """The most recent committed ``BENCH_*.json`` other than ``output``
+    (the cross-revision reference for the trace-overhead comparison)."""
+    candidates = [
+        path for path in REPO_ROOT.glob("BENCH_*.json") if path != output
+    ]
+    if not candidates:
+        return None
+    latest = max(candidates, key=lambda path: path.stat().st_mtime)
+    try:
+        return json.loads(latest.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def run_e10_baseline(path: Path, output: Path) -> dict:
+    """Measure the E10 typechecking suite uncached, cold and warm —
+    and the cost of tracing itself.
 
     The committed baseline must show the warm cached run beating the
     uncached one on the *same* file — that delta is the whole point of
-    the memo table.
+    the memo table.  The ``trace_overhead`` section compares a warm run
+    with tracing enabled against one with tracing disabled (the ambient
+    null tracer), and — when a previous revision's ``BENCH_*.json`` is
+    present — the disabled-path run against that revision's warm run,
+    which bounds what the *disabled* instrumentation costs.
     """
     previous = GLOBAL_CACHE.enabled
 
@@ -122,19 +178,53 @@ def run_e10_baseline(path: Path) -> dict:
     clear_cache()
     cold = run_experiment(path, "e10_typecheck[cached-cold]")
     warm = run_experiment(path, "e10_typecheck[cached-warm]")
+    warm_untraced = run_experiment(
+        path, "e10_typecheck[cached-warm-untraced]", trace=False
+    )
 
     GLOBAL_CACHE.enabled = previous
     speedup = (
         uncached["seconds"] / warm["seconds"]
         if warm["seconds"] > 0 else None
     )
+    overhead = (
+        (warm["seconds"] - warm_untraced["seconds"])
+        / warm_untraced["seconds"] * 100.0
+        if warm_untraced["seconds"] > 0 else None
+    )
+    prior = _prior_bench(output)
+    disabled_overhead = None
+    prior_warm = None
+    prior_revision = None
+    if prior:
+        prior_warm = (prior.get("baseline_e10") or {}).get(
+            "cached_warm_seconds"
+        )
+        prior_revision = prior.get("revision")
+        if prior_warm:
+            disabled_overhead = (
+                (warm_untraced["seconds"] - prior_warm) / prior_warm * 100.0
+            )
     return {
-        "runs": [uncached, cold, warm],
+        "runs": [uncached, cold, warm, warm_untraced],
         "uncached_seconds": uncached["seconds"],
         "cached_cold_seconds": cold["seconds"],
         "cached_warm_seconds": warm["seconds"],
         "warm_hits": warm["cache"]["hits"],
         "speedup_warm_vs_uncached": round(speedup, 3) if speedup else None,
+        "trace_overhead": {
+            "warm_traced_seconds": warm["seconds"],
+            "warm_untraced_seconds": warm_untraced["seconds"],
+            "enabled_overhead_pct": (
+                round(overhead, 2) if overhead is not None else None
+            ),
+            "prior_revision": prior_revision,
+            "prior_warm_seconds": prior_warm,
+            "disabled_overhead_pct": (
+                round(disabled_overhead, 2)
+                if disabled_overhead is not None else None
+            ),
+        },
     }
 
 
@@ -167,7 +257,7 @@ def main(argv: list[str] | None = None) -> int:
         experiments.append(run_experiment(path, name))
 
     print("== e10 cached-vs-uncached baseline ==", flush=True)
-    baseline = run_e10_baseline(BENCH_DIR / "bench_e10_typecheck.py")
+    baseline = run_e10_baseline(BENCH_DIR / "bench_e10_typecheck.py", output)
 
     report = {
         "schema": SCHEMA,
@@ -189,6 +279,13 @@ def main(argv: list[str] | None = None) -> int:
           f"{baseline['uncached_seconds']:.3f}s vs warm cached "
           f"{baseline['cached_warm_seconds']:.3f}s "
           f"(speedup {baseline['speedup_warm_vs_uncached']}x)")
+    overhead = baseline["trace_overhead"]
+    print(f"trace overhead on e10 warm: enabled "
+          f"{overhead['enabled_overhead_pct']}% "
+          f"(traced {overhead['warm_traced_seconds']:.3f}s vs untraced "
+          f"{overhead['warm_untraced_seconds']:.3f}s); disabled vs "
+          f"{overhead['prior_revision']}: "
+          f"{overhead['disabled_overhead_pct']}%")
     if failures:
         for rec in failures:
             print(f"FAILED: {rec['name']} (exit {rec['exit_code']})",

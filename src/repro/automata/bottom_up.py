@@ -16,6 +16,7 @@ from typing import Callable, Hashable, Iterable, Iterator, Mapping, Optional
 from repro.errors import AutomatonError
 from repro.runtime.cache import memoized
 from repro.runtime.governor import current_governor
+from repro.runtime.trace import current_tracer
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.ranked import BTree, IndexedTree
 
@@ -141,6 +142,10 @@ class BottomUpTA:
         Computed by the standard "cheapest derivation" fixpoint: each state
         gets the smallest tree known to reach it.
         """
+        with current_tracer().span("ta.witness"):
+            return self._witness()
+
+    def _witness(self) -> Optional[BTree]:
         governor = current_governor()
         best: dict[State, BTree] = {}
         changed = True
@@ -562,8 +567,13 @@ class BottomUpTA:
         return memoized("ta.minimized", (self,), self._minimized)
 
     def _minimized(self) -> "BottomUpTA":
-        governor = current_governor()
         det = self if self.is_complete_deterministic() else self.determinized()
+        with current_tracer().span("ta.refine"):
+            return det._refined()
+
+    def _refined(self) -> "BottomUpTA":
+        det = self
+        governor = current_governor()
         states = sorted(det.states, key=repr)
         block_of: dict[State, int] = {
             q: (1 if q in det.accepting else 0) for q in states

@@ -32,6 +32,14 @@ typechecking/validation rejects, 2 on usage or input errors, 3 when a
 resource budget (``--timeout`` / ``--max-steps`` / ``--max-states``) was
 exhausted with no fallback, 4 when a worker crashed or was killed at a
 hard limit.  ``batch`` exits with the most severe job status.
+
+Observability (see docs/observability.md): ``--trace`` on ``run`` /
+``typecheck`` / ``batch`` prints a span tree on stderr; ``--trace=FILE``
+additionally writes one JSONL record per span (schema ``repro-trace/v1``)
+to FILE.  The ``REPRO_TRACE`` environment variable is the flag's
+ambient form (``1``/``stderr`` for the tree, a path for tree + JSONL;
+an explicit ``--trace`` wins).  ``batch --metrics-out FILE`` writes the
+aggregated metrics registry (schema ``repro-metrics/v1``).
 """
 
 from __future__ import annotations
@@ -39,15 +47,29 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.errors import ReproError, ResourceExhausted, exit_code_for
 from repro.lang import apply_stylesheet, parse_stylesheet, xslt_to_transducer
-from repro.runtime import cache_disabled, governed, make_governor
+from repro.runtime import (
+    Tracer,
+    cache_disabled,
+    current_tracer,
+    governed,
+    make_governor,
+    render_tree,
+    trace_env_setting,
+    tracing,
+    write_jsonl,
+)
 from repro.trees import decode
 from repro.typecheck import typecheck
 from repro.xmlio import DTD, parse_dtd, parse_dtd_xml, parse_xml, to_xml
+
+#: ``--trace`` with no FILE operand (tree on stderr, no JSONL).
+_TRACE_STDERR = ""
 
 
 def _load_dtd(path: str) -> DTD:
@@ -71,25 +93,29 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    sheet = parse_stylesheet(Path(args.stylesheet).read_text())
-    document = parse_xml(Path(args.document).read_text())
+    tracer = current_tracer()
+    with tracer.span("parse-inputs"):
+        sheet = parse_stylesheet(Path(args.stylesheet).read_text())
+        document = parse_xml(Path(args.document).read_text())
     governor = make_governor(timeout=args.timeout, max_steps=args.max_steps)
-    if governor is None:
-        output = apply_stylesheet(sheet, document)
-    else:
-        with governed(governor):
+    with tracer.span("apply-stylesheet"):
+        if governor is None:
             output = apply_stylesheet(sheet, document)
+        else:
+            with governed(governor):
+                output = apply_stylesheet(sheet, document)
     print(to_xml(output, indent=2))
     return 0
 
 
 def _cmd_typecheck(args: argparse.Namespace) -> int:
-    sheet = parse_stylesheet(Path(args.stylesheet).read_text())
-    input_dtd = _load_dtd(args.input_dtd)
-    output_dtd = _load_dtd(args.output_dtd)
-    machine = xslt_to_transducer(
-        sheet, tags=input_dtd.symbols, root_tag=input_dtd.root
-    )
+    with current_tracer().span("parse-inputs"):
+        sheet = parse_stylesheet(Path(args.stylesheet).read_text())
+        input_dtd = _load_dtd(args.input_dtd)
+        output_dtd = _load_dtd(args.output_dtd)
+        machine = xslt_to_transducer(
+            sheet, tags=input_dtd.symbols, root_tag=input_dtd.root
+        )
     with contextlib.ExitStack() as stack:
         if args.no_cache:
             stack.enter_context(cache_disabled())
@@ -217,6 +243,16 @@ _nonnegative_float.__name__ = "seconds"
 _nonnegative_int.__name__ = "count"
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", nargs="?", const=_TRACE_STDERR, default=None,
+        metavar="FILE",
+        help="print the span tree on stderr; with FILE, also write one "
+             "JSONL record per span (schema repro-trace/v1) to FILE "
+             "(env: REPRO_TRACE)",
+    )
+
+
 def _add_budget_arguments(parser: argparse.ArgumentParser,
                           states: bool = False) -> None:
     parser.add_argument(
@@ -251,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stylesheet", required=True)
     run.add_argument("document")
     _add_budget_arguments(run)
+    _add_trace_argument(run)
     run.set_defaults(func=_cmd_run)
 
     check = commands.add_parser(
@@ -278,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="report the memo table's hit/miss/eviction counters for "
              "this run on stderr",
     )
+    _add_trace_argument(check)
     check.add_argument("stylesheet")
     check.set_defaults(func=_cmd_typecheck)
 
@@ -326,15 +364,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="PLAN.JSON",
         help="arm a fault-injection plan in every worker (chaos testing)",
     )
+    _add_trace_argument(batch)
+    batch.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the aggregated metrics registry (schema "
+             "repro-metrics/v1) to FILE as JSON",
+    )
     batch.set_defaults(func=_cmd_batch)
     return parser
+
+
+def _trace_setup(args: argparse.Namespace):
+    """Resolve ``--trace`` / ``REPRO_TRACE`` / ``--metrics-out`` into
+    ``(tracer, show_tree, jsonl_path, metrics_path)``; tracer is None
+    when nothing asked for observability."""
+    flag = getattr(args, "trace", None)
+    if flag is not None:
+        show_tree = True
+        jsonl_path = None if flag == _TRACE_STDERR else flag
+    else:
+        show_tree, jsonl_path = trace_env_setting(
+            os.environ.get("REPRO_TRACE")
+        )
+    metrics_path = getattr(args, "metrics_out", None)
+    if not show_tree and not jsonl_path and not metrics_path:
+        return None, False, None, None
+    return Tracer(), show_tree or bool(jsonl_path), jsonl_path, metrics_path
+
+
+def _trace_emit(tracer: Tracer, command: str, show_tree: bool,
+                jsonl_path, metrics_path) -> None:
+    if show_tree:
+        render_tree(tracer, sys.stderr)
+    if jsonl_path:
+        count = write_jsonl(tracer, jsonl_path, trace_id=command)
+        print(f"trace: wrote {count} span(s) to {jsonl_path}",
+              file=sys.stderr)
+    if metrics_path:
+        Path(metrics_path).write_text(
+            json.dumps(tracer.metrics.snapshot(), indent=2, sort_keys=True)
+            + "\n"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    tracer, show_tree, jsonl_path, metrics_path = _trace_setup(args)
     try:
-        return args.func(args)
+        if tracer is None:
+            return args.func(args)
+        with tracing(tracer), tracer.span(f"cli:{args.command}"):
+            return args.func(args)
     except ResourceExhausted as error:
         print(
             f"error: resource budget exhausted: {error}", file=sys.stderr
@@ -343,6 +424,10 @@ def main(argv: list[str] | None = None) -> int:
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return exit_code_for(error)
+    finally:
+        if tracer is not None:
+            _trace_emit(tracer, args.command, show_tree, jsonl_path,
+                        metrics_path)
 
 
 if __name__ == "__main__":  # pragma: no cover

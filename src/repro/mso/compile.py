@@ -30,6 +30,7 @@ from repro.mso.annotations import (
     singleton_automaton,
 )
 from repro.runtime.governor import current_governor
+from repro.runtime.trace import current_tracer
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.ranked import BTree
 
@@ -65,7 +66,8 @@ def compile_formula(
     """Compile an arbitrary MSO formula over the given tree alphabet."""
     sorts = formula.free_variables()
     compiler = _Compiler(base)
-    with current_governor().phase("mso-compile"):
+    with current_governor().phase("mso-compile"), \
+            current_tracer().span("mso-compile"):
         automaton = compiler.compile(formula)
     return CompiledFormula(
         base=base,

@@ -49,6 +49,7 @@ from repro.mso.annotations import project as project_vars
 from repro.pebble.automaton import PebbleAutomaton
 from repro.runtime.cache import memoized
 from repro.runtime.governor import current_governor
+from repro.runtime.trace import current_tracer
 from repro.pebble.transducer import (
     Branch0,
     Branch2,
@@ -547,7 +548,8 @@ class _ToRegular:
     ) -> tuple[tuple[str, ...], BottomUpTA]:
         """``phi^(level)[target]`` with its free-variable order."""
         if level not in self._levels:
-            with current_governor().phase(f"regularize:level{level}"):
+            with current_governor().phase(f"regularize:level{level}"), \
+                    current_tracer().span(f"regularize:level{level}"):
                 # memoized across _ToRegular instances: recurring product
                 # automata (same transducer x output type) skip the whole
                 # quantifier-block construction for the level.
@@ -589,11 +591,19 @@ def _pebble_automaton_to_ta(automaton: PebbleAutomaton) -> BottomUpTA:
     from repro.pebble.two_way import is_walking, walking_automaton_to_ta
 
     governor = current_governor()
-    with governor.phase("pebble-to-regular"):
-        trimmed = quotient_pebble_automaton(trim_pebble_automaton(automaton))
+    tracer = current_tracer()
+    with governor.phase("pebble-to-regular"), \
+            tracer.span("pebble-to-regular"):
+        with tracer.span("pebble-trim"):
+            trimmed = quotient_pebble_automaton(
+                trim_pebble_automaton(automaton)
+            )
         if is_walking(trimmed):
-            with governor.phase("walking-summary"):
-                return walking_automaton_to_ta(trimmed).minimized()
+            with governor.phase("walking-summary"), \
+                    tracer.span("walking-summary"):
+                with tracer.span("walking-closure"):
+                    summary = walking_automaton_to_ta(trimmed)
+                return summary.minimized()
         variables, result = _ToRegular(trimmed).phi(1, trimmed.initial)
         assert variables == (), "level 1 must be variable-free"
         return result

@@ -26,6 +26,12 @@ taxonomy, declarative retry with backoff and exact→bounded degradation,
 and checkpointed JSONL batches (the ``repro batch`` CLI).  Its chaos
 harness is :mod:`repro.runtime.faults` — deterministic seeded fault
 points in the worker path.
+
+Cutting across all of the above is the observability layer
+(:mod:`repro.runtime.trace`): an ambient :class:`Tracer` of nested spans
+(wall time + governor steps + memo-table deltas per pipeline phase), a
+:class:`MetricsRegistry`, and schema-versioned JSONL output — enabled by
+``repro ... --trace`` or ``REPRO_TRACE``; see docs/observability.md.
 """
 
 from repro.errors import ResourceExhausted
@@ -56,6 +62,21 @@ from repro.runtime.governor import (
     make_governor,
 )
 from repro.runtime.jobs import JOB_KINDS, execute_job
+from repro.runtime.trace import (
+    METRICS_SCHEMA,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    current_tracer,
+    iter_jsonl_records,
+    render_tree,
+    summarize,
+    trace_env_setting,
+    tracing,
+    write_jsonl,
+)
 from repro.runtime.supervisor import (
     BatchReport,
     JobLimits,
@@ -89,6 +110,19 @@ __all__ = [
     "fault_point",
     "injected_faults",
     "install_plan",
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "current_tracer",
+    "tracing",
+    "trace_env_setting",
+    "iter_jsonl_records",
+    "render_tree",
+    "summarize",
+    "write_jsonl",
     "JOB_KINDS",
     "execute_job",
     "BatchReport",

@@ -38,7 +38,12 @@ Composition with the resource governor (PR 1):
 Observability: :func:`cache_stats` exposes hit/miss/store/eviction/bytes
 counters, surfaced by ``typecheck()`` (``stats["cache"]``) and by the
 CLI's ``--cache-stats`` flag; ``--no-cache`` (or ``REPRO_CACHE=0`` in
-the environment) disables the table entirely for A/B runs.
+the environment) disables the table entirely for A/B runs.  Under an
+ambient tracer (:mod:`repro.runtime.trace`), every :func:`memoized`
+call additionally opens a span named after the operation — tagged
+``cache="hit"/"miss"`` with ``fingerprint`` / ``compute`` /
+``memo-store`` sub-spans — while the untraced path stays byte-for-byte
+the original code behind one ``tracer.active`` check.
 """
 
 from __future__ import annotations
@@ -52,6 +57,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Iterator, Optional
 
 from repro.runtime.governor import current_governor
+from repro.runtime.trace import current_tracer
 
 __all__ = [
     "MemoCache",
@@ -437,20 +443,51 @@ def memoized(
     (or any other exception) leaves no entry behind.
     """
     cache = GLOBAL_CACHE
-    if not cache.enabled:
-        return compute()
-    key = (
-        operation,
-        tuple(fingerprint(value, exact=exact) for value in inputs),
-        extra,
-    )
-    value = cache.lookup(key)
-    if value is not MemoCache._MISS:
-        current_governor().tick()
+    tracer = current_tracer()
+    if not tracer.active:
+        if not cache.enabled:
+            return compute()
+        key = (
+            operation,
+            tuple(fingerprint(value, exact=exact) for value in inputs),
+            extra,
+        )
+        value = cache.lookup(key)
+        if value is not MemoCache._MISS:
+            current_governor().tick()
+            return value
+        value = compute()
+        cache.store(key, value)
         return value
-    value = compute()
-    cache.store(key, value)
-    return value
+    # Traced path: one span per memoized operation — this single hook
+    # covers the whole automata algebra (bottom-up TA boolean ops, DFA
+    # ops, regex compilation, per-level pebble compilation).
+    with tracer.span(operation) as span:
+        if not cache.enabled:
+            span.set(cache="disabled")
+            return compute()
+        # keying can dominate on large automata (canonical renaming +
+        # content hash), so it gets its own leaf span
+        with tracer.span("fingerprint"):
+            key = (
+                operation,
+                tuple(fingerprint(value, exact=exact) for value in inputs),
+                extra,
+            )
+        value = cache.lookup(key)
+        if value is not MemoCache._MISS:
+            current_governor().tick()
+            span.set(cache="hit")
+            return value
+        span.set(cache="miss")
+        # the construction itself gets a span too, so the table's own
+        # bookkeeping (lookup/store) stays separable from compute time
+        with tracer.span("compute"):
+            value = compute()
+        # storing is not free either: the bytes budget deep-sizes value
+        with tracer.span("memo-store"):
+            cache.store(key, value)
+        return value
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,14 @@ adds:
 Correctness of all of the above is exercised by the chaos tests through
 :mod:`repro.runtime.faults` — deterministic, seeded fault points in the
 worker path (crash, delay, exception, spurious OOM allocation).
+
+Observability: result-log lines are schema-tagged
+(:data:`RESULT_SCHEMA`), and under an ambient tracer
+(:mod:`repro.runtime.trace`) every batch/job/attempt opens a span;
+workers run their own fresh tracer (fork hygiene, like the governor and
+the memo table) and ship their finished span tree back over the result
+pipe, where the driver grafts it under the matching attempt — so one
+tree shows the whole batch, across process boundaries.
 """
 
 from __future__ import annotations
@@ -67,6 +75,7 @@ from repro.errors import (
 )
 from repro.runtime.faults import FaultPlan, fault_point, install_plan
 from repro.runtime.jobs import JOB_KINDS, execute_job
+from repro.runtime.trace import current_tracer, tracing
 
 __all__ = [
     "OK",
@@ -81,6 +90,7 @@ __all__ = [
     "RetryPolicy",
     "JobSpec",
     "JobResult",
+    "RESULT_SCHEMA",
     "BatchReport",
     "Supervisor",
     "load_manifest",
@@ -116,6 +126,12 @@ _STATUS_EXIT = {
 
 #: Severity order for the batch exit code (highest wins).
 _SEVERITY = (CRASHED, OOM, TIMEOUT, EXHAUSTED, USAGE_ERROR, TYPE_ERROR, OK)
+
+#: Schema tag on every result-log line.  v2 added the tag itself and the
+#: ``job_id`` field inside each ``detail.stats.cache`` delta block; v1
+#: lines (no ``schema`` key) are still read by the tolerant consumers
+#: (:func:`completed_job_ids` and the docs' jq recipes).
+RESULT_SCHEMA = "repro-job-result/v2"
 
 
 # -- declarative pieces ------------------------------------------------------
@@ -300,6 +316,7 @@ class JobResult:
 
     def to_jsonable(self) -> dict:
         return {
+            "schema": RESULT_SCHEMA,
             "id": self.id,
             "status": self.status,
             "attempts": self.attempts,
@@ -363,10 +380,17 @@ def _worker_setup(payload: Mapping) -> None:
             pass
     from repro.runtime.cache import GLOBAL_CACHE, clear_cache
     from repro.runtime.governor import NULL_GOVERNOR, _ambient
+    from repro.runtime.trace import NULL_TRACER, Tracer
+    from repro.runtime.trace import _ambient as _trace_ambient
 
     _ambient.set(NULL_GOVERNOR)
+    _trace_ambient.set(NULL_TRACER)
     clear_cache()
     GLOBAL_CACHE.reset_stats()
+    if payload.get("trace"):
+        # the driver is tracing: record a fresh span tree in this worker
+        # and ship it back with the outcome (stitched in _run_attempt)
+        _trace_ambient.set(Tracer())
     plan = payload.get("faults")
     install_plan(FaultPlan.from_dict(plan) if plan else None)
 
@@ -378,7 +402,10 @@ def _worker_main(payload: dict, conn) -> None:
         _worker_setup(payload)
         fault_point("worker:setup", key)
         fault_point("worker:compute", key)
-        outcome = execute_job(payload)
+        with current_tracer().span(
+            "worker", job=str(payload.get("id", "")), pid=os.getpid()
+        ):
+            outcome = execute_job(payload)
     except ResourceExhausted as error:
         outcome = {
             "status": EXHAUSTED,
@@ -408,6 +435,11 @@ def _worker_main(payload: dict, conn) -> None:
             "error": repr(error),
             "traceback": traceback.format_exc(),
         }
+    tracer = current_tracer()
+    if payload.get("trace") and tracer.active and tracer.root is not None:
+        # the span tree rides the result pipe as plain JSON-able dicts,
+        # so stitching works for fork and spawn alike
+        outcome["trace"] = tracer.to_jsonable()
     try:
         fault_point("worker:result", key)
         conn.send(outcome)
@@ -474,21 +506,38 @@ class Supervisor:
         history: list[dict] = []
         started = time.monotonic()
         resource_failures = 0
-        for attempt in range(1, policy.max_attempts + 1):
-            outcome = self._run_attempt(effective, limits, attempt)
-            history.append(outcome)
-            status = outcome["status"]
-            if status in RESOURCE_FAILURES:
-                resource_failures += 1
-            if status not in policy.retry_on or attempt == policy.max_attempts:
-                break
-            pause = policy.delay(attempt, spec.id)
-            if pause > 0:
-                time.sleep(pause)
-            if policy.degrade and status in RESOURCE_FAILURES:
-                effective = _degraded(effective, limits, policy,
-                                      resource_failures)
-        final = history[-1]
+        tracer = current_tracer()
+        with tracer.span(f"job:{spec.id}", kind=spec.kind) as job_span:
+            for attempt in range(1, policy.max_attempts + 1):
+                with tracer.span("attempt", job=spec.id,
+                                 attempt=attempt) as attempt_span:
+                    outcome = self._run_attempt(effective, limits, attempt)
+                    attempt_span.set(status=outcome["status"])
+                history.append(outcome)
+                status = outcome["status"]
+                if status in RESOURCE_FAILURES:
+                    resource_failures += 1
+                if (status not in policy.retry_on
+                        or attempt == policy.max_attempts):
+                    break
+                pause = policy.delay(attempt, spec.id)
+                if pause > 0:
+                    time.sleep(pause)
+                if policy.degrade and status in RESOURCE_FAILURES:
+                    effective = _degraded(effective, limits, policy,
+                                          resource_failures)
+            final = history[-1]
+            job_span.set(status=final["status"], attempts=len(history))
+        # label every cache-delta block with the job that produced it,
+        # so a batch result log stays attributable line by line
+        for record in history:
+            cache = record.get("detail", {}).get("stats", {}).get("cache")
+            if isinstance(cache, dict):
+                cache["job_id"] = spec.id
+        if tracer.active:
+            tracer.metrics.counter(
+                f"job.status.{final['status']}"
+            ).inc()
         return JobResult(
             id=spec.id,
             status=final["status"],
@@ -505,6 +554,9 @@ class Supervisor:
         payload = spec.to_dict()
         payload["limits"] = limits.to_dict()
         payload["fault_key"] = f"{spec.id}#{attempt}"
+        tracer = current_tracer()
+        if tracer.active:
+            payload["trace"] = True
         if self.fault_plan is not None:
             payload["faults"] = self.fault_plan.to_dict()
         context = multiprocessing.get_context(self.start_method)
@@ -561,6 +613,10 @@ class Supervisor:
         finally:
             receiver.close()
         wall = time.monotonic() - started
+        if isinstance(outcome, dict) and "trace" in outcome:
+            # stitch the worker's span tree under this attempt's span
+            # (the ambient current span — _run_attempt runs inside it)
+            tracer.graft(outcome.pop("trace"))
         return self._classify(
             spec, attempt, outcome, killed, process.exitcode, wall, limits
         )
@@ -685,27 +741,37 @@ class Supervisor:
                     handle.flush()
                     os.fsync(handle.fileno())
 
-        def drain() -> None:
-            while True:
-                with queue_lock:
-                    if not pending:
-                        return
-                    spec = pending.popleft()
-                record(self.run_job(spec))
+        tracer = current_tracer()
+
+        def drain(batch_span) -> None:
+            # threads start with an empty contextvars context: re-install
+            # the ambient tracer and nest this thread's jobs under the
+            # batch span (in the driver thread both are no-op re-sets)
+            with tracing(tracer):
+                tracer.adopt(batch_span)
+                while True:
+                    with queue_lock:
+                        if not pending:
+                            return
+                        spec = pending.popleft()
+                    record(self.run_job(spec))
 
         try:
-            count = min(workers, len(pending))
-            if count <= 1:
-                drain()
-            else:
-                threads = [
-                    threading.Thread(target=drain, name=f"supervise-{i}")
-                    for i in range(count)
-                ]
-                for thread in threads:
-                    thread.start()
-                for thread in threads:
-                    thread.join()
+            with tracer.span("batch", total=len(specs), skipped=skipped,
+                             workers=workers) as batch_span:
+                count = min(workers, len(pending))
+                if count <= 1:
+                    drain(batch_span)
+                else:
+                    threads = [
+                        threading.Thread(target=drain, args=(batch_span,),
+                                         name=f"supervise-{i}")
+                        for i in range(count)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
         finally:
             if handle is not None:
                 handle.close()
@@ -751,7 +817,11 @@ def completed_job_ids(results_path: str) -> set[str]:
     """Job ids recorded in a results log (the resume checkpoint).
 
     Tolerates a truncated final line — the one a SIGKILL mid-write can
-    leave behind — by ignoring lines that fail to parse.
+    leave behind — by ignoring lines that fail to parse.  Schema-tolerant
+    too: v1 lines (no ``schema`` key) and v2 lines
+    (:data:`RESULT_SCHEMA`, with per-job ``cache.job_id`` labels) mix
+    freely in one log, as happens when an old checkpoint is resumed by a
+    newer build.
     """
     done: set[str] = set()
     path = Path(results_path)

@@ -57,6 +57,7 @@ from repro.runtime.governor import (
     governed,
     make_governor,
 )
+from repro.runtime.trace import current_tracer, summarize
 from repro.trees.alphabet import RankedAlphabet
 from repro.trees.encoding import encode
 from repro.trees.ranked import BTree
@@ -181,10 +182,16 @@ def bad_input_language(
     """The regular language ``{t | T(t) ⊈ tau2}`` (the complement of the
     inverse type)."""
     governor = current_governor()
-    with governor.phase("complement-output-type"):
-        tau2 = as_automaton(output_type, transducer.output_alphabet)
-        not_tau2 = bu_to_td(tau2.complemented().trimmed())
-    with governor.phase("transducer-product"):
+    tracer = current_tracer()
+    with governor.phase("complement-output-type"), \
+            tracer.span("complement-output-type"):
+        with tracer.span("coerce-output-type"):
+            tau2 = as_automaton(output_type, transducer.output_alphabet)
+        complemented = tau2.complemented().trimmed()
+        with tracer.span("bu-to-td"):
+            not_tau2 = bu_to_td(complemented)
+    with governor.phase("transducer-product"), \
+            tracer.span("transducer-product"):
         product = transducer_times_automaton(transducer, not_tau2)
     return pebble_automaton_to_ta(product)
 
@@ -231,13 +238,20 @@ def typecheck(
     Every result's ``stats["cache"]`` records the memo-table activity of
     this run (hit/miss/store/eviction deltas of
     :data:`repro.runtime.cache.GLOBAL_CACHE`, plus its current size).
+    With an ambient tracer installed (``repro ... --trace`` /
+    :func:`repro.runtime.tracing`), ``stats["trace"]`` additionally
+    carries the per-phase span summary of this call — span count, root
+    wall time, and per-span-name count/wall/steps aggregates.
     """
+    tracer = current_tracer()
     cache_before = cache_stats()
-    result = _typecheck_dispatch(
-        transducer, input_type, output_type, method, max_inputs, max_depth,
-        timeout=timeout, max_steps=max_steps, max_states=max_states,
-        fallback=fallback, governor=governor,
-    )
+    with tracer.span("typecheck", method=method) as span:
+        result = _typecheck_dispatch(
+            transducer, input_type, output_type, method, max_inputs,
+            max_depth,
+            timeout=timeout, max_steps=max_steps, max_states=max_states,
+            fallback=fallback, governor=governor,
+        )
     cache_after = cache_stats()
     result.stats["cache"] = {
         "enabled": cache_after["enabled"],
@@ -248,6 +262,8 @@ def typecheck(
         "entries": cache_after["entries"],
         "bytes": cache_after["bytes"],
     }
+    if tracer.active:
+        result.stats["trace"] = summarize(span)
     return result
 
 
@@ -270,19 +286,22 @@ def _typecheck_dispatch(
     gov = governor if governor is not None else make_governor(
         timeout, max_steps, max_states
     )
+    tracer = current_tracer()
     if method == "bounded":
         if gov is None:
-            return _typecheck_bounded(
-                transducer, input_type, output_type, max_inputs, max_depth
-            )
-        with governed(gov), gov.phase("bounded"):
+            with tracer.span("bounded"):
+                return _typecheck_bounded(
+                    transducer, input_type, output_type, max_inputs, max_depth
+                )
+        with governed(gov), gov.phase("bounded"), tracer.span("bounded"):
             return _typecheck_bounded(
                 transducer, input_type, output_type, max_inputs, max_depth
             )
     if gov is None:
-        return _typecheck_exact(transducer, input_type, output_type)
+        with tracer.span("exact"):
+            return _typecheck_exact(transducer, input_type, output_type)
     try:
-        with governed(gov), gov.phase("exact"):
+        with governed(gov), gov.phase("exact"), tracer.span("exact"):
             return _typecheck_exact(
                 transducer, input_type, output_type, governor=gov
             )
@@ -291,11 +310,14 @@ def _typecheck_dispatch(
             raise
         fallback_gov = make_governor(timeout=timeout)
         if fallback_gov is None:
-            result = _typecheck_bounded(
-                transducer, input_type, output_type, max_inputs, max_depth
-            )
+            with tracer.span("fallback-bounded"):
+                result = _typecheck_bounded(
+                    transducer, input_type, output_type, max_inputs, max_depth
+                )
         else:
-            with governed(fallback_gov), fallback_gov.phase("fallback-bounded"):
+            with governed(fallback_gov), \
+                    fallback_gov.phase("fallback-bounded"), \
+                    tracer.span("fallback-bounded"):
                 result = _typecheck_bounded(
                     transducer, input_type, output_type, max_inputs, max_depth
                 )
@@ -321,9 +343,12 @@ def _typecheck_exact(
 ) -> TypecheckResult:
     started = time.perf_counter()
     ambient = current_governor()
-    tau1 = as_automaton(input_type, transducer.input_alphabet)
+    tracer = current_tracer()
+    with tracer.span("coerce-input-type"):
+        tau1 = as_automaton(input_type, transducer.input_alphabet)
     bad = bad_input_language(transducer, output_type)
-    with ambient.phase("intersect-input-type"):
+    with ambient.phase("intersect-input-type"), \
+            tracer.span("intersect-input-type"):
         # align alphabets before intersecting (types may use extra symbols)
         tau1 = as_automaton(tau1, bad.alphabet)
         bad = as_automaton(bad, tau1.alphabet)
@@ -340,7 +365,7 @@ def _typecheck_exact(
             "states": governor.states,
             "elapsed": governor.elapsed(),
         }
-    with ambient.phase("witness"):
+    with ambient.phase("witness"), tracer.span("witness"):
         witness = offending.witness()
         if witness is None:
             return TypecheckResult(ok=True, method="exact", stats=stats)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Check relative markdown links (and their anchors) in the docs tree.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md for inline
+markdown links ``[text](target)``.  External targets (``http(s)://``,
+``mailto:``) are ignored; everything else must resolve:
+
+* a relative path must exist on disk (relative to the linking file);
+* a ``#fragment`` on a markdown target must match a heading in that
+  file (GitHub slugification) or an explicit ``<a name="...">`` anchor;
+* a bare ``#fragment`` must match an anchor in the linking file itself.
+
+Exit status 1 with one line per broken link, 0 when clean — the CI docs
+job gates on it.  Run locally::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md"]
+DOC_GLOBS = ["docs/*.md"]
+
+#: Inline links, skipping image embeds.  Deliberately simple: no
+#: reference-style links are used in this repo.
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXPLICIT_ANCHOR = re.compile(r"<a\s+name=\"([^\"]+)\"")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)       # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = re.sub(r"<[^>]+>", "", text)               # strip inline HTML
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    anchors = {_slugify(h) for h in _HEADING.findall(text)}
+    anchors.update(_EXPLICIT_ANCHOR.findall(text))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(REPO_ROOT)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        line = text.count("\n", 0, match.start()) + 1
+        base, _, fragment = target.partition("#")
+        dest = path if not base else (path.parent / base).resolve()
+        if not dest.exists():
+            problems.append(f"{rel}:{line}: broken link: {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in _anchors(dest):
+                problems.append(
+                    f"{rel}:{line}: missing anchor #{fragment} "
+                    f"in {dest.relative_to(REPO_ROOT)}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = [REPO_ROOT / name for name in DOC_FILES]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for path in missing:
+            print(f"error: expected doc file missing: {path}",
+                  file=sys.stderr)
+        return 1
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
