@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Regression driver for the E01-E15 benchmark suite.
+"""Regression driver for the E01-E16 benchmark suite.
 
 Runs every ``benchmarks/bench_e*.py`` file in-process under a counting
 resource governor **and a tracer**, collects wall time, governor
@@ -228,6 +228,76 @@ def run_e10_baseline(path: Path, output: Path) -> dict:
     }
 
 
+def run_service_baseline() -> dict:
+    """Cold vs restart-warm daemon on a small E10-style suite (E16).
+
+    Two full daemon lifetimes over one state directory: the first
+    populates the persistent cache, the second — a fresh process with
+    fresh workers and ``hydrate_limit=0`` — must beat it by serving
+    from the disk tier.  The committed numbers let a revision diff
+    show when persistent warmth regresses.
+    """
+    import tempfile
+
+    from repro.runtime.service import (
+        ServiceClient,
+        ServiceConfig,
+        ServiceDaemon,
+    )
+    from repro.runtime.supervisor import JobSpec
+
+    dtd = "doc := sec*\nsec := par*\npar :="
+    sheet = (
+        '<xsl:template match="doc"><doc><xsl:apply-templates/></doc>'
+        "</xsl:template>"
+        '<xsl:template match="sec"><sec><xsl:apply-templates/></sec>'
+        "</xsl:template>"
+        '<xsl:template match="par"><par/></xsl:template>'
+    )
+
+    def generation(directory, gen: str) -> tuple[float, list]:
+        daemon = ServiceDaemon(ServiceConfig(
+            directory=str(directory), workers=1, hydrate_limit=0,
+        ))
+        daemon.start()
+        try:
+            client = ServiceClient(daemon.socket_path)
+            deltas = []
+            start = time.perf_counter()
+            for i in range(4):
+                response = client.submit(JobSpec(
+                    id=f"svc-{gen}-{i}", kind="typecheck",
+                    params={"stylesheet_text": sheet,
+                            "input_dtd_text": dtd,
+                            "output_dtd_text": dtd,
+                            "method": "exact"},
+                ), timeout=300.0)
+                assert response["ok"], response
+                assert response["result"]["status"] == "ok", response
+                deltas.append(
+                    response["result"]["detail"]["stats"]["cache"]
+                    ["persistent"]
+                )
+            return time.perf_counter() - start, deltas
+        finally:
+            daemon.drain()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as tmp:
+        state = Path(tmp) / "state"
+        cold_wall, cold = generation(state, "cold")
+        warm_wall, warm = generation(state, "warm")
+    return {
+        "jobs": 4,
+        "cold_seconds": round(cold_wall, 4),
+        "warm_seconds": round(warm_wall, 4),
+        "speedup_warm_vs_cold": (
+            round(cold_wall / warm_wall, 3) if warm_wall > 0 else None
+        ),
+        "cold_persistent_stores": sum(d["stores"] for d in cold),
+        "warm_persistent_hits": sum(d["hits"] for d in warm),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -259,6 +329,9 @@ def main(argv: list[str] | None = None) -> int:
     print("== e10 cached-vs-uncached baseline ==", flush=True)
     baseline = run_e10_baseline(BENCH_DIR / "bench_e10_typecheck.py", output)
 
+    print("== e16 service cold-vs-restart-warm baseline ==", flush=True)
+    service = run_service_baseline()
+
     report = {
         "schema": SCHEMA,
         "revision": revision,
@@ -267,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
         "experiments": experiments,
         "baseline_e10": baseline,
+        "baseline_e16_service": service,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -286,6 +360,10 @@ def main(argv: list[str] | None = None) -> int:
           f"{overhead['warm_untraced_seconds']:.3f}s); disabled vs "
           f"{overhead['prior_revision']}: "
           f"{overhead['disabled_overhead_pct']}%")
+    print(f"e16 service: cold {service['cold_seconds']:.3f}s vs "
+          f"restart-warm {service['warm_seconds']:.3f}s "
+          f"(speedup {service['speedup_warm_vs_cold']}x, "
+          f"{service['warm_persistent_hits']} persistent hit(s))")
     if failures:
         for rec in failures:
             print(f"FAILED: {rec['name']} (exit {rec['exit_code']})",

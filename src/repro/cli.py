@@ -15,6 +15,14 @@ Usage::
                               [--wall-limit S] [--rss-limit-mb M]
                               [--max-attempts K] [--retry-delay S]
                               [--no-degrade] [--faults plan.json]
+    python -m repro serve     --dir state/ [--socket PATH] [--workers N]
+                              [--recycle-jobs N] [--recycle-rss-mb M]
+                              [--wall-limit S] [--rss-limit-mb M]
+                              [--hydrate N] [--no-compact]
+                              [--faults plan.json]
+    python -m repro submit    [manifest.jsonl] --socket PATH
+                              [--no-wait] [--timeout S]
+                              [--ping | --stats | --shutdown]
 
 DTD files use either the paper's rule notation (``a := b*.c.e``) or
 classic ``<!ELEMENT ...>`` declarations (auto-detected); stylesheets use
@@ -26,6 +34,13 @@ in a supervised worker subprocess with hard wall/RSS limits, streams one
 JSON result line per job to ``--results``, and — with ``--resume`` —
 skips jobs already recorded there, so a killed batch picks up where it
 left off.
+
+``serve`` runs the long-lived typecheck daemon (see docs/service.md and
+:mod:`repro.runtime.service`): a pre-forked worker pool sharing one
+crash-safe on-disk memo cache under ``--dir``, listening on a unix
+socket.  ``submit`` sends manifest jobs to a running daemon (or, with
+``--ping`` / ``--stats`` / ``--shutdown``, manages it) and exits with
+the most severe job status, like ``batch``.
 
 Exit codes (see :mod:`repro.errors`): 0 on success, 1 when
 typechecking/validation rejects, 2 on usage or input errors, 3 when a
@@ -215,13 +230,137 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{status}={count}"
         for status, count in sorted(report.by_status.items())
     )
+    resumed = " ".join(
+        f"{status}={count}"
+        for status, count in sorted(report.resumed_by_status.items())
+    )
     print(
         f"batch: {report.total} job(s), {report.executed} executed, "
         f"{report.skipped} resumed from checkpoint"
-        + (f" [{counts}]" if counts else ""),
+        + (f" [{counts}]" if counts else "")
+        + (f" (resumed {resumed})" if resumed else ""),
         file=sys.stderr,
     )
     return report.exit_code()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.service import ServiceConfig, ServiceDaemon
+    from repro.runtime.supervisor import JobLimits
+
+    fault_plan = None
+    if args.faults:
+        fault_plan = FaultPlan.from_dict(
+            json.loads(Path(args.faults).read_text())
+        )
+    config = ServiceConfig(
+        directory=args.dir,
+        socket_path=args.socket,
+        workers=args.workers,
+        recycle_jobs=args.recycle_jobs,
+        recycle_rss_bytes=(
+            int(args.recycle_rss_mb * 1024 * 1024)
+            if args.recycle_rss_mb is not None
+            else None
+        ),
+        limits=JobLimits(
+            wall_seconds=args.wall_limit,
+            rss_bytes=(
+                int(args.rss_limit_mb * 1024 * 1024)
+                if args.rss_limit_mb is not None
+                else None
+            ),
+        ),
+        hydrate_limit=args.hydrate,
+        compact_on_start=args.compact,
+        fault_plan=fault_plan,
+    )
+    daemon = ServiceDaemon(config)
+    info = daemon.start()
+    daemon.install_signal_handlers()
+    cache = info["cache"]
+    print(
+        f"serve: pid {info['pid']} listening on {info['socket']}, "
+        f"{info['workers']} worker(s), cache {cache['entries']} entr"
+        f"{'y' if cache['entries'] == 1 else 'ies'} recovered"
+        + (
+            f" ({cache['torn_segments_truncated']} torn tail(s) truncated)"
+            if cache["torn_segments_truncated"]
+            else ""
+        )
+        + (f", {info['replayed']} queued job(s) replayed"
+           if info["replayed"] else ""),
+        file=sys.stderr,
+    )
+    return daemon.serve_forever()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.runtime.service import ServiceClient
+    from repro.runtime.supervisor import (
+        _SEVERITY,
+        _STATUS_EXIT,
+        load_manifest,
+    )
+
+    client = ServiceClient(args.socket, timeout=args.timeout)
+    if args.ping:
+        print(json.dumps(client.ping(), sort_keys=True))
+        return 0
+    if args.stats:
+        response = client.stats()
+        print(json.dumps(response.get("stats", response), indent=2,
+                         sort_keys=True))
+        return 0
+    if args.shutdown:
+        client.shutdown()
+        print("submit: daemon draining", file=sys.stderr)
+        return 0
+    if not args.manifest:
+        print("error: a manifest is required unless --ping/--stats/"
+              "--shutdown is given", file=sys.stderr)
+        return 2
+    specs = load_manifest(args.manifest)
+    if not specs:
+        print("error: empty manifest", file=sys.stderr)
+        return 2
+    statuses: list[str] = []
+    deferred = 0
+    for spec in specs:
+        response = client.submit(
+            spec, wait=not args.no_wait, timeout=args.timeout
+        )
+        if not response.get("ok"):
+            print(f"error: {spec.id}: {response.get('error')}",
+                  file=sys.stderr)
+            statuses.append("crashed")
+            continue
+        if response.get("deferred"):
+            deferred += 1
+            print(json.dumps({"id": spec.id, "deferred": True},
+                             sort_keys=True))
+            continue
+        if "result" in response:
+            result = response["result"]
+            print(json.dumps(result, sort_keys=True))
+            statuses.append(str(result.get("status", "crashed")))
+        else:
+            print(json.dumps({"id": spec.id, "queued": True},
+                             sort_keys=True))
+    summary = " ".join(
+        f"{status}={statuses.count(status)}"
+        for status in sorted(set(statuses))
+    )
+    print(
+        f"submit: {len(specs)} job(s), {deferred} deferred"
+        + (f" [{summary}]" if summary else ""),
+        file=sys.stderr,
+    )
+    for status in _SEVERITY:
+        if status in statuses:
+            return _STATUS_EXIT[status]
+    return 0
 
 
 def _nonnegative_float(text: str) -> float:
@@ -371,6 +510,91 @@ def build_parser() -> argparse.ArgumentParser:
              "repro-metrics/v1) to FILE as JSON",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the typecheck daemon: pre-forked worker pool plus a "
+             "persistent shared memo cache",
+    )
+    serve.add_argument(
+        "--dir", required=True, metavar="PATH",
+        help="state directory: cache segments, journals, lock, socket",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket to listen on (default: <dir>/service.sock)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="pool size (pre-forked, long-lived worker processes)",
+    )
+    serve.add_argument(
+        "--recycle-jobs", type=int, default=64, metavar="N",
+        help="retire and re-fork a worker after N jobs",
+    )
+    serve.add_argument(
+        "--recycle-rss-mb", type=_nonnegative_float, default=512.0,
+        metavar="MB",
+        help="retire and re-fork a worker whose resident set exceeds MB",
+    )
+    serve.add_argument(
+        "--wall-limit", type=_nonnegative_float, default=None,
+        metavar="SECONDS",
+        help="default hard per-job wall-clock limit (SIGKILL on breach)",
+    )
+    serve.add_argument(
+        "--rss-limit-mb", type=_nonnegative_float, default=None, metavar="MB",
+        help="default hard per-job resident-set limit (SIGKILL on breach)",
+    )
+    serve.add_argument(
+        "--hydrate", type=_nonnegative_int, default=512, metavar="N",
+        help="cache entries each fresh worker preloads from disk",
+    )
+    serve.add_argument(
+        "--compact", action=argparse.BooleanOptionalAction, default=True,
+        help="compact the disk cache at startup (--no-compact to skip)",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="PLAN.JSON",
+        help="arm a fault-injection plan in the daemon and its workers "
+             "(chaos testing)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="send jobs to a running repro serve daemon",
+    )
+    submit.add_argument(
+        "manifest", nargs="?", default=None,
+        help="JSONL file, one job object per line (same schema as batch)",
+    )
+    submit.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="the daemon's unix socket",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="enqueue and return immediately instead of waiting for "
+             "each result",
+    )
+    submit.add_argument(
+        "--timeout", type=_nonnegative_float, default=None,
+        metavar="SECONDS", help="per-request client timeout",
+    )
+    submit.add_argument(
+        "--ping", action="store_true",
+        help="check the daemon is alive and exit",
+    )
+    submit.add_argument(
+        "--stats", action="store_true",
+        help="print the daemon's pool/cache/queue statistics and exit",
+    )
+    submit.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain gracefully and exit",
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -8,22 +8,34 @@ typechecker, and the supervised runtime.
 CLI exit codes
 --------------
 
-Every user-facing entry point (``repro validate|run|typecheck|batch``)
-maps its outcome onto one process exit code:
+Every user-facing entry point
+(``repro validate|run|typecheck|batch|serve|submit``) maps its outcome
+onto one process exit code:
 
 ====  ==========================================================
 code  meaning
 ====  ==========================================================
-0     success — the document validates / the stylesheet typechecks
-1     a *type* error: validation or typechecking rejected the input
+0     success — the document validates / the stylesheet typechecks;
+      for ``repro serve``, a clean start-serve-drain lifecycle
+      (including a graceful ``SIGTERM`` drain); for ``repro submit``,
+      every submitted job finished ``ok`` (a job deferred by a
+      draining daemon also exits 0 — it is journaled, not lost)
+1     a *type* error: validation or typechecking rejected the input;
+      for ``repro submit``, the most severe job status was
+      ``type-error``
 2     usage or parse error: bad flags, malformed XML/DTD/stylesheet
-      (:class:`ReproError` other than the resource/worker classes)
+      (:class:`ReproError` other than the resource/worker classes),
+      a daemon already holding the service lock, or an unreachable
+      ``--socket`` (:class:`ServiceError`)
 3     a resource budget was exhausted cooperatively
-      (:class:`ResourceExhausted`, no fallback available)
+      (:class:`ResourceExhausted`, no fallback available); for
+      ``repro submit``, the most severe job status was ``exhausted``
 4     a worker was killed or crashed: SIGKILL at a wall/RSS limit,
       a worker process that died without reporting
-      (:class:`WorkerCrashed`), or — for ``repro batch`` — any job
-      in the batch finishing ``crashed``/``timeout``/``oom``
+      (:class:`WorkerCrashed`), or — for ``repro batch`` /
+      ``repro submit`` — any job finishing
+      ``crashed``/``timeout``/``oom``, including a submission
+      fast-failed by an open circuit breaker
 ====  ==========================================================
 
 :func:`exit_code_for` implements the exception half of this table and is
@@ -172,6 +184,18 @@ class UndecidableError(TypecheckError):
 class SupervisorError(ReproError):
     """Misuse of the supervised runtime: malformed job spec or manifest,
     duplicate job ids, unknown job kind, bad retry policy."""
+
+
+class ServiceError(ReproError):
+    """Misuse or unavailability of the typecheck service.
+
+    Raised for daemon-side configuration problems (another daemon holds
+    the service lock, a bad cache directory, malformed service config)
+    and for client-side connection failures (no daemon listening on the
+    requested socket, a connection dropped mid-request).  Maps to exit
+    code 2 — the service being absent is a usage problem for the caller,
+    not a crash of ours.
+    """
 
 
 class WorkerCrashed(ReproError):

@@ -27,6 +27,14 @@ and checkpointed JSONL batches (the ``repro batch`` CLI).  Its chaos
 harness is :mod:`repro.runtime.faults` — deterministic seeded fault
 points in the worker path.
 
+Topmost is the long-lived service (:mod:`repro.runtime.service`, the
+``repro serve`` CLI): a crash-safe daemon whose pre-forked worker pool
+shares a persistent on-disk memo cache
+(:mod:`repro.runtime.diskcache` — append-only checksummed segments,
+torn-tail recovery, fcntl-locked compaction), with cache-affinity
+routing, worker recycling, a per-input circuit breaker, and journaled
+exactly-once queue replay across restarts; see docs/service.md.
+
 Cutting across all of the above is the observability layer
 (:mod:`repro.runtime.trace`): an ambient :class:`Tracer` of nested spans
 (wall time + governor steps + memo-table deltas per pipeline phase), a
@@ -43,8 +51,13 @@ from repro.runtime.cache import (
     clear_cache,
     configure_cache,
     fingerprint,
+    install_persistent,
+    memo_key,
     memoized,
+    persistent_tier,
+    stable_repr,
 )
+from repro.runtime.diskcache import DiskCache
 from repro.runtime.faults import (
     FaultPlan,
     FaultSpec,
@@ -61,7 +74,12 @@ from repro.runtime.governor import (
     governed,
     make_governor,
 )
-from repro.runtime.jobs import JOB_KINDS, execute_job
+from repro.runtime.jobs import JOB_KINDS, affinity_key, execute_job
+from repro.runtime.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+)
 from repro.runtime.trace import (
     METRICS_SCHEMA,
     NULL_TRACER,
@@ -85,6 +103,8 @@ from repro.runtime.supervisor import (
     RetryPolicy,
     Supervisor,
     completed_job_ids,
+    completed_results,
+    execute_classified,
     load_manifest,
 )
 
@@ -105,6 +125,11 @@ __all__ = [
     "clear_cache",
     "configure_cache",
     "cache_disabled",
+    "stable_repr",
+    "memo_key",
+    "install_persistent",
+    "persistent_tier",
+    "DiskCache",
     "FaultPlan",
     "FaultSpec",
     "fault_point",
@@ -125,6 +150,10 @@ __all__ = [
     "write_jsonl",
     "JOB_KINDS",
     "execute_job",
+    "affinity_key",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
     "BatchReport",
     "JobLimits",
     "JobResult",
@@ -132,5 +161,7 @@ __all__ = [
     "RetryPolicy",
     "Supervisor",
     "completed_job_ids",
+    "completed_results",
+    "execute_classified",
     "load_manifest",
 ]

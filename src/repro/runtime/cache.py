@@ -48,6 +48,7 @@ the original code behind one ``tracer.active`` check.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import os
 import sys
@@ -63,11 +64,16 @@ __all__ = [
     "MemoCache",
     "GLOBAL_CACHE",
     "fingerprint",
+    "stable_repr",
     "memoized",
+    "memo_key",
     "cache_stats",
     "clear_cache",
     "configure_cache",
     "cache_disabled",
+    "install_persistent",
+    "current_persistent",
+    "persistent_tier",
 ]
 
 #: Defaults for the process-wide table; tuned so a heavy typechecking
@@ -113,6 +119,44 @@ def estimate_size(value: Any) -> int:
 
 _FP_ATTR = "_repro_fp"
 _FP_EXACT_ATTR = "_repro_fp_exact"
+
+
+def stable_repr(obj: Any) -> str:
+    """A *process-stable* textual form of ``obj``.
+
+    ``repr`` is not stable across interpreter invocations for unordered
+    containers: iteration order of a ``frozenset`` of strings follows the
+    per-process string hash seed, so ``repr(frozenset({"a", "b"}))`` can
+    differ between two runs of the same program.  Fingerprints built on
+    ``repr`` would therefore never collide across processes — fatal for a
+    cache that is supposed to be shared through disk segments and to
+    survive daemon restarts.  This helper renders sets and dicts in
+    sorted order, tuples/lists positionally, and dataclasses field by
+    field, falling back to ``repr`` only for atoms whose ``repr`` is
+    already deterministic (strings, numbers, ``None``).
+    """
+    if isinstance(obj, (str, bytes, int, float, bool, type(None))):
+        return repr(obj)
+    if isinstance(obj, (frozenset, set)):
+        return "{" + ",".join(sorted(stable_repr(item) for item in obj)) + "}"
+    if isinstance(obj, tuple):
+        inner = ",".join(stable_repr(item) for item in obj)
+        return "(" + inner + ("," if len(obj) == 1 else "") + ")"
+    if isinstance(obj, list):
+        return "[" + ",".join(stable_repr(item) for item in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted(
+            (stable_repr(key), stable_repr(value))
+            for key, value in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        inner = ",".join(
+            f"{field.name}={stable_repr(getattr(obj, field.name))}"
+            for field in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__name__}({inner})"
+    return repr(obj)
 
 
 def _digest(tag: str, payload: Any) -> str:
@@ -172,10 +216,10 @@ def _ta_state_order(ta: Any) -> list:
     For deterministic automata the order is derived purely from the rule
     structure (discovery order over sorted symbols, the tree-automaton
     analogue of canonical DFA numbering), so it is invariant under state
-    renaming.  Nondeterministic automata fall back to ``repr``-sorted
-    states — still deterministic for a given object, merely not
-    renaming-invariant (structurally identical objects still collide).
-    Unreached states are appended ``repr``-sorted in either case.
+    renaming.  Nondeterministic automata fall back to
+    :func:`stable_repr`-sorted states — deterministic across processes,
+    merely not renaming-invariant (structurally identical objects still
+    collide).  Unreached states are appended in the same order.
     """
     order: dict[Any, int] = {}
     if ta.is_deterministic():
@@ -196,7 +240,7 @@ def _ta_state_order(ta: Any) -> list:
                                 grew = True
             if not grew:
                 break
-    for state in sorted(ta.states - set(order), key=repr):
+    for state in sorted(ta.states - set(order), key=stable_repr):
         order[state] = len(order)
     return sorted(order, key=order.get)
 
@@ -220,7 +264,7 @@ def _ta_fingerprint(ta: Any, exact: bool) -> str:
         sorted(index[q] for q in ta.accepting),
     ]
     if exact:
-        payload.append([repr(state) for state in ordered])
+        payload.append([stable_repr(state) for state in ordered])
         return _digest("ta!", payload)
     return _digest("ta", payload)
 
@@ -294,10 +338,10 @@ def _pebble_fingerprint(automaton: Any) -> str:
     payload = [
         sorted(automaton.alphabet.leaves),
         sorted(automaton.alphabet.internals),
-        [sorted(map(repr, level)) for level in automaton.levels],
-        repr(automaton.initial),
+        [sorted(map(stable_repr, level)) for level in automaton.levels],
+        stable_repr(automaton.initial),
         sorted(
-            (repr(key), [repr(action) for action in actions])
+            (stable_repr(key), [stable_repr(action) for action in actions])
             for key, actions in automaton.rules.items()
         ),
     ]
@@ -424,6 +468,59 @@ GLOBAL_CACHE = MemoCache(
     not in ("0", "off", "false", "no")
 )
 
+#: The process-wide persistent tier, or ``None``.  Installed by the
+#: service workers (:mod:`repro.runtime.service`) with a
+#: :class:`repro.runtime.diskcache.DiskCache`; the contract is duck
+#: typed: ``get(key, default)`` and ``put(key, value)`` over the
+#: canonical string keys of :func:`memo_key`.
+_PERSISTENT: Optional[Any] = None
+
+
+def install_persistent(disk: Optional[Any]) -> None:
+    """Install ``disk`` as the process-wide persistent memo tier.
+
+    ``None`` uninstalls.  The tier is consulted on every in-memory miss
+    and written through on every store; it must be cheap to probe
+    (the disk cache keeps an in-memory index, so a persistent *miss* is
+    one dict lookup).
+    """
+    global _PERSISTENT
+    _PERSISTENT = disk
+
+
+def current_persistent() -> Optional[Any]:
+    """The installed persistent tier, or ``None``."""
+    return _PERSISTENT
+
+
+@contextmanager
+def persistent_tier(disk: Any) -> Iterator[Any]:
+    """Install ``disk`` as the persistent tier for a ``with`` block."""
+    previous = _PERSISTENT
+    install_persistent(disk)
+    try:
+        yield disk
+    finally:
+        install_persistent(previous)
+
+
+def memo_key(
+    operation: str, inputs: tuple, extra: tuple = (), exact: bool = False
+) -> str:
+    """The canonical string key of a memoized operation.
+
+    One key format serves both tiers: the in-process
+    :data:`GLOBAL_CACHE` keys its table on this string, and the
+    persistent tier writes it into its segment records — which is what
+    makes a segment written by one worker readable by every other worker
+    and by every future daemon incarnation.  Built exclusively from
+    :func:`fingerprint` and :func:`stable_repr`, so it is stable across
+    processes (no hash-seed dependence) and invariant under state
+    renaming wherever the fingerprints are.
+    """
+    fps = tuple(fingerprint(value, exact=exact) for value in inputs)
+    return f"{operation}|{'|'.join(fps)}|{stable_repr(extra)}"
+
 
 def memoized(
     operation: str,
@@ -441,23 +538,34 @@ def memoized(
     meaningful under a warm cache.  On a miss, ``compute()`` runs and its
     result is stored **only if it completes**: a ``ResourceExhausted``
     (or any other exception) leaves no entry behind.
+
+    With a persistent tier installed (:func:`install_persistent`), an
+    in-memory miss falls through to the disk cache before computing; a
+    disk hit is promoted into the in-memory table (and charges the same
+    nominal governor step a memory hit does), and every computed value
+    is written through to disk so it outlives this process.
     """
     cache = GLOBAL_CACHE
     tracer = current_tracer()
     if not tracer.active:
         if not cache.enabled:
             return compute()
-        key = (
-            operation,
-            tuple(fingerprint(value, exact=exact) for value in inputs),
-            extra,
-        )
+        key = memo_key(operation, inputs, extra, exact)
         value = cache.lookup(key)
         if value is not MemoCache._MISS:
             current_governor().tick()
             return value
+        disk = _PERSISTENT
+        if disk is not None:
+            value = disk.get(key, MemoCache._MISS)
+            if value is not MemoCache._MISS:
+                cache.store(key, value)
+                current_governor().tick()
+                return value
         value = compute()
         cache.store(key, value)
+        if disk is not None:
+            disk.put(key, value)
         return value
     # Traced path: one span per memoized operation — this single hook
     # covers the whole automata algebra (bottom-up TA boolean ops, DFA
@@ -469,16 +577,21 @@ def memoized(
         # keying can dominate on large automata (canonical renaming +
         # content hash), so it gets its own leaf span
         with tracer.span("fingerprint"):
-            key = (
-                operation,
-                tuple(fingerprint(value, exact=exact) for value in inputs),
-                extra,
-            )
+            key = memo_key(operation, inputs, extra, exact)
         value = cache.lookup(key)
         if value is not MemoCache._MISS:
             current_governor().tick()
             span.set(cache="hit")
             return value
+        disk = _PERSISTENT
+        if disk is not None:
+            with tracer.span("persistent-lookup"):
+                value = disk.get(key, MemoCache._MISS)
+            if value is not MemoCache._MISS:
+                cache.store(key, value)
+                current_governor().tick()
+                span.set(cache="persistent-hit")
+                return value
         span.set(cache="miss")
         # the construction itself gets a span too, so the table's own
         # bookkeeping (lookup/store) stays separable from compute time
@@ -487,6 +600,8 @@ def memoized(
         # storing is not free either: the bytes budget deep-sizes value
         with tracer.span("memo-store"):
             cache.store(key, value)
+            if disk is not None:
+                disk.put(key, value)
         return value
 
 
@@ -496,8 +611,17 @@ def memoized(
 
 
 def cache_stats() -> dict:
-    """Counters of the process-wide memo table (:data:`GLOBAL_CACHE`)."""
-    return GLOBAL_CACHE.stats()
+    """Counters of the process-wide memo table (:data:`GLOBAL_CACHE`).
+
+    With a persistent tier installed, the snapshot additionally carries
+    its counters under ``"persistent"`` (hits/misses/stores plus segment
+    bookkeeping) — this is how ``typecheck()``'s ``stats["cache"]`` and
+    the service's per-job result detail surface disk-tier warmth.
+    """
+    snapshot = GLOBAL_CACHE.stats()
+    if _PERSISTENT is not None:
+        snapshot["persistent"] = _PERSISTENT.stats()
+    return snapshot
 
 
 def clear_cache() -> None:

@@ -47,6 +47,21 @@ Worker-side points (armed via the job payload):
 ``worker:result``     after the job computed, before the result is sent —
                       a crash here proves results are not half-reported
 ====================  ====================================================
+
+Service-tier points (armed via ``repro serve --faults`` / the daemon
+config; exercised by the service chaos tests):
+
+=====================  ===================================================
+``cache:torn-write``   between the two fsync halves of a disk-cache
+                       record append — a ``crash`` here leaves a *real*
+                       torn segment tail for recovery to truncate
+``cache:stale-lock``   inside compaction's lock acquisition — an
+                       ``exception`` here simulates an unyielding lock
+                       holder; compaction must skip, never block serving
+``pool:worker-wedge``  in the pool worker's job loop before compute — a
+                       ``delay`` here wedges the worker so the daemon's
+                       wall-limit SIGKILL + respawn path is exercised
+=====================  ===================================================
 """
 
 from __future__ import annotations

@@ -29,14 +29,52 @@ is ``ok`` or ``type-error``; resource exhaustion propagates as
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Mapping, Optional
 
 from repro.errors import SupervisorError
 
-__all__ = ["JOB_KINDS", "execute_job"]
+__all__ = ["JOB_KINDS", "execute_job", "affinity_key"]
 
 JOB_KINDS = ("typecheck", "run", "validate")
+
+#: Which params make two jobs of a kind share warmable automata work.
+#: For ``typecheck`` the memo-heavy constructions are driven by the two
+#: DTDs (their automata dominate the pipeline), for ``validate`` by the
+#: DTD, for ``run`` by the stylesheet.
+_AFFINITY_PARAMS = {
+    "typecheck": ("input_dtd", "output_dtd"),
+    "run": ("stylesheet",),
+    "validate": ("dtd",),
+}
+
+
+def affinity_key(payload: Mapping) -> str:
+    """The cache-affinity routing key of a job payload.
+
+    Jobs with equal keys recompute each other's automata, so the service
+    routes them to the same pool worker (whose in-process memo table is
+    already warm) and scopes its circuit breaker by this key (a DTD that
+    keeps killing workers must not poison the whole pool).  The key
+    hashes the affinity-relevant *input text* — same DTD content, same
+    key, whether it arrived inline or as a path — and degrades to the
+    raw parameter value when a path cannot be read (the job itself will
+    then fail with a clean usage error on some worker).
+    """
+    kind = str(payload.get("kind", ""))
+    params = payload.get("params") or {}
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(kind.encode("utf-8"))
+    if isinstance(params, Mapping):
+        for name in _AFFINITY_PARAMS.get(kind, ()):
+            try:
+                text = _text_input(params, name, required=False)
+            except OSError:
+                text = str(params.get(name))
+            hasher.update(b"\x00")
+            hasher.update((text or "").encode("utf-8", "replace"))
+    return f"{kind}:{hasher.hexdigest()}"
 
 
 def _text_input(params: Mapping, name: str, required: bool = True

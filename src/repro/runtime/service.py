@@ -1,0 +1,1047 @@
+"""Typecheck-as-a-service: a crash-safe daemon with a pre-forked pool.
+
+PR 3's supervisor forks one worker per job attempt: perfect isolation,
+but every fork starts with a cold memo table, and PR 2 showed the warm
+table is worth ~4-5x on the exact pipeline.  This module keeps the
+supervision guarantees and adds the warmth:
+
+* **Pre-forked, reusable pool.**  ``ServiceDaemon`` forks ``workers``
+  long-lived worker processes up front.  Each worker hydrates its
+  in-process :class:`~repro.runtime.cache.MemoCache` from the shared
+  :class:`~repro.runtime.diskcache.DiskCache` and then serves many jobs,
+  so the second job with the same DTDs hits a warm table.  Workers are
+  **recycled** — retired gracefully and replaced by a fresh fork — after
+  ``recycle_jobs`` jobs or when their resident set crosses
+  ``recycle_rss_bytes``: leaks are bounded by construction, and the
+  replacement re-hydrates from disk, so recycling sheds memory without
+  shedding warmth.
+* **Supervision carries over.**  The per-job monitor loop is the
+  supervisor's: wall-clock and RSS polled against hard limits, SIGKILL
+  on breach, the same seven-way outcome taxonomy via
+  :meth:`Supervisor._classify`, the same schema-tagged result lines, and
+  worker span trees grafted into the daemon's tracer.  A worker that
+  dies (or is killed) is respawned with exponential backoff, and a
+  **circuit breaker** per affinity key fast-fails submissions whose
+  input keeps killing workers instead of letting one bad DTD grind the
+  pool down.
+* **Cache-affinity routing.**  Jobs are routed to pool slots by
+  :func:`~repro.runtime.jobs.affinity_key` — jobs sharing DTDs land on
+  the worker whose memo table already holds their automata.
+* **Crash safety from journals alone.**  Every accepted job is appended
+  (fsynced) to ``queue.jsonl`` before it is acknowledged; every finished
+  job is appended (fsynced) to ``results.jsonl`` before its waiter is
+  released.  Startup replays the queue **exactly once**: entries whose
+  id already appears in the results journal (last-wins, via
+  :func:`~repro.runtime.supervisor.completed_results`) are not re-run.
+  ``kill -9`` at any point therefore loses no completed result and no
+  committed cache segment — the next start recovers the disk cache
+  (truncating torn tails), compacts it under the fcntl lock, and
+  finishes what was queued.
+* **Graceful drain.**  ``SIGTERM`` (or the ``shutdown`` op) finishes
+  in-flight jobs, answers queued-but-unstarted waiters with a
+  ``deferred`` acknowledgement (their jobs stay journaled and run on the
+  next start), flushes cache segments, retires the pool, and exits 0.
+
+Wire protocol (unix socket, one JSON line request → one JSON line
+response per connection)::
+
+    {"op": "ping"}                           → {"ok": true, "pid": ...}
+    {"op": "stats"}                          → {"ok": true, "stats": {...}}
+    {"op": "submit", "job": {...JobSpec...},
+     "wait": true}                           → {"ok": true, "result": {...}}
+    {"op": "shutdown"}                       → {"ok": true, "draining": true}
+
+``ServiceClient`` wraps it for the CLI (``repro submit``) and the tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import queue
+import signal
+import socket
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.errors import EXIT_OK, ServiceError, SupervisorError
+from repro.runtime.diskcache import DiskCache
+from repro.runtime.faults import FaultPlan, fault_point, install_plan
+from repro.runtime.jobs import affinity_key
+from repro.runtime.supervisor import (
+    CRASHED,
+    OOM,
+    TIMEOUT,
+    JobLimits,
+    JobResult,
+    JobSpec,
+    Supervisor,
+    _rss_bytes,
+    _worker_setup,
+    completed_results,
+    execute_classified,
+)
+from repro.runtime.trace import current_tracer, tracing
+
+try:  # pragma: no cover - exercised on every POSIX platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "QUEUE_SCHEMA",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceClient",
+]
+
+#: Schema tag on every queue-journal line.
+QUEUE_SCHEMA = "repro-queue/v1"
+
+#: Pool-worker statuses that trip the circuit breaker.
+_BREAKER_FAILURES = (CRASHED, TIMEOUT, OOM)
+
+
+# -- configuration -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a daemon needs, declaratively (and JSON-friendly).
+
+    ``directory`` holds the daemon's whole durable state: the cache
+    segments, both journals, the service lock and (by default) the unix
+    socket — point a new daemon at the same directory and it carries on
+    where the last one stopped, however the last one stopped.
+    """
+
+    directory: str
+    socket_path: Optional[str] = None
+    workers: int = 2
+    recycle_jobs: int = 64
+    recycle_rss_bytes: Optional[int] = 512 * 1024 * 1024
+    limits: JobLimits = field(default_factory=JobLimits)
+    hydrate_limit: Optional[int] = 512
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    poll_interval: float = 0.02
+    compact_on_start: bool = True
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError("workers must be at least 1")
+        if self.recycle_jobs < 1:
+            raise ServiceError("recycle_jobs must be at least 1")
+        if self.breaker_threshold < 1:
+            raise ServiceError("breaker_threshold must be at least 1")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ServiceError(
+                "backoff_base must be non-negative and backoff_cap >= base"
+            )
+
+    def resolved_socket(self) -> Path:
+        if self.socket_path is not None:
+            return Path(self.socket_path)
+        return Path(self.directory) / "service.sock"
+
+
+# -- the pool worker body (runs in the forked subprocess) --------------------
+
+
+def _pool_worker_main(config: dict, conn) -> None:
+    """Serve jobs from ``conn`` until retired, EOF'd, or dead.
+
+    One message in (a job payload dict, or ``None`` to retire), one
+    message out (a classified outcome dict).  The worker installs its
+    own :class:`DiskCache` handle (sharing the parent's *directory*,
+    never its file objects) and hydrates the in-process memo table from
+    it, so a freshly recycled worker starts warm.  ``conn`` doubles as
+    the liveness contract: when the daemon dies — even ``kill -9`` — the
+    pipe EOFs and the worker exits instead of lingering as an orphan.
+    """
+    for fd in config.get("close_fds", ()):
+        try:  # the parent's lock and listening socket are not ours
+            os.close(fd)
+        except OSError:
+            pass
+    _worker_setup({})  # fork hygiene: fresh memo table, governor, tracer
+    plan = config.get("faults")
+    install_plan(FaultPlan.from_dict(plan) if plan else None)
+    from repro.runtime.cache import GLOBAL_CACHE, install_persistent
+
+    disk = DiskCache(config["cache_dir"], sync="flush")
+    install_persistent(disk)
+    hydrated = disk.hydrate(GLOBAL_CACHE, limit=config.get("hydrate_limit"))
+    try:
+        conn.send({"ready": True, "pid": os.getpid(), "hydrated": hydrated})
+        while True:
+            try:
+                payload = conn.recv()
+            except (EOFError, OSError):
+                break  # daemon gone: do not outlive it
+            if payload is None:
+                break  # graceful retirement
+            outcome = _serve_one(payload, disk)
+            try:
+                conn.send(outcome)
+            except (EOFError, OSError, BrokenPipeError):
+                break
+    finally:
+        install_persistent(None)
+        disk.close()
+        conn.close()
+
+
+def _serve_one(payload: Mapping, disk: DiskCache) -> dict:
+    """One job on a pool worker: wedge point, classify, commit segments."""
+    from repro.runtime.trace import NULL_TRACER, Tracer
+    from repro.runtime.trace import _ambient as _trace_ambient
+
+    key = str(payload.get("fault_key", ""))
+    if payload.get("trace"):
+        _trace_ambient.set(Tracer())
+    # outside the classified region on purpose: an ``exception`` armed
+    # here kills the worker (exercising respawn), a ``delay`` wedges it
+    # (exercising the wall-limit SIGKILL)
+    fault_point("pool:worker-wedge", key)
+    outcome = execute_classified(payload)
+    try:
+        disk.flush()  # the job is the commit unit for cache segments
+    except OSError:  # pragma: no cover - full disk etc.
+        pass
+    tracer = current_tracer()
+    if payload.get("trace") and tracer.active and tracer.root is not None:
+        outcome["trace"] = tracer.to_jsonable()
+    _trace_ambient.set(NULL_TRACER)
+    outcome["worker"] = {"pid": os.getpid()}
+    return outcome
+
+
+# -- daemon-side bookkeeping -------------------------------------------------
+
+
+class _CircuitBreaker:
+    """Consecutive-failure breaker, scoped per affinity key.
+
+    ``threshold`` consecutive breaker-class failures open the circuit;
+    while open, submissions for that key fast-fail without touching a
+    worker.  After ``cooldown`` seconds one trial is let through
+    (half-open): success closes the circuit, failure re-opens it
+    immediately.
+    """
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._streak: dict[str, int] = {}
+        self._opened_at: dict[str, float] = {}
+        self.fast_failed = 0
+
+    def allow(self, key: str) -> bool:
+        with self._lock:
+            opened = self._opened_at.get(key)
+            if opened is None:
+                return True
+            if time.monotonic() - opened < self.cooldown:
+                self.fast_failed += 1
+                return False
+            del self._opened_at[key]  # half-open: admit one trial
+            return True
+
+    def record(self, key: str, status: str) -> None:
+        with self._lock:
+            if status in _BREAKER_FAILURES:
+                streak = self._streak.get(key, 0) + 1
+                self._streak[key] = streak
+                if streak >= self.threshold:
+                    self._opened_at[key] = time.monotonic()
+            else:
+                self._streak.pop(key, None)
+                self._opened_at.pop(key, None)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "open": sorted(self._opened_at),
+                "fast_failed": self.fast_failed,
+            }
+
+
+class _Waiter:
+    """A submitted job's rendezvous: the waiter blocks, the slot sets."""
+
+    __slots__ = ("event", "result", "deferred")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[JobResult] = None
+        self.deferred = False
+
+
+class _WorkerHandle:
+    """One pool slot's live process (or ``None`` between incarnations)."""
+
+    __slots__ = ("process", "conn", "jobs_done", "crash_streak",
+                 "respawns", "recycles", "hydrated")
+
+    def __init__(self) -> None:
+        self.process = None
+        self.conn = None
+        self.jobs_done = 0
+        self.crash_streak = 0
+        self.respawns = 0
+        self.recycles = 0
+        self.hydrated = 0
+
+
+# -- the daemon --------------------------------------------------------------
+
+
+class ServiceDaemon:
+    """The ``repro serve`` daemon: pool, journals, socket, breaker.
+
+    Lifecycle: :meth:`start` acquires the service lock, recovers and
+    compacts the disk cache, replays the queue journal exactly-once,
+    forks the pool and opens the socket; :meth:`serve_forever` then
+    parks until a drain; :meth:`drain` (SIGTERM, ``shutdown`` op, or a
+    direct call) winds everything down gracefully.  All durable state
+    lives in ``config.directory`` — see the module docstring for the
+    crash-safety contract.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.directory = Path(config.directory)
+        self.socket_path = config.resolved_socket()
+        self.cache: Optional[DiskCache] = None
+        self.recovery: dict = {}
+        self.replayed = 0
+        self._lock_handle = None
+        self._server: Optional[socket.socket] = None
+        self._workers = [_WorkerHandle() for _ in range(config.workers)]
+        self._queues: list[queue.Queue] = [
+            queue.Queue() for _ in range(config.workers)
+        ]
+        self._threads: list[threading.Thread] = []
+        self._waiters: dict[str, _Waiter] = {}
+        self._waiters_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self._queue_handle = None
+        self._results_handle = None
+        self._breaker = _CircuitBreaker(
+            config.breaker_threshold, config.breaker_cooldown
+        )
+        self._served: Counter = Counter()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._started = False
+        self._tracer = None
+        self._mp = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def queue_path(self) -> Path:
+        return self.directory / "queue.jsonl"
+
+    @property
+    def results_path(self) -> Path:
+        return self.directory / "results.jsonl"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.directory / "service.lock"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.directory / "cache"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> dict:
+        """Bring the daemon up; returns a recovery/startup summary."""
+        if self._started:
+            raise ServiceError("daemon already started")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        self._tracer = current_tracer()
+        self.cache = DiskCache(self.cache_dir, sync="flush")
+        self.recovery = self.cache.recover()
+        if self.config.compact_on_start:
+            # before any worker exists, so compaction never races a
+            # live writer; a busy/faulted lock skips harmlessly
+            self.cache.compact()
+        pending = self._replay_queue()
+        self._open_journals()
+        for slot in range(self.config.workers):
+            self._spawn(slot)
+        for slot in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._slot_loop, args=(slot,),
+                name=f"serve-slot-{slot}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._open_socket()
+        accept = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        self._started = True
+        for spec in pending:
+            self._route(spec, _Waiter())  # replay: nobody is waiting
+        self.replayed = len(pending)
+        return {
+            "pid": os.getpid(),
+            "socket": str(self.socket_path),
+            "workers": self.config.workers,
+            "cache": self.recovery,
+            "replayed": self.replayed,
+        }
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+        def _drain_handler(signum, frame):  # pragma: no cover - signal path
+            threading.Thread(
+                target=self.drain, name="serve-drain", daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _drain_handler)
+        signal.signal(signal.SIGINT, _drain_handler)
+
+    def serve_forever(self) -> int:
+        """Park until a drain completes; returns the process exit code."""
+        if not self._started:
+            self.start()
+        while not self._stopped.wait(timeout=0.2):
+            pass
+        return EXIT_OK
+
+    def drain(self) -> None:
+        """Graceful shutdown: finish in-flight, checkpoint, retire, stop.
+
+        In-flight jobs run to completion (their results are journaled
+        and their waiters answered); queued-but-unstarted jobs stay in
+        the queue journal — their waiters get a ``deferred`` ack and the
+        next daemon start replays them.  Idempotent.
+        """
+        if self._draining.is_set():
+            self._stopped.wait()
+            return
+        self._draining.set()
+        self._close_socket()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=30.0)
+        with self._journal_lock:
+            for handle in (self._queue_handle, self._results_handle):
+                if handle is not None:
+                    try:
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                        handle.close()
+                    except (OSError, ValueError):
+                        pass
+            self._queue_handle = None
+            self._results_handle = None
+        if self.cache is not None:
+            self.cache.close()
+        self._release_lock()
+        self._stopped.set()
+
+    # -- startup internals -------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        handle = open(self.lock_path, "a+b")
+        if fcntl is not None:
+            # a kill -9'd daemon's workers may hold the inherited lock
+            # for a beat while their pipes EOF; retry briefly before
+            # declaring the directory owned
+            deadline = time.monotonic() + 2.0
+            while True:
+                try:
+                    fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        handle.close()
+                        raise ServiceError(
+                            f"another daemon already serves {self.directory} "
+                            f"(lock {self.lock_path} is held)"
+                        )
+                    time.sleep(0.05)
+        handle.truncate(0)
+        handle.write(f"{os.getpid()}\n".encode())
+        handle.flush()
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._lock_handle, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._lock_handle.close()
+            self._lock_handle = None
+
+    def _replay_queue(self) -> list[JobSpec]:
+        """Queued-minus-completed, exactly once; rewrite the queue journal.
+
+        The queue journal may hold jobs that already finished (their
+        result line was fsynced before the kill) — those are *not*
+        re-run.  The journal is then rewritten to just the survivors
+        (atomic replace), so journals stay bounded across restarts.
+        """
+        done = completed_results(str(self.results_path))
+        entries: dict[str, dict] = {}
+        if self.queue_path.exists():
+            for raw in self.queue_path.read_text(
+                encoding="utf-8", errors="replace"
+            ).splitlines():
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail from a kill -9 mid-append
+                spec_data = data.get("spec") if isinstance(data, dict) else None
+                if isinstance(spec_data, dict) and spec_data.get("id"):
+                    entries[str(spec_data["id"])] = spec_data
+        pending: list[JobSpec] = []
+        for job_id, spec_data in entries.items():
+            if job_id in done:
+                continue
+            try:
+                pending.append(JobSpec.from_dict(spec_data))
+            except SupervisorError:
+                continue  # journaled garbage must not wedge startup
+        tmp = self.queue_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for spec in pending:
+                handle.write(json.dumps(
+                    {"schema": QUEUE_SCHEMA, "spec": spec.to_dict()},
+                    sort_keys=True,
+                ) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.queue_path)
+        return pending
+
+    def _open_journals(self) -> None:
+        for path in (self.queue_path, self.results_path):
+            path.touch(exist_ok=True)
+        self._queue_handle = open(self.queue_path, "a", encoding="utf-8")
+        self._results_handle = open(self.results_path, "a", encoding="utf-8")
+        # terminate a torn final result line so the next record parses
+        if self._results_handle.tell() > 0:
+            with open(self.results_path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                if probe.read(1) != b"\n":
+                    self._results_handle.write("\n")
+
+    def _open_socket(self) -> None:
+        try:
+            if self.socket_path.exists():
+                self.socket_path.unlink()  # stale from a kill -9'd daemon
+        except OSError:
+            pass
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            server.bind(str(self.socket_path))
+        except OSError as error:
+            raise ServiceError(
+                f"cannot bind service socket {self.socket_path}: {error}"
+            )
+        server.listen(64)
+        # a blocked accept() is not woken by close() from another
+        # thread; a short timeout lets the loop notice the drain flag
+        server.settimeout(0.2)
+        self._server = server
+
+    def _close_socket(self) -> None:
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self._server = None
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    # -- pool management ---------------------------------------------------
+
+    def _inherited_fds(self) -> list[int]:
+        fds = []
+        if self._lock_handle is not None:
+            fds.append(self._lock_handle.fileno())
+        if self._server is not None:
+            fds.append(self._server.fileno())
+        return fds
+
+    def _spawn(self, slot: int) -> None:
+        handle = self._workers[slot]
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        config = {
+            "cache_dir": str(self.cache_dir),
+            "hydrate_limit": self.config.hydrate_limit,
+            "faults": (
+                self.config.fault_plan.to_dict()
+                if self.config.fault_plan is not None else None
+            ),
+            "close_fds": self._inherited_fds(),
+        }
+        process = self._mp.Process(
+            target=_pool_worker_main, args=(config, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.jobs_done = 0
+        try:
+            if parent_conn.poll(10.0):
+                ready = parent_conn.recv()
+                handle.hydrated = int(ready.get("hydrated", 0))
+        except (EOFError, OSError):  # died during setup; next job respawns
+            pass
+
+    def _retire(self, slot: int, *, recycle: bool = False) -> None:
+        handle = self._workers[slot]
+        if handle.process is None:
+            return
+        try:
+            handle.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        handle.process.join(timeout=5.0)
+        if handle.process.is_alive():  # pragma: no cover - defensive
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        handle.process = None
+        handle.conn = None
+        if recycle:
+            handle.recycles += 1
+
+    def _ensure_worker(self, slot: int) -> _WorkerHandle:
+        handle = self._workers[slot]
+        if handle.process is None or not handle.process.is_alive():
+            if handle.process is not None:
+                self._retire(slot)
+            if handle.crash_streak > 0:
+                pause = min(
+                    self.config.backoff_base * 2 ** (handle.crash_streak - 1),
+                    self.config.backoff_cap,
+                )
+                if pause > 0:
+                    time.sleep(pause)
+                handle.respawns += 1
+            self._spawn(slot)
+        return handle
+
+    # -- routing and execution ---------------------------------------------
+
+    def _slot_for(self, affinity: str) -> int:
+        digest = hashlib.blake2b(affinity.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big") % len(self._queues)
+
+    def _route(self, spec: JobSpec, waiter: _Waiter) -> int:
+        slot = self._slot_for(affinity_key(spec.to_dict()))
+        self._queues[slot].put((spec, waiter))
+        return slot
+
+    def _slot_loop(self, slot: int) -> None:
+        tracer = self._tracer
+        with tracing(tracer):
+            while not self._draining.is_set():
+                try:
+                    item = self._queues[slot].get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                spec, waiter = item
+                result = self._execute_on_slot(slot, spec)
+                self._finish(spec, result, waiter)
+        # drain: whatever never started stays journaled for the next
+        # daemon; its waiter learns it was deferred, not lost
+        while True:
+            try:
+                _, waiter = self._queues[slot].get_nowait()
+            except queue.Empty:
+                break
+            waiter.deferred = True
+            waiter.event.set()
+        self._retire(slot)
+
+    def _execute_on_slot(self, slot: int, spec: JobSpec) -> JobResult:
+        limits = (
+            spec.limits if spec.limits is not None else self.config.limits
+        )
+        handle = self._ensure_worker(slot)
+        payload = spec.to_dict()
+        payload["limits"] = limits.to_dict()
+        payload["fault_key"] = f"{spec.id}#1"
+        tracer = current_tracer()
+        if tracer.active:
+            payload["trace"] = True
+        started = time.monotonic()
+        outcome: Optional[dict] = None
+        killed: Optional[str] = None
+        sent = False
+        with tracer.span(f"serve:{spec.id}", kind=spec.kind,
+                         slot=slot) as span:
+            try:
+                handle.conn.send(payload)
+                sent = True
+            except (OSError, BrokenPipeError):
+                pass  # found it dead: classify as crashed, respawn below
+            if sent:
+                outcome, killed = self._monitor(handle, limits, started)
+            wall = time.monotonic() - started
+            if (outcome is None and handle.process is not None
+                    and killed is None):
+                # the pipe EOF can beat the reaper: give the dead child a
+                # moment to be collected so its -signal exitcode is real
+                handle.process.join(timeout=1.0)
+            exitcode = (
+                handle.process.exitcode if handle.process is not None
+                else None
+            )
+            if isinstance(outcome, dict) and "trace" in outcome:
+                tracer.graft(outcome.pop("trace"))
+            record = Supervisor._classify(
+                spec, 1, outcome, killed, exitcode, wall, limits
+            )
+            span.set(status=record["status"])
+        if outcome is None or killed is not None:
+            # the incumbent is dead or condemned: make sure it is gone,
+            # and remember the streak for respawn backoff
+            if handle.process is not None and handle.process.is_alive():
+                handle.process.kill()
+            self._retire(slot)
+            handle.crash_streak += 1
+        else:
+            handle.crash_streak = 0
+            handle.jobs_done += 1
+            self._maybe_recycle(slot, handle)
+        cache = record.get("detail", {}).get("stats", {}).get("cache")
+        if isinstance(cache, dict):
+            cache["job_id"] = spec.id
+        return JobResult(
+            id=spec.id,
+            status=record["status"],
+            attempts=1,
+            wall_seconds=time.monotonic() - started,
+            detail=record.get("detail", {}),
+            history=[record],
+        )
+
+    def _monitor(
+        self, handle: _WorkerHandle, limits: JobLimits, started: float
+    ) -> tuple[Optional[dict], Optional[str]]:
+        """The supervisor's hard-limit poll loop, against a pool worker."""
+        conn = handle.conn
+        process = handle.process
+        deadline = (
+            started + limits.wall_seconds
+            if limits.wall_seconds is not None else None
+        )
+        while True:
+            try:
+                if conn.poll(self.config.poll_interval):
+                    return conn.recv(), None
+            except (EOFError, OSError):
+                return None, None  # worker died with the pipe open
+            if deadline is not None and time.monotonic() >= deadline:
+                if conn.poll(0):
+                    return conn.recv(), None
+                process.kill()
+                return None, TIMEOUT
+            if limits.rss_bytes is not None and process.pid is not None:
+                usage = _rss_bytes(process.pid)
+                if usage is not None and usage > limits.rss_bytes:
+                    if conn.poll(0):
+                        return conn.recv(), None
+                    process.kill()
+                    return None, OOM
+            if not process.is_alive():
+                try:
+                    if conn.poll(0.25):
+                        return conn.recv(), None
+                except (EOFError, OSError):
+                    pass
+                return None, None
+
+    def _maybe_recycle(self, slot: int, handle: _WorkerHandle) -> None:
+        if handle.jobs_done >= self.config.recycle_jobs:
+            self._retire(slot, recycle=True)
+            return
+        watermark = self.config.recycle_rss_bytes
+        if watermark is not None and handle.process is not None:
+            usage = _rss_bytes(handle.process.pid)
+            if usage is not None and usage > watermark:
+                self._retire(slot, recycle=True)
+
+    # -- submission and journaling -----------------------------------------
+
+    def submit(self, spec: JobSpec, *, wait: bool = True,
+               timeout: Optional[float] = None) -> dict:
+        """Accept one job; the response dict mirrors the wire protocol."""
+        if self._draining.is_set():
+            # journaled, acknowledged, executed by the next daemon
+            self._journal_queue(spec)
+            return {"ok": True, "deferred": True, "id": spec.id}
+        affinity = affinity_key(spec.to_dict())
+        if not self._breaker.allow(affinity):
+            result = JobResult(
+                id=spec.id, status=CRASHED, attempts=0, wall_seconds=0.0,
+                detail={
+                    "error": (
+                        f"circuit breaker open for affinity {affinity}: "
+                        "this input recently killed "
+                        f"{self.config.breaker_threshold} worker(s) in a row"
+                    ),
+                    "breaker": affinity,
+                },
+            )
+            self._journal_result(result)
+            self._served[result.status] += 1
+            return {"ok": True, "result": result.to_jsonable(),
+                    "fast_failed": True}
+        self._journal_queue(spec)
+        waiter = _Waiter()
+        with self._waiters_lock:
+            self._waiters[spec.id] = waiter
+        self._route(spec, waiter)
+        if not wait:
+            return {"ok": True, "queued": spec.id}
+        if not waiter.event.wait(timeout):
+            return {"ok": False, "error": f"timed out waiting for {spec.id}"}
+        if waiter.deferred:
+            return {"ok": True, "deferred": True, "id": spec.id}
+        assert waiter.result is not None
+        return {"ok": True, "result": waiter.result.to_jsonable()}
+
+    def _finish(self, spec: JobSpec, result: JobResult,
+                waiter: _Waiter) -> None:
+        self._journal_result(result)
+        self._breaker.record(affinity_key(spec.to_dict()), result.status)
+        self._served[result.status] += 1
+        with self._waiters_lock:
+            self._waiters.pop(spec.id, None)
+        waiter.result = result
+        waiter.event.set()
+
+    def _journal_queue(self, spec: JobSpec) -> None:
+        line = json.dumps(
+            {"schema": QUEUE_SCHEMA, "spec": spec.to_dict()}, sort_keys=True
+        )
+        with self._journal_lock:
+            if self._queue_handle is None:
+                # drained already — but a ``deferred`` ack is a durability
+                # promise, so append directly rather than dropping
+                with open(self.queue_path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                return
+            self._queue_handle.write(line + "\n")
+            self._queue_handle.flush()
+            os.fsync(self._queue_handle.fileno())
+
+    def _journal_result(self, result: JobResult) -> None:
+        line = json.dumps(result.to_jsonable(), sort_keys=True)
+        with self._journal_lock:
+            if self._results_handle is None:  # pragma: no cover - draining
+                return
+            self._results_handle.write(line + "\n")
+            self._results_handle.flush()
+            os.fsync(self._results_handle.fileno())
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        cache_stats: dict = {}
+        if self.cache is not None:
+            self.cache.refresh(force=True)
+            cache_stats = self.cache.stats()
+        return {
+            "pid": os.getpid(),
+            "socket": str(self.socket_path),
+            "draining": self._draining.is_set(),
+            "served": dict(self._served),
+            "replayed": self.replayed,
+            "queued": sum(q.qsize() for q in self._queues),
+            "breaker": self._breaker.snapshot(),
+            "cache": cache_stats,
+            "workers": [
+                {
+                    "slot": slot,
+                    "pid": (
+                        handle.process.pid
+                        if handle.process is not None else None
+                    ),
+                    "alive": (
+                        handle.process is not None
+                        and handle.process.is_alive()
+                    ),
+                    "jobs_done": handle.jobs_done,
+                    "respawns": handle.respawns,
+                    "recycles": handle.recycles,
+                    "hydrated": handle.hydrated,
+                }
+                for slot, handle in enumerate(self._workers)
+            ],
+        }
+
+    # -- the socket server -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        server = self._server
+        while not self._draining.is_set():
+            try:
+                client, _ = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # socket closed: we are draining
+            client.settimeout(None)
+            threading.Thread(
+                target=self._handle_client, args=(client,),
+                name="serve-conn", daemon=True,
+            ).start()
+
+    def _handle_client(self, client: socket.socket) -> None:
+        with client:
+            stream = client.makefile("rwb")
+            try:
+                raw = stream.readline()
+                if not raw:
+                    return
+                try:
+                    request = json.loads(raw)
+                    if not isinstance(request, dict):
+                        raise ValueError("request is not an object")
+                except (json.JSONDecodeError, ValueError) as error:
+                    response: dict = {
+                        "ok": False, "error": f"bad request: {error}"
+                    }
+                else:
+                    response = self._dispatch(request)
+                stream.write(
+                    json.dumps(response, sort_keys=True).encode() + b"\n"
+                )
+                stream.flush()
+            except (OSError, BrokenPipeError):
+                pass  # client went away; its job (if any) stays journaled
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "draining": self._draining.is_set()}
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}
+        if op == "shutdown":
+            threading.Thread(
+                target=self.drain, name="serve-drain", daemon=True
+            ).start()
+            return {"ok": True, "draining": True}
+        if op == "submit":
+            try:
+                spec = JobSpec.from_dict(request.get("job") or {})
+            except SupervisorError as error:
+                return {"ok": False, "error": str(error)}
+            timeout = request.get("timeout")
+            return self.submit(
+                spec,
+                wait=bool(request.get("wait", True)),
+                timeout=float(timeout) if timeout is not None else None,
+            )
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+
+# -- the client --------------------------------------------------------------
+
+
+class ServiceClient:
+    """Talk to a running daemon over its unix socket (one op per call)."""
+
+    def __init__(self, socket_path: str | os.PathLike,
+                 timeout: Optional[float] = None) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    def request(self, payload: dict) -> dict:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(5.0)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as error:
+                raise ServiceError(
+                    f"no daemon listening at {self.socket_path}: {error}"
+                )
+            sock.settimeout(self.timeout)
+            stream = sock.makefile("rwb")
+            try:
+                stream.write(
+                    json.dumps(payload, sort_keys=True).encode() + b"\n"
+                )
+                stream.flush()
+                raw = stream.readline()
+            except OSError as error:
+                raise ServiceError(
+                    f"connection to {self.socket_path} dropped: {error}"
+                )
+            if not raw:
+                raise ServiceError(
+                    f"daemon at {self.socket_path} closed the connection "
+                    "without replying"
+                )
+            try:
+                response = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ServiceError(f"malformed daemon reply: {error}")
+            if not isinstance(response, dict):
+                raise ServiceError("malformed daemon reply: not an object")
+            return response
+        finally:
+            sock.close()
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def submit(self, spec: JobSpec | Mapping, *, wait: bool = True,
+               timeout: Optional[float] = None) -> dict:
+        job = spec.to_dict() if isinstance(spec, JobSpec) else dict(spec)
+        payload: dict[str, Any] = {"op": "submit", "job": job, "wait": wait}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return self.request(payload)

@@ -60,7 +60,7 @@ import traceback
 from collections import Counter, deque
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.errors import (
     EXIT_CRASHED,
@@ -93,8 +93,10 @@ __all__ = [
     "RESULT_SCHEMA",
     "BatchReport",
     "Supervisor",
+    "execute_classified",
     "load_manifest",
     "completed_job_ids",
+    "completed_results",
 ]
 
 # -- outcome taxonomy --------------------------------------------------------
@@ -328,12 +330,23 @@ class JobResult:
 
 @dataclass
 class BatchReport:
-    """What a batch run did: totals, per-status counts, the results."""
+    """What a batch run did: totals, per-status counts, the results.
+
+    ``by_status`` counts only the jobs *this* run executed;
+    ``resumed_by_status`` counts the jobs skipped because the resume
+    checkpoint already recorded them, one count per distinct job id
+    (checkpoint lines with a repeated id are deduplicated last-wins —
+    a resumed-then-crashed-then-resumed log can legitimately carry
+    several lines for one job).  Both pools feed :meth:`exit_code`: a
+    batch whose only failure happened before the crash still exits
+    non-zero after the resumed re-run completes the rest.
+    """
 
     total: int
     executed: int
     skipped: int
     results: list = field(default_factory=list)
+    resumed_by_status: dict = field(default_factory=dict)
 
     @property
     def by_status(self) -> dict:
@@ -342,6 +355,10 @@ class BatchReport:
     def exit_code(self) -> int:
         """The batch exit code: the most severe job status wins."""
         seen = {result.status for result in self.results}
+        seen.update(
+            status for status, count in self.resumed_by_status.items()
+            if count
+        )
         for status in _SEVERITY:
             if status in seen:
                 return _STATUS_EXIT[status]
@@ -378,7 +395,7 @@ def _worker_setup(payload: Mapping) -> None:
             resource.setrlimit(resource.RLIMIT_AS, (backstop, hard))
         except (ImportError, ValueError, OSError):  # pragma: no cover
             pass
-    from repro.runtime.cache import GLOBAL_CACHE, clear_cache
+    from repro.runtime.cache import GLOBAL_CACHE, clear_cache, install_persistent
     from repro.runtime.governor import NULL_GOVERNOR, _ambient
     from repro.runtime.trace import NULL_TRACER, Tracer
     from repro.runtime.trace import _ambient as _trace_ambient
@@ -387,6 +404,10 @@ def _worker_setup(payload: Mapping) -> None:
     _trace_ambient.set(NULL_TRACER)
     clear_cache()
     GLOBAL_CACHE.reset_stats()
+    # a forked service worker must not share the parent's DiskCache
+    # handle (buffered writer, fcntl locks are per-process); workers
+    # that want the persistent tier open their own instance after setup
+    install_persistent(None)
     if payload.get("trace"):
         # the driver is tracing: record a fresh span tree in this worker
         # and ship it back with the outcome (stitched in _run_attempt)
@@ -395,12 +416,25 @@ def _worker_setup(payload: Mapping) -> None:
     install_plan(FaultPlan.from_dict(plan) if plan else None)
 
 
-def _worker_main(payload: dict, conn) -> None:
-    """Run one job attempt and report exactly one outcome dict (or die)."""
+def execute_classified(
+    payload: Mapping, *, setup: Optional[Callable[[], None]] = None
+) -> dict:
+    """Run one job body to exactly one classified outcome dict, in-process.
+
+    The classification half of the seven-way taxonomy, shared by the
+    fork-per-attempt worker (:func:`_worker_main`) and by the service's
+    long-lived pool workers (:mod:`repro.runtime.service`) — so a job
+    reports the identical outcome dict whichever runtime executed it.
+    ``setup``, when given, runs inside the classified region (a setup
+    failure is an outcome, not an unhandled worker death).  ``timeout``
+    and ``oom`` still require *external* supervision: this function only
+    classifies what the process survives long enough to raise.
+    """
     key = str(payload.get("fault_key", ""))
     try:
-        _worker_setup(payload)
-        fault_point("worker:setup", key)
+        if setup is not None:
+            setup()
+            fault_point("worker:setup", key)
         fault_point("worker:compute", key)
         with current_tracer().span(
             "worker", job=str(payload.get("id", "")), pid=os.getpid()
@@ -435,6 +469,15 @@ def _worker_main(payload: dict, conn) -> None:
             "error": repr(error),
             "traceback": traceback.format_exc(),
         }
+    return outcome
+
+
+def _worker_main(payload: dict, conn) -> None:
+    """Run one job attempt and report exactly one outcome dict (or die)."""
+    key = str(payload.get("fault_key", ""))
+    outcome = execute_classified(
+        payload, setup=lambda: _worker_setup(payload)
+    )
     tracer = current_tracer()
     if payload.get("trace") and tracer.active and tracer.root is not None:
         # the span tree rides the result pipe as plain JSON-able dicts,
@@ -709,11 +752,16 @@ class Supervisor:
             if spec.id in seen:
                 raise SupervisorError(f"duplicate job id {spec.id!r}")
             seen.add(spec.id)
-        done: set[str] = set()
+        done: dict[str, dict] = {}
         if resume and results_path:
-            done = completed_job_ids(results_path)
+            done = completed_results(results_path)
         pending = deque(spec for spec in specs if spec.id not in done)
         skipped = len(specs) - len(pending)
+        resumed_by_status = dict(Counter(
+            done[spec.id].get("status")
+            for spec in specs
+            if spec.id in done and done[spec.id].get("status") in STATUSES
+        ))
         results: list[JobResult] = []
         queue_lock = threading.Lock()
         write_lock = threading.Lock()
@@ -780,6 +828,7 @@ class Supervisor:
             executed=len(results),
             skipped=skipped,
             results=results,
+            resumed_by_status=resumed_by_status,
         )
 
 
@@ -813,17 +862,22 @@ def load_manifest(path: str) -> list[JobSpec]:
     return specs
 
 
-def completed_job_ids(results_path: str) -> set[str]:
-    """Job ids recorded in a results log (the resume checkpoint).
+def completed_results(results_path: str) -> dict[str, dict]:
+    """The resume checkpoint, deduplicated: job id → its *last* record.
 
-    Tolerates a truncated final line — the one a SIGKILL mid-write can
-    leave behind — by ignoring lines that fail to parse.  Schema-tolerant
-    too: v1 lines (no ``schema`` key) and v2 lines
+    A checkpoint can legitimately carry several lines for one job id —
+    a batch SIGKILLed after fsyncing a result but before the driver
+    noted it, then resumed, appends the id again.  Counting each line
+    would double-count the job in the exit-status rollup, so consumers
+    get one record per id, last-wins (the latest line is the freshest
+    outcome).  Tolerates a truncated final line — the one a SIGKILL
+    mid-write can leave behind — by ignoring lines that fail to parse.
+    Schema-tolerant too: v1 lines (no ``schema`` key) and v2 lines
     (:data:`RESULT_SCHEMA`, with per-job ``cache.job_id`` labels) mix
     freely in one log, as happens when an old checkpoint is resumed by a
     newer build.
     """
-    done: set[str] = set()
+    done: dict[str, dict] = {}
     path = Path(results_path)
     if not path.exists():
         return done
@@ -837,8 +891,13 @@ def completed_job_ids(results_path: str) -> set[str]:
             continue
         job_id = data.get("id") if isinstance(data, dict) else None
         if isinstance(job_id, str) and job_id:
-            done.add(job_id)
+            done[job_id] = data
     return done
+
+
+def completed_job_ids(results_path: str) -> set[str]:
+    """Job ids recorded in a results log (the resume checkpoint)."""
+    return set(completed_results(results_path))
 
 
 # -- degradation -------------------------------------------------------------

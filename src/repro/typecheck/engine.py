@@ -262,6 +262,19 @@ def typecheck(
         "entries": cache_after["entries"],
         "bytes": cache_after["bytes"],
     }
+    if "persistent" in cache_after:
+        # a disk tier is installed (repro serve workers): report its
+        # per-run deltas so a served job shows where its warmth came from
+        tier_after = cache_after["persistent"]
+        tier_before = cache_before.get("persistent", {})
+        result.stats["cache"]["persistent"] = {
+            "hits": tier_after["hits"] - tier_before.get("hits", 0),
+            "misses": tier_after["misses"] - tier_before.get("misses", 0),
+            "stores": tier_after["stores"] - tier_before.get("stores", 0),
+            "entries": tier_after["entries"],
+            "segments": tier_after["segments"],
+            "bytes": tier_after["bytes"],
+        }
     if tracer.active:
         result.stats["trace"] = summarize(span)
     return result

@@ -38,6 +38,7 @@ from repro.runtime.supervisor import (
     Supervisor,
     _degraded,
     completed_job_ids,
+    completed_results,
     load_manifest,
 )
 
@@ -367,6 +368,60 @@ def test_checkpoint_reader_tolerates_truncated_tail(tmp_path):
     )
     assert completed_job_ids(str(log)) == {"done-1", "done-2"}
     assert completed_job_ids(str(tmp_path / "missing.jsonl")) == set()
+
+
+def test_completed_results_deduplicates_repeated_ids_last_wins(tmp_path):
+    # a resumed-then-crashed-then-resumed batch legitimately writes the
+    # same job id more than once; the *last* record is the truth
+    log = tmp_path / "results.jsonl"
+    log.write_text(
+        json.dumps({"id": "flip", "status": "crashed"}) + "\n"
+        + json.dumps({"id": "steady", "status": "ok"}) + "\n"
+        + json.dumps({"id": "flip", "status": "ok", "attempts": 2}) + "\n"
+    )
+    done = completed_results(str(log))
+    assert set(done) == {"flip", "steady"}
+    assert done["flip"]["status"] == "ok"
+    assert done["flip"]["attempts"] == 2
+    assert completed_job_ids(str(log)) == {"flip", "steady"}
+
+
+def test_resume_counts_duplicated_checkpoint_lines_once(tmp_path):
+    # the resume rollup must not double-count a job that appears twice
+    # in the checkpoint: 3 specs, 4 checkpoint lines, 1 job left to run
+    log = tmp_path / "results.jsonl"
+    log.write_text(
+        json.dumps({"id": "done-1", "status": "crashed"}) + "\n"
+        + json.dumps({"id": "done-2", "status": "ok"}) + "\n"
+        + json.dumps({"id": "done-1", "status": "ok"}) + "\n"
+        + '{"id": "torn'  # SIGKILL mid-write
+    )
+    specs = [validate_spec("done-1"), validate_spec("done-2"),
+             validate_spec("fresh")]
+    report = Supervisor().run_batch(
+        specs, results_path=str(log), resume=True
+    )
+    assert report.skipped == 2
+    assert report.executed == 1
+    assert report.by_status == {OK: 1}  # executed-only, as documented
+    # last-wins: done-1's final status is ok, so nothing resumed failed
+    assert report.resumed_by_status == {OK: 2}
+    assert report.exit_code() == EXIT_OK
+
+
+def test_resumed_failures_still_fail_the_batch(tmp_path):
+    log = tmp_path / "results.jsonl"
+    log.write_text(
+        json.dumps({"id": "bad", "status": "type-error"}) + "\n"
+    )
+    report = Supervisor().run_batch(
+        [validate_spec("bad"), validate_spec("fresh")],
+        results_path=str(log), resume=True,
+    )
+    assert report.by_status == {OK: 1}
+    assert report.resumed_by_status == {TYPE_ERROR: 1}
+    # the pre-crash failure survives into the resumed run's exit code
+    assert report.exit_code() == EXIT_TYPE_ERROR
 
 
 def test_batch_exit_code_severity():
