@@ -157,6 +157,51 @@ def _prior_bench(output: Path) -> dict | None:
         return None
 
 
+#: Experiments whose governor step counts the bitset-core rewrite must
+#: not change (the step-neutrality contract of the representation swap).
+STEP_GUARDED = ("e05_exponential", "e10_typecheck", "e11_lower_bound")
+
+
+def step_drift(experiments: list[dict], prior: dict | None) -> dict:
+    """Per-experiment step comparison against the previous committed
+    ``BENCH_*.json``.
+
+    Any non-zero drift on a guarded experiment is *flagged* (and
+    printed), but does not fail the run: measured step counts depend on
+    memo-table warmth from earlier experiments in the sweep, which
+    historically oscillates a little between otherwise identical
+    revisions (e.g. e10 across committed baselines: 46467 / 46515 /
+    46691).  The committed JSON keeps the numbers so a real regression
+    shows up as a trend, not a one-off.
+    """
+    if not prior:
+        return {"prior_revision": None, "experiments": {}, "flagged": []}
+    prior_steps = {
+        rec["name"]: rec.get("steps")
+        for rec in prior.get("experiments", [])
+    }
+    drift: dict = {}
+    flagged: list[str] = []
+    for rec in experiments:
+        before = prior_steps.get(rec["name"])
+        if before is None:
+            continue
+        now = rec["steps"]
+        pct = ((now - before) / before * 100.0) if before else 0.0
+        drift[rec["name"]] = {
+            "prior": before,
+            "current": now,
+            "drift_pct": round(pct, 4),
+        }
+        if rec["name"] in STEP_GUARDED and now != before:
+            flagged.append(rec["name"])
+    return {
+        "prior_revision": prior.get("revision"),
+        "experiments": drift,
+        "flagged": flagged,
+    }
+
+
 def run_e10_baseline(path: Path, output: Path) -> dict:
     """Measure the E10 typechecking suite uncached, cold and warm —
     and the cost of tracing itself.
@@ -332,6 +377,8 @@ def main(argv: list[str] | None = None) -> int:
     print("== e16 service cold-vs-restart-warm baseline ==", flush=True)
     service = run_service_baseline()
 
+    drift = step_drift(experiments, _prior_bench(output))
+
     report = {
         "schema": SCHEMA,
         "revision": revision,
@@ -339,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         "quick": args.quick,
         "python": sys.version.split()[0],
         "experiments": experiments,
+        "step_drift": drift,
         "baseline_e10": baseline,
         "baseline_e16_service": service,
     }
@@ -348,6 +396,11 @@ def main(argv: list[str] | None = None) -> int:
                 if not rec["ok"]]
     total = sum(rec["seconds"] for rec in experiments)
     print(f"\nwrote {output}")
+    for name in drift["flagged"]:
+        rec = drift["experiments"][name]
+        print(f"WARNING: step drift on {name}: {rec['prior']} -> "
+              f"{rec['current']} ({rec['drift_pct']:+.2f}% vs "
+              f"{drift['prior_revision']})", file=sys.stderr)
     print(f"{len(experiments)} experiments in {total:.1f}s, "
           f"{len(failures)} failed; e10 uncached "
           f"{baseline['uncached_seconds']:.3f}s vs warm cached "

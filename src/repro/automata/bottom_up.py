@@ -13,6 +13,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator, Mapping, Optional
 
+from repro.automata.bitset import (
+    SubsetState,
+    TAIndex,
+    bit_indices,
+    reference_algebra_enabled,
+    ta_index,
+)
 from repro.errors import AutomatonError
 from repro.runtime.cache import memoized
 from repro.runtime.governor import current_governor
@@ -21,6 +28,13 @@ from repro.trees.alphabet import RankedAlphabet
 from repro.trees.ranked import BTree, IndexedTree
 
 State = Hashable
+
+
+def _reference():
+    """The frozenset oracle module (imported lazily to avoid a cycle)."""
+    from repro.automata import reference
+
+    return reference
 
 
 @dataclass(frozen=True)
@@ -113,28 +127,53 @@ class BottomUpTA:
 
     def reachable_states(self) -> frozenset[State]:
         """States that label the root of at least one tree (fixpoint)."""
+        if reference_algebra_enabled():
+            return _reference().ta_reachable_states(self)
+        return frozenset(ta_index(self).states_of(self._reachable_mask()))
+
+    def _reachable_mask(self) -> int:
+        """Reachable states as a bitmask over the intern table."""
         governor = current_governor()
-        reachable: set[State] = set()
+        idx = ta_index(self)
+        index = idx.index
+        leaf_masks = list(idx.leaf.values())
+        rows = [
+            (index[left], index[right], tmask)
+            for (_, left, right), tmask in self._index_rows(idx)
+        ]
+        reach = 0
         changed = True
         while changed:
             changed = False
-            for targets in self.leaf_rules.values():
-                for state in targets:
-                    if state not in reachable:
-                        reachable.add(state)
-                        changed = True
-            for (_, left, right), targets in self.rules.items():
+            for mask in leaf_masks:
+                if mask & ~reach:
+                    reach |= mask
+                    changed = True
+            for li, ri, tmask in rows:
                 governor.tick()
-                if left in reachable and right in reachable:
-                    for state in targets:
-                        if state not in reachable:
-                            reachable.add(state)
-                            changed = True
-        return frozenset(reachable)
+                if (reach >> li) & 1 and (reach >> ri) & 1 and tmask & ~reach:
+                    reach |= tmask
+                    changed = True
+        return reach
+
+    def _index_rows(self, idx: TAIndex):
+        """``((symbol, left, right), target_mask)`` in ``rules`` order."""
+        index = idx.index
+        mask_cache: dict[frozenset[State], int] = {}
+        for key, targets in self.rules.items():
+            tmask = mask_cache.get(targets)
+            if tmask is None:
+                tmask = 0
+                for q in targets:
+                    tmask |= 1 << index[q]
+                mask_cache[targets] = tmask
+            yield key, tmask
 
     def is_empty(self) -> bool:
         """True when the language is empty."""
-        return not (self.reachable_states() & self.accepting)
+        if reference_algebra_enabled():
+            return _reference().ta_is_empty(self)
+        return not (self._reachable_mask() & ta_index(self).accepting_mask)
 
     def witness(self) -> Optional[BTree]:
         """A smallest-ish accepted tree, or ``None`` if the language is empty.
@@ -143,35 +182,257 @@ class BottomUpTA:
         gets the smallest tree known to reach it.
         """
         with current_tracer().span("ta.witness"):
+            if reference_algebra_enabled():
+                return _reference().ta_witness(self)
             return self._witness()
 
     def _witness(self) -> Optional[BTree]:
         governor = current_governor()
-        best: dict[State, BTree] = {}
+        idx = ta_index(self)
+        index = idx.index
+        best: list[Optional[BTree]] = [None] * idx.n
+        size: list[int] = [0] * idx.n
+        leaf_rows = [
+            (symbol, [index[q] for q in targets])
+            for symbol, targets in sorted(self.leaf_rules.items())
+        ]
+        rows = [
+            (symbol, index[left], index[right], [index[q] for q in targets])
+            for (symbol, left, right), targets in sorted(
+                self.rules.items(), key=lambda item: repr(item[0])
+            )
+        ]
         changed = True
         while changed:
             changed = False
-            for symbol, targets in sorted(self.leaf_rules.items()):
-                for state in targets:
-                    if state not in best:
-                        best[state] = BTree(symbol)
+            for symbol, targets in leaf_rows:
+                for ti in targets:
+                    if best[ti] is None:
+                        best[ti] = BTree(symbol)
+                        size[ti] = 1
                         changed = True
-            for (symbol, left, right), targets in sorted(
-                self.rules.items(), key=lambda item: repr(item[0])
-            ):
+            for symbol, li, ri, targets in rows:
                 governor.tick()
-                if left in best and right in best:
-                    candidate = BTree(symbol, best[left], best[right])
-                    for state in targets:
-                        if state not in best or (
-                            candidate.size() < best[state].size()
-                        ):
-                            best[state] = candidate
-                            changed = True
-        accepted = [best[q] for q in self.accepting if q in best]
-        if not accepted:
-            return None
-        return min(accepted, key=lambda tree: tree.size())
+                left_tree = best[li]
+                if left_tree is None:
+                    continue
+                right_tree = best[ri]
+                if right_tree is None:
+                    continue
+                candidate_size = size[li] + size[ri] + 1
+                candidate: Optional[BTree] = None
+                for ti in targets:
+                    if best[ti] is None or candidate_size < size[ti]:
+                        if candidate is None:
+                            candidate = BTree(symbol, left_tree, right_tree)
+                        best[ti] = candidate
+                        size[ti] = candidate_size
+                        changed = True
+        winner: Optional[BTree] = None
+        winner_size = 0
+        for qi in bit_indices(idx.accepting_mask):
+            tree = best[qi]
+            if tree is not None and (winner is None or size[qi] < winner_size):
+                winner = tree
+                winner_size = size[qi]
+        return winner
+
+    # -- on-the-fly product emptiness (Frisch-Hosoya style) ----------------------
+
+    def product_is_empty(
+        self,
+        other: "BottomUpTA",
+        combine: Optional[Callable[[bool, bool], bool]] = None,
+    ) -> bool:
+        """Emptiness of the ``combine``-product language, decided on the fly.
+
+        Unlike ``product(...).is_empty()`` this never materializes the
+        product automaton: it explores only the *reachable* product pairs
+        and stops as soon as one accepting pair appears.  ``combine``
+        defaults to intersection.  As with :meth:`product`, only pairs where
+        both automata have a run are considered, so for non-complete inputs
+        ``combine`` should satisfy ``combine(False, False) == False``.
+        """
+        if combine is None:
+            combine = lambda a, b: a and b  # noqa: E731
+        table = tuple(
+            combine(a, b) for a in (False, True) for b in (False, True)
+        )
+        return memoized(
+            "ta.product_empty",
+            (self, other),
+            lambda: self._product_is_empty(other, combine),
+            extra=(table,),
+        )
+
+    def _product_is_empty(
+        self, other: "BottomUpTA", combine: Callable[[bool, bool], bool]
+    ) -> bool:
+        if self.alphabet.symbols != other.alphabet.symbols:
+            raise AutomatonError("product requires identical alphabets")
+        governor = current_governor()
+        a, b = ta_index(self), ta_index(other)
+        na, nb = a.n, b.n
+        a_acc, b_acc = a.accepting_mask, b.accepting_mask
+
+        def is_accepting(code: int) -> bool:
+            ai, bi = divmod(code, nb)
+            return combine(bool((a_acc >> ai) & 1), bool((b_acc >> bi) & 1))
+
+        seen: dict[int, None] = {}
+        for symbol in sorted(self.alphabet.leaves):
+            amask = a.leaf.get(symbol, 0)
+            bmask = b.leaf.get(symbol, 0)
+            if not (amask and bmask):
+                continue
+            for ai in bit_indices(amask):
+                base = ai * nb
+                for bi in bit_indices(bmask):
+                    code = base + bi
+                    if code not in seen:
+                        seen[code] = None
+                        governor.add_states()
+                        if is_accepting(code):
+                            return False
+        internals = sorted(self.alphabet.internals)
+        frontier = list(seen)
+        while frontier:
+            known = list(seen)
+            new_codes: list[int] = []
+            frontier_set = set(frontier)
+            for symbol in internals:
+                arow = a.pair.get(symbol)
+                brow = b.pair.get(symbol)
+                if not (arow and brow):
+                    continue
+                for c1 in known:
+                    a1, b1 = divmod(c1, nb)
+                    for c2 in known:
+                        governor.tick()
+                        if c1 not in frontier_set and c2 not in frontier_set:
+                            continue
+                        a2, b2 = divmod(c2, nb)
+                        amask = arow.get(a1 * na + a2, 0)
+                        if not amask:
+                            continue
+                        bmask = brow.get(b1 * nb + b2, 0)
+                        if not bmask:
+                            continue
+                        for ai in bit_indices(amask):
+                            base = ai * nb
+                            for bi in bit_indices(bmask):
+                                code = base + bi
+                                if code not in seen:
+                                    seen[code] = None
+                                    governor.add_states()
+                                    new_codes.append(code)
+                                    if is_accepting(code):
+                                        return False
+            frontier = new_codes
+        return True
+
+    def product_witness(
+        self,
+        other: "BottomUpTA",
+        combine: Optional[Callable[[bool, bool], bool]] = None,
+    ) -> Optional[BTree]:
+        """A smallest-ish tree of the ``combine``-product language, found
+        without materializing the product automaton.
+
+        Equivalent to ``product(other, combine).trimmed().witness()`` but
+        runs the cheapest-derivation fixpoint directly over the reachable
+        product pairs.  ``combine`` defaults to intersection, so
+        ``a.product_witness(b.complemented())`` is a witness for
+        ``L(a) - L(b)``.
+        """
+        if combine is None:
+            combine = lambda a, b: a and b  # noqa: E731
+        table = tuple(
+            combine(a, b) for a in (False, True) for b in (False, True)
+        )
+        with current_tracer().span("ta.product_witness"):
+            return memoized(
+                "ta.product_witness",
+                (self, other),
+                lambda: self._product_witness(other, combine),
+                extra=(table,),
+            )
+
+    def _product_witness(
+        self, other: "BottomUpTA", combine: Callable[[bool, bool], bool]
+    ) -> Optional[BTree]:
+        if self.alphabet.symbols != other.alphabet.symbols:
+            raise AutomatonError("product requires identical alphabets")
+        governor = current_governor()
+        a, b = ta_index(self), ta_index(other)
+        na, nb = a.n, b.n
+        best: dict[int, BTree] = {}
+        size: dict[int, int] = {}
+        for symbol in sorted(self.alphabet.leaves):
+            amask = a.leaf.get(symbol, 0)
+            bmask = b.leaf.get(symbol, 0)
+            if not (amask and bmask):
+                continue
+            tree = BTree(symbol)
+            for ai in bit_indices(amask):
+                base = ai * nb
+                for bi in bit_indices(bmask):
+                    code = base + bi
+                    if code not in best:
+                        best[code] = tree
+                        size[code] = 1
+                        governor.add_states()
+        internals = sorted(self.alphabet.internals)
+        changed = True
+        while changed:
+            changed = False
+            known = list(best)
+            for symbol in internals:
+                arow = a.pair.get(symbol)
+                brow = b.pair.get(symbol)
+                if not (arow and brow):
+                    continue
+                for c1 in known:
+                    a1, b1 = divmod(c1, nb)
+                    for c2 in known:
+                        governor.tick()
+                        a2, b2 = divmod(c2, nb)
+                        amask = arow.get(a1 * na + a2, 0)
+                        if not amask:
+                            continue
+                        bmask = brow.get(b1 * nb + b2, 0)
+                        if not bmask:
+                            continue
+                        candidate_size = size[c1] + size[c2] + 1
+                        candidate: Optional[BTree] = None
+                        for ai in bit_indices(amask):
+                            base = ai * nb
+                            for bi in bit_indices(bmask):
+                                code = base + bi
+                                known_size = size.get(code)
+                                if (
+                                    known_size is None
+                                    or candidate_size < known_size
+                                ):
+                                    if candidate is None:
+                                        candidate = BTree(
+                                            symbol, best[c1], best[c2]
+                                        )
+                                    if known_size is None:
+                                        governor.add_states()
+                                    best[code] = candidate
+                                    size[code] = candidate_size
+                                    changed = True
+        a_acc, b_acc = a.accepting_mask, b.accepting_mask
+        winner: Optional[BTree] = None
+        winner_size = 0
+        for code in sorted(best):
+            ai, bi = divmod(code, nb)
+            if combine(bool((a_acc >> ai) & 1), bool((b_acc >> bi) & 1)):
+                if winner is None or size[code] < winner_size:
+                    winner = best[code]
+                    winner_size = size[code]
+        return winner
 
     def generate(
         self,
@@ -273,8 +534,12 @@ class BottomUpTA:
         frozensets rather than opaque integers — the Theorem 4.7 pipeline
         uses this to derive several acceptance conditions from a single
         determinization.  (That variant's result embeds the input's state
-        names, so it is memoized under the *exact* fingerprint.)
+        names, so it is memoized under the *exact* fingerprint.)  The
+        subset states render their members in intern-table order, so the
+        printed form is deterministic across processes.
         """
+        if reference_algebra_enabled():
+            return _reference().ta_determinized(self, keep_subsets)
         return memoized(
             "ta.determinized",
             (self,),
@@ -285,81 +550,103 @@ class BottomUpTA:
 
     def _determinized(self, keep_subsets: bool) -> "BottomUpTA":
         governor = current_governor()
-        empty: frozenset[State] = frozenset()
-        index: dict[frozenset[State], int] = {}
+        idx = ta_index(self)
+        n = idx.n
+        index: dict[int, int] = {}
+        subsets: list[int] = []
         leaf_rules: dict[str, set[int]] = {}
         rules: dict[tuple[str, int, int], set[int]] = {}
-        queue: deque[frozenset[State]] = deque()
+        queue: deque[int] = deque()
 
-        def intern(states: frozenset[State]) -> int:
-            if states not in index:
-                index[states] = len(index)
+        def intern(mask: int) -> int:
+            state_id = index.get(mask)
+            if state_id is None:
+                state_id = index[mask] = len(subsets)
+                subsets.append(mask)
                 governor.add_states()
-                queue.append(states)
-            return index[states]
+                queue.append(mask)
+            return state_id
 
-        for symbol in self.alphabet.leaves:
-            leaf_rules[symbol] = {intern(self.leaf_rules.get(symbol, empty))}
+        for symbol in sorted(self.alphabet.leaves):
+            leaf_rules[symbol] = {intern(idx.leaf.get(symbol, 0))}
+        internals = sorted(self.alphabet.internals)
         while queue:
             # NOTE: new subsets discovered below re-enter the queue, and the
             # symbol loops below must consider pairs with *all* known subsets.
             current = queue.popleft()
             current_id = index[current]
-            for symbol in self.alphabet.internals:
-                for other in list(index):
+            for symbol in internals:
+                row = idx.pair.get(symbol)
+                get = row.get if row else None
+                for other_id, other in enumerate(list(subsets)):
                     governor.tick()
-                    other_id = index[other]
-                    for left_set, right_set, lid, rid in (
+                    for left_mask, right_mask, lid, rid in (
                         (current, other, current_id, other_id),
                         (other, current, other_id, current_id),
                     ):
                         key = (symbol, lid, rid)
                         if key in rules:
                             continue
-                        gathered: set[State] = set()
-                        for left in left_set:
-                            for right in right_set:
-                                gathered |= self.rules.get(
-                                    (symbol, left, right), empty
-                                )
-                        rules[key] = {intern(frozenset(gathered))}
-        accepting = {
+                        gathered = 0
+                        if get is not None:
+                            remaining = left_mask
+                            while remaining:
+                                low = remaining & -remaining
+                                remaining ^= low
+                                base = (low.bit_length() - 1) * n
+                                rmask = right_mask
+                                while rmask:
+                                    rlow = rmask & -rmask
+                                    rmask ^= rlow
+                                    tmask = get(
+                                        base + rlow.bit_length() - 1
+                                    )
+                                    if tmask:
+                                        gathered |= tmask
+                        rules[key] = {intern(gathered)}
+        accepting_mask = idx.accepting_mask
+        accepting = [
             state_id
-            for states, state_id in index.items()
-            if states & self.accepting
-        }
-        result = BottomUpTA(
-            alphabet=self.alphabet,
-            states=index.values(),
-            leaf_rules=leaf_rules,
-            rules=rules,
-            accepting=accepting,
-        )
+            for state_id, mask in enumerate(subsets)
+            if mask & accepting_mask
+        ]
         if not keep_subsets:
-            return result
-        subset_of = {state_id: subset for subset, state_id in index.items()}
+            return BottomUpTA(
+                alphabet=self.alphabet,
+                states=range(len(subsets)),
+                leaf_rules=leaf_rules,
+                rules=rules,
+                accepting=accepting,
+            )
+        order = idx.order
+        resolved = [
+            SubsetState(order[i] for i in bit_indices(mask))
+            for mask in subsets
+        ]
 
-        def resolve(state_id: int) -> frozenset[State]:
-            return subset_of[state_id]
+        def resolve(state_id: int) -> SubsetState:
+            return resolved[state_id]
 
         return BottomUpTA(
             alphabet=self.alphabet,
-            states=[resolve(s) for s in result.states],
+            states=resolved,
             leaf_rules={
                 symbol: {resolve(s) for s in targets}
-                for symbol, targets in result.leaf_rules.items()
+                for symbol, targets in leaf_rules.items()
             },
             rules={
                 (symbol, resolve(left), resolve(right)): {
                     resolve(s) for s in targets
                 }
-                for (symbol, left, right), targets in result.rules.items()
+                for (symbol, left, right), targets in rules.items()
             },
-            accepting=[resolve(s) for s in result.accepting],
+            accepting=[resolve(s) for s in accepting],
         )
 
     def complemented(self) -> "BottomUpTA":
         """The automaton for the complement language (over ``alphabet``)."""
+        if reference_algebra_enabled():
+            return _reference().ta_complemented(self)
         return memoized("ta.complemented", (self,), self._complemented)
 
     def _complemented(self) -> "BottomUpTA":
@@ -375,14 +662,22 @@ class BottomUpTA:
     def is_complete_deterministic(self) -> bool:
         """True when every symbol/state combination has exactly one target."""
         governor = current_governor()
-        for symbol in self.alphabet.leaves:
+        for symbol in sorted(self.alphabet.leaves):
             if len(self.leaf_rules.get(symbol, frozenset())) != 1:
                 return False
-        for symbol in self.alphabet.internals:
-            for left in self.states:
+        idx = ta_index(self)
+        n = idx.n
+        for symbol in sorted(self.alphabet.internals):
+            row = idx.pair.get(symbol)
+            if row is None:
+                row = {}
+            get = row.get
+            for left in range(n):
                 governor.tick()
-                for right in self.states:
-                    if len(self.rules.get((symbol, left, right), frozenset())) != 1:
+                base = left * n
+                for right in range(n):
+                    tmask = get(base + right, 0)
+                    if tmask == 0 or tmask & (tmask - 1):
                         return False
         return True
 
@@ -399,6 +694,8 @@ class BottomUpTA:
         # ``combine`` is an arbitrary callable; its truth table is the
         # part of it the construction depends on, so that is what the
         # memo key carries.
+        if reference_algebra_enabled():
+            return _reference().ta_product(self, other, combine)
         table = tuple(
             combine(a, b) for a in (False, True) for b in (False, True)
         )
@@ -415,55 +712,100 @@ class BottomUpTA:
         if self.alphabet.symbols != other.alphabet.symbols:
             raise AutomatonError("product requires identical alphabets")
         governor = current_governor()
-        empty: frozenset[State] = frozenset()
-        pairs: set[tuple[State, State]] = set()
-        leaf_rules: dict[str, set[tuple[State, State]]] = {}
-        for symbol in self.alphabet.leaves:
-            targets = {
-                (mine, theirs)
-                for mine in self.leaf_rules.get(symbol, empty)
-                for theirs in other.leaf_rules.get(symbol, empty)
-            }
-            leaf_rules[symbol] = targets
-            pairs |= targets
-        rules: dict[tuple[str, tuple[State, State], tuple[State, State]], set] = {}
-        frontier = set(pairs)
+        a, b = ta_index(self), ta_index(other)
+        na, nb = a.n, b.n
+        # pair (ai, bi) is encoded as the single integer ai * nb + bi and
+        # interned to a dense id; a_of/b_of decode ids back to components.
+        pair_ids: dict[int, int] = {}
+        a_of: list[int] = []
+        b_of: list[int] = []
+
+        def intern(code: int) -> int:
+            pid = pair_ids.get(code)
+            if pid is None:
+                pid = pair_ids[code] = len(a_of)
+                ai, bi = divmod(code, nb)
+                a_of.append(ai)
+                b_of.append(bi)
+            return pid
+
+        leaf_rules_ids: dict[str, set[int]] = {}
+        for symbol in sorted(self.alphabet.leaves):
+            targets: set[int] = set()
+            amask = a.leaf.get(symbol, 0)
+            bmask = b.leaf.get(symbol, 0)
+            if amask and bmask:
+                for ai in bit_indices(amask):
+                    base = ai * nb
+                    for bi in bit_indices(bmask):
+                        targets.add(intern(base + bi))
+            leaf_rules_ids[symbol] = targets
+        rules_ids: dict[tuple[str, int, int], set[int]] = {}
+        internals = sorted(self.alphabet.internals)
+        frontier = set(range(len(a_of)))
         while frontier:
-            new_pairs: set[tuple[State, State]] = set()
-            for symbol in self.alphabet.internals:
-                known = list(pairs)
-                for left_pair in known:
-                    for right_pair in known:
+            known_count = len(a_of)
+            new_pairs: set[int] = set()
+            for symbol in internals:
+                arow = a.pair.get(symbol) or {}
+                brow = b.pair.get(symbol) or {}
+                aget, bget = arow.get, brow.get
+                for left_id in range(known_count):
+                    a1 = a_of[left_id] * na
+                    b1 = b_of[left_id] * nb
+                    left_new = left_id in frontier
+                    for right_id in range(known_count):
                         governor.tick()
+                        key = (symbol, left_id, right_id)
                         if (
-                            left_pair not in frontier
-                            and right_pair not in frontier
-                            and (symbol, left_pair, right_pair) in rules
+                            not left_new
+                            and right_id not in frontier
+                            and key in rules_ids
                         ):
                             continue
-                        mine = self.rules.get(
-                            (symbol, left_pair[0], right_pair[0]), empty
-                        )
-                        theirs = other.rules.get(
-                            (symbol, left_pair[1], right_pair[1]), empty
-                        )
-                        targets = {(m, t) for m in mine for t in theirs}
-                        if targets:
-                            rules[(symbol, left_pair, right_pair)] = targets
-                            new_pairs |= targets - pairs
+                        amask = aget(a1 + a_of[right_id], 0)
+                        if not amask:
+                            continue
+                        bmask = bget(b1 + b_of[right_id], 0)
+                        if not bmask:
+                            continue
+                        targets = set()
+                        for ai in bit_indices(amask):
+                            base = ai * nb
+                            for bi in bit_indices(bmask):
+                                pid = intern(base + bi)
+                                targets.add(pid)
+                                if pid >= known_count:
+                                    new_pairs.add(pid)
+                        rules_ids[key] = targets
             governor.add_states(len(new_pairs))
-            pairs |= new_pairs
             frontier = new_pairs
-        accepting = {
-            (mine, theirs)
-            for (mine, theirs) in pairs
-            if combine(mine in self.accepting, theirs in other.accepting)
-        }
+        a_acc, b_acc = a.accepting_mask, b.accepting_mask
+        a_order, b_order = a.order, b.order
+        pair_states = [
+            (a_order[a_of[pid]], b_order[b_of[pid]])
+            for pid in range(len(a_of))
+        ]
+        accepting = [
+            pair_states[pid]
+            for pid in range(len(a_of))
+            if combine(
+                bool((a_acc >> a_of[pid]) & 1), bool((b_acc >> b_of[pid]) & 1)
+            )
+        ]
         return BottomUpTA(
             alphabet=self.alphabet,
-            states=pairs | {("_dead", "_dead")},
-            leaf_rules=leaf_rules,
-            rules=rules,
+            states=set(pair_states) | {("_dead", "_dead")},
+            leaf_rules={
+                symbol: {pair_states[pid] for pid in targets}
+                for symbol, targets in leaf_rules_ids.items()
+            },
+            rules={
+                (symbol, pair_states[left], pair_states[right]): {
+                    pair_states[pid] for pid in targets
+                }
+                for (symbol, left, right), targets in rules_ids.items()
+            },
             accepting=accepting,
         )
 
@@ -473,6 +815,8 @@ class BottomUpTA:
 
     def union(self, other: "BottomUpTA") -> "BottomUpTA":
         """Language union (via disjoint sum of automata)."""
+        if reference_algebra_enabled():
+            return _reference().ta_union(self, other)
         return memoized("ta.union", (self, other), lambda: self._union(other))
 
     def _union(self, other: "BottomUpTA") -> "BottomUpTA":
@@ -520,27 +864,38 @@ class BottomUpTA:
     def trimmed(self) -> "BottomUpTA":
         """Drop states that are unreachable or useless (cannot reach an
         accepting root context).  Keeps the language."""
+        if reference_algebra_enabled():
+            return _reference().ta_trimmed(self)
         return memoized("ta.trimmed", (self,), self._trimmed)
 
     def _trimmed(self) -> "BottomUpTA":
         governor = current_governor()
-        reachable = self.reachable_states()
+        idx = ta_index(self)
+        index = idx.index
+        reach = self._reachable_mask()
         # co-reachability: a state is useful if some context takes it to
-        # acceptance; computed by a backward fixpoint.
-        useful: set[State] = set(self.accepting & reachable)
+        # acceptance; computed by a backward fixpoint over bitmasks.
+        rows = [
+            (index[left], index[right], tmask)
+            for (_, left, right), tmask in self._index_rows(idx)
+        ]
+        useful = idx.accepting_mask & reach
         changed = True
         while changed:
             changed = False
-            for (symbol, left, right), targets in self.rules.items():
+            for li, ri, tmask in rows:
                 governor.tick()
-                if left not in reachable or right not in reachable:
+                if not ((reach >> li) & 1 and (reach >> ri) & 1):
                     continue
-                if targets & useful:
-                    for state in (left, right):
-                        if state not in useful:
-                            useful.add(state)
-                            changed = True
-        keep = reachable & (useful | self.accepting)
+                if tmask & useful:
+                    grown = useful | (1 << li) | (1 << ri)
+                    if grown != useful:
+                        useful = grown
+                        changed = True
+        reachable = frozenset(idx.states_of(reach))
+        keep = reachable & frozenset(
+            idx.states_of(useful | idx.accepting_mask)
+        )
         leaf_rules = {
             symbol: targets & keep for symbol, targets in self.leaf_rules.items()
         }
@@ -564,6 +919,8 @@ class BottomUpTA:
         partition refinement.  The result is the canonical complete
         deterministic automaton (up to renaming) for the language.
         """
+        if reference_algebra_enabled():
+            return _reference().ta_minimized(self)
         return memoized("ta.minimized", (self,), self._minimized)
 
     def _minimized(self) -> "BottomUpTA":
@@ -574,57 +931,75 @@ class BottomUpTA:
     def _refined(self) -> "BottomUpTA":
         det = self
         governor = current_governor()
-        states = sorted(det.states, key=repr)
-        block_of: dict[State, int] = {
-            q: (1 if q in det.accepting else 0) for q in states
-        }
-
-        def the(targets: frozenset[State]) -> State:
-            (only,) = targets
-            return only
-
+        idx = ta_index(det)
+        n = idx.n
         leaf_symbols = sorted(det.alphabet.leaves)
         internal_symbols = sorted(det.alphabet.internals)
+        # dense successor tables: succ[s][l * n + r] is the single target
+        # index of rule (internal_symbols[s], l, r); requires completeness.
+        succ: list[list[int]] = []
+        for symbol in internal_symbols:
+            row = idx.pair.get(symbol) or {}
+            if len(row) != n * n:
+                raise AutomatonError(
+                    "refinement requires a complete deterministic automaton"
+                )
+            arr = [0] * (n * n)
+            for code, tmask in row.items():
+                if tmask & (tmask - 1):
+                    raise AutomatonError(
+                        "refinement requires a deterministic automaton"
+                    )
+                arr[code] = tmask.bit_length() - 1
+            succ.append(arr)
+        accepting_mask = idx.accepting_mask
+        block = [(accepting_mask >> i) & 1 for i in range(n)]
         while True:
             signatures: dict[tuple, int] = {}
-            new_block_of: dict[State, int] = {}
-            for q in states:
+            new_block = [0] * n
+            for qi in range(n):
                 governor.tick()
-                row = [block_of[q]]
-                for symbol in internal_symbols:
-                    for other in states:
-                        row.append(
-                            block_of[the(det.rules[(symbol, q, other)])]
-                        )
-                        row.append(
-                            block_of[the(det.rules[(symbol, other, q)])]
-                        )
+                row = [block[qi]]
+                base = qi * n
+                for arr in succ:
+                    for other in range(n):
+                        row.append(block[arr[base + other]])
+                        row.append(block[arr[other * n + qi]])
                 signature = tuple(row)
-                if signature not in signatures:
-                    signatures[signature] = len(signatures)
-                new_block_of[q] = signatures[signature]
-            if len(signatures) == len(set(block_of.values())):
-                block_of = new_block_of
+                block_id = signatures.get(signature)
+                if block_id is None:
+                    block_id = signatures[signature] = len(signatures)
+                new_block[qi] = block_id
+            if len(signatures) == len(set(block)):
+                block = new_block
                 break
-            block_of = new_block_of
+            block = new_block
+
+        def the_leaf(symbol: str) -> int:
+            tmask = idx.leaf[symbol]
+            if tmask == 0 or tmask & (tmask - 1):
+                raise AutomatonError(
+                    "refinement requires a complete deterministic automaton"
+                )
+            return tmask.bit_length() - 1
+
         leaf_rules = {
-            symbol: {block_of[the(det.leaf_rules[symbol])]}
-            for symbol in leaf_symbols
+            symbol: {block[the_leaf(symbol)]} for symbol in leaf_symbols
         }
         rules = {
-            (symbol, block_of[left], block_of[right]): {
-                block_of[the(det.rules[(symbol, left, right)])]
+            (symbol, block[left], block[right]): {
+                block[succ[si][left * n + right]]
             }
-            for symbol in internal_symbols
-            for left in states
-            for right in states
+            for si, symbol in enumerate(internal_symbols)
+            for left in range(n)
+            for right in range(n)
         }
         return BottomUpTA(
             alphabet=det.alphabet,
-            states=set(block_of.values()),
+            states=set(block),
             leaf_rules=leaf_rules,
             rules=rules,
-            accepting={block_of[q] for q in det.accepting},
+            accepting={block[i] for i in bit_indices(accepting_mask)},
         )
 
     def renamed(self) -> "BottomUpTA":

@@ -15,6 +15,7 @@ standard linear-time counter-based least fixpoint.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping, Sequence
@@ -67,6 +68,33 @@ class PebbleAutomaton:
             table = {key: tuple(actions) for key, actions in rules.items()}
         object.__setattr__(self, "rules", table)
         self._validate()
+
+    @classmethod
+    def _trusted(
+        cls,
+        alphabet: RankedAlphabet,
+        levels: Sequence[Iterable[State]],
+        initial: State,
+        rules: Mapping[GuardKey, tuple[Action, ...]],
+    ) -> "PebbleAutomaton":
+        """Internal constructor that skips per-action validation.
+
+        Only for callers rewriting an *already validated* automaton in a
+        level-preserving way (trim, quotient, the Prop. 4.6 product) —
+        validation is linear in the rule table and dominates construction
+        for large products.  ``REPRO_VALIDATE_TRUSTED=1`` re-enables the
+        checks for debugging.
+        """
+        self = object.__new__(cls)
+        frozen, level_of = _check_levels(levels)
+        object.__setattr__(self, "alphabet", alphabet)
+        object.__setattr__(self, "levels", frozen)
+        object.__setattr__(self, "initial", initial)
+        object.__setattr__(self, "level_of", level_of)
+        object.__setattr__(self, "rules", dict(rules))
+        if os.environ.get("REPRO_VALIDATE_TRUSTED") == "1":
+            self._validate()
+        return self
 
     @property
     def k(self) -> int:

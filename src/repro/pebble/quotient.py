@@ -35,69 +35,167 @@ def quotient_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:
     states)."""
     governor = current_governor()
     states = sorted(automaton.level_of, key=repr)
+    n = len(states)
+    index = {state: i for i, state in enumerate(states)}
     # initial partition: by level, and whether the state is initial
     # (keeping the initial state's block identifiable is convenient).
-    block_of: dict[State, int] = {
-        state: automaton.level_of[state] for state in states
-    }
+    block = [automaton.level_of[state] for state in states]
 
-    # index rules by state for signature computation
-    by_state: dict[State, list[tuple[str, tuple, object]]] = {}
+    # Block ids are kept *stable* across rounds: when a block splits, the
+    # first-scanned part keeps the old id and the rest get fresh ids.  At
+    # most n-1 splits can ever happen, so ids stay below
+    # ``max(initial ids) + n + 1``; the packing base leaves room for that
+    # (initial blocks are level indices, which can exceed n when some
+    # levels are empty).
+    base = max([n] + block) + n + 2
+    stride = base * base
+
+    # Encode each state's guarded actions once.  A row abstracts one
+    # (symbol, bits, action) as a single integer: a label-id addend for
+    # the block-independent part, plus the current blocks of the (at most
+    # two) referenced states — so each refinement round only re-maps
+    # state references through ``block``, without re-dispatching on the
+    # action type.  Rows are bucketed by how many state references they
+    # carry: reference-free rows pack to a constant that never changes
+    # across rounds, so those sets are final immediately.
+    label_ids: dict[tuple, int] = {}
+    const_sets: list[set[int]] = [set() for _ in range(n)]
+    one_rows: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    two_rows: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+    # Action objects are shared across many guards, so resolve each unique
+    # object's kind tag and referenced state indices once (id-keyed; the
+    # automaton's rule table pins the objects, so ids are stable).
+    act_info: dict[int, tuple[tuple, int, int]] = {}
     for (symbol, state, bits), actions in automaton.rules.items():
-        bucket = by_state.setdefault(state, [])
+        i = index[state]
+        consts = const_sets[i]
+        ones = one_rows[i]
+        twos = two_rows[i]
         for action in actions:
-            bucket.append((symbol, bits, action))
+            info = act_info.get(id(action))
+            if info is None:
+                if isinstance(action, Move):
+                    info = (("move", action.direction), index[action.target], -1)
+                elif isinstance(action, Place):
+                    info = (("place",), index[action.target], -1)
+                elif isinstance(action, Pick):
+                    info = (("pick",), index[action.target], -1)
+                elif isinstance(action, Branch0):
+                    info = (("branch0",), -1, -1)
+                else:
+                    assert isinstance(action, Branch2)
+                    info = (
+                        ("branch2",),
+                        index[action.left],
+                        index[action.right],
+                    )
+                act_info[id(action)] = info
+            tag, ref1, ref2 = info
+            addend = (
+                label_ids.setdefault((tag, symbol, bits), len(label_ids))
+                * stride
+            )
+            if ref1 < 0:
+                consts.add(addend)
+            elif ref2 < 0:
+                ones.append((addend, ref1))
+            else:
+                twos.append((addend, ref1, ref2))
+    const_rows = [frozenset(consts) for consts in const_sets]
 
-    def abstract(action) -> tuple:
-        if isinstance(action, Move):
-            return ("move", action.direction, block_of[action.target])
-        if isinstance(action, Place):
-            return ("place", block_of[action.target])
-        if isinstance(action, Pick):
-            return ("pick", block_of[action.target])
-        if isinstance(action, Branch0):
-            return ("branch0",)
-        assert isinstance(action, Branch2)
-        return ("branch2", block_of[action.left], block_of[action.right])
+    # rdeps[j]: the states whose packed rows reference state j.  A state's
+    # signature set only changes when one of its referenced blocks does,
+    # so clean states reuse last round's frozenset (whose hash is cached).
+    rdeps: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        seen_refs = {ref1 for _, ref1 in one_rows[i]}
+        seen_refs.update(r for _, ref1, ref2 in two_rows[i] for r in (ref1, ref2))
+        for j in seen_refs:
+            rdeps[j].append(i)
+    cached_sig: list[frozenset[int]] = [frozenset()] * n
+    # every state is dirty in the first round (nothing cached yet).
+    dirty = bytearray([1]) * n
+    next_fresh = max([n] + block) + 1
 
     while True:
         signatures: dict[tuple, int] = {}
-        new_block_of: dict[State, int] = {}
-        for state in states:
+        claimed: set[int] = set()
+        new_block = [0] * n
+        for i in range(n):
             governor.tick()
-            rows = frozenset(
-                (symbol, bits, abstract(action))
-                for symbol, bits, action in by_state.get(state, [])
-            )
-            signature = (block_of[state], rows)
-            if signature not in signatures:
-                signatures[signature] = len(signatures)
-            new_block_of[state] = signatures[signature]
-        if len(set(new_block_of.values())) == len(set(block_of.values())):
-            block_of = new_block_of
+            if dirty[i]:
+                packed = {
+                    addend + (block[ref1] + 1) * base
+                    for addend, ref1 in one_rows[i]
+                }
+                packed.update([
+                    addend + (block[ref1] + 1) * base + block[ref2] + 1
+                    for addend, ref1, ref2 in two_rows[i]
+                ])
+                packed.update(const_rows[i])
+                cached_sig[i] = signature_set = frozenset(packed)
+            else:
+                signature_set = cached_sig[i]
+            signature = (block[i], signature_set)
+            block_id = signatures.get(signature)
+            if block_id is None:
+                old = block[i]
+                if old not in claimed:
+                    claimed.add(old)
+                    block_id = old
+                else:
+                    block_id = next_fresh
+                    next_fresh += 1
+                signatures[signature] = block_id
+            new_block[i] = block_id
+        moved = [i for i in range(n) if new_block[i] != block[i]]
+        if not moved:
             break
-        block_of = new_block_of
+        dirty = bytearray(n)
+        for j in moved:
+            for i in rdeps[j]:
+                dirty[i] = 1
+        block = new_block
 
     # representatives: the repr-least state of each block
     representative: dict[int, State] = {}
-    for state in states:
-        representative.setdefault(block_of[state], state)
-    if len(representative) == len(states):
+    for i, state in enumerate(states):
+        representative.setdefault(block[i], state)
+    if len(representative) == n:
         return automaton  # nothing merged
+    rep_of = [representative[block[i]] for i in range(n)]
 
     def rep(state: State) -> State:
-        return representative[block_of[state]]
+        return rep_of[index[state]]
+
+    # The rewrite memo is keyed by object identity (actions are shared
+    # across rule guards, and hashing an id is far cheaper than hashing a
+    # dataclass); results are interned by value so equal rewrites from
+    # distinct source objects dedup to one object — which lets the rule
+    # buckets below dedup on ids too.  ``keep`` pins the keyed objects so
+    # no id is reused while the memo is alive.
+    rewritten_by_id: dict[int, Hashable] = {}
+    interned: dict = {}
+    keep: list = []
 
     def rewrite(action):
+        cached = rewritten_by_id.get(id(action))
+        if cached is not None:
+            return cached
         if isinstance(action, Move):
-            return Move(action.direction, rep(action.target))
-        if isinstance(action, Place):
-            return Place(rep(action.target))
-        if isinstance(action, Pick):
-            return Pick(rep(action.target))
-        if isinstance(action, Branch2):
-            return Branch2(rep(action.left), rep(action.right))
-        return action
+            cached = Move(action.direction, rep(action.target))
+        elif isinstance(action, Place):
+            cached = Place(rep(action.target))
+        elif isinstance(action, Pick):
+            cached = Pick(rep(action.target))
+        elif isinstance(action, Branch2):
+            cached = Branch2(rep(action.left), rep(action.right))
+        else:
+            cached = action
+        cached = interned.setdefault(cached, cached)
+        rewritten_by_id[id(action)] = cached
+        keep.append(action)
+        return cached
 
     levels = [
         sorted(
@@ -109,14 +207,13 @@ def quotient_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:
     rules: dict = {}
     for (symbol, state, bits), actions in automaton.rules.items():
         key = (symbol, rep(state), bits)
-        bucket = rules.setdefault(key, [])
+        bucket = rules.setdefault(key, {})
         for action in actions:
             rewritten = rewrite(action)
-            if rewritten not in bucket:
-                bucket.append(rewritten)
-    return PebbleAutomaton(
+            bucket[id(rewritten)] = rewritten
+    return PebbleAutomaton._trusted(
         alphabet=automaton.alphabet,
         levels=levels,
         initial=rep(automaton.initial),
-        rules={key: tuple(actions) for key, actions in rules.items()},
+        rules={key: tuple(bucket.values()) for key, bucket in rules.items()},
     )

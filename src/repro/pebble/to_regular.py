@@ -642,17 +642,27 @@ def trim_pebble_automaton(automaton: PebbleAutomaton) -> PebbleAutomaton:
     for index, level in enumerate(levels):
         if not level:
             levels[index] = [("_dead", index)]
+    # per-action keep decisions are cached by object identity: product
+    # automata share one action object across many guards, and an id
+    # lookup skips re-hashing the dataclass (the rule table pins the
+    # objects, so ids are stable).
+    keep_cache: dict[int, bool] = {}
+
+    def keep(action) -> bool:
+        kept = keep_cache.get(id(action))
+        if kept is None:
+            kept = keep_cache[id(action)] = (
+                not isinstance(action, (Move, Place, Pick, Branch2))
+                or _targets_reachable(action, reachable)
+            )
+        return kept
+
     rules = {
-        key: tuple(
-            action
-            for action in actions
-            if not isinstance(action, (Move, Place, Pick, Branch2))
-            or _targets_reachable(action, reachable)
-        )
+        key: tuple(action for action in actions if keep(action))
         for key, actions in automaton.rules.items()
         if key[1] in reachable
     }
-    return PebbleAutomaton(
+    return PebbleAutomaton._trusted(
         alphabet=automaton.alphabet,
         levels=levels,
         initial=automaton.initial,

@@ -29,8 +29,8 @@ relations therefore recognizes ``inst(A)``.
 from __future__ import annotations
 
 from collections import deque
-from itertools import product as cartesian
 
+from repro.automata.bitset import bit_indices
 from repro.automata.bottom_up import BottomUpTA
 from repro.errors import PebbleMachineError
 from repro.pebble.automaton import PebbleAutomaton
@@ -39,10 +39,13 @@ from repro.pebble.transducer import Branch0, Branch2, Move, Pick, Place
 #: Direction tags for exit obligations.
 NONE, LEFT, RIGHT = -1, 0, 1
 
-#: A summary pair: (state, direction tag, exit obligations).
-Pair = tuple[object, int, frozenset]
+#: A summary pair (q, d, E) is packed into one integer: the exit-set
+#: bitmask E shifted left, the interned state index q, and the direction
+#: tag d+1 in the low bits.  Packing keeps relations (frozensets of pairs)
+#: cheap to hash and compare in the closure's hot loop.
+Pair = int
 
-#: A relation: a frozenset of subsumption-minimal pairs.
+#: A relation: a frozenset of subsumption-minimal packed pairs.
 Relation = frozenset
 
 
@@ -67,8 +70,49 @@ def _merge_dir(d1: int, d2: int) -> int | None:
     return None
 
 
+class _StateTable:
+    """Interns walking states to dense indices and packs summary pairs.
+
+    ``pack(q_index, d, exits_mask)`` produces the integer
+    ``(exits_mask << shift) | (q_index << 2) | (d + 1)`` where ``shift``
+    is wide enough for every state index; masks are over state indices.
+    """
+
+    def __init__(self, automaton: PebbleAutomaton) -> None:
+        order: list[object] = []
+        index: dict[object, int] = {}
+
+        def intern(state: object) -> int:
+            state_id = index.get(state)
+            if state_id is None:
+                state_id = index[state] = len(order)
+                order.append(state)
+            return state_id
+
+        intern(automaton.initial)
+        for (_, state, _), actions in automaton.rules.items():
+            intern(state)
+            for action in actions:
+                if isinstance(action, Branch2):
+                    intern(action.left)
+                    intern(action.right)
+                elif isinstance(action, Move):
+                    intern(action.target)
+        self.order = order
+        self.index = index
+        self.shift = 2 + max(1, len(order)).bit_length()
+
+    def pack(self, q_index: int, direction: int, exits_mask: int) -> int:
+        return (exits_mask << self.shift) | (q_index << 2) | (direction + 1)
+
+    def unpack(self, pair: int) -> tuple[int, int, int]:
+        return (pair >> 2) & ((1 << (self.shift - 2)) - 1), (
+            pair & 3
+        ) - 1, pair >> self.shift
+
+
 class _PairSet:
-    """A set of pairs with subsumption-minimal insertion.
+    """A set of packed pairs with subsumption-minimal insertion.
 
     ``(q, d, E)`` is subsumed by ``(q, d', E')`` when ``E' ⊆ E`` and
     ``d'`` is ``none`` or equal to ``d`` — the subsuming pair is usable
@@ -76,43 +120,36 @@ class _PairSet:
     """
 
     def __init__(self) -> None:
-        self.by_state: dict[object, list[tuple[int, frozenset]]] = {}
+        self.by_state: dict[int, list[tuple[int, int]]] = {}
 
-    def add(self, state: object, direction: int, exits: frozenset) -> bool:
+    def add(self, state: int, direction: int, exits: int) -> bool:
         bucket = self.by_state.setdefault(state, [])
         for d2, e2 in bucket:
-            if e2 <= exits and (d2 == NONE or d2 == direction):
+            if e2 & exits == e2 and (d2 == NONE or d2 == direction):
                 return False  # subsumed by an existing pair
         bucket[:] = [
             (d2, e2)
             for d2, e2 in bucket
-            if not (exits <= e2 and (direction == NONE or direction == d2))
+            if not (
+                exits & e2 == exits
+                and (direction == NONE or direction == d2)
+            )
         ]
         bucket.append((direction, exits))
         return True
 
-    def pairs(self) -> list[Pair]:
-        return [
-            (state, direction, exits)
-            for state, bucket in self.by_state.items()
-            for direction, exits in bucket
-        ]
-
-    def frozen(self) -> Relation:
-        return frozenset(self.pairs())
-
 
 def _discharge(
-    obligations: frozenset, derived: _PairSet
-) -> list[tuple[int, frozenset]]:
+    obligations: int, derived: _PairSet
+) -> list[tuple[int, int]]:
     """All ways to derive every obligation at the current node, returning
-    the combined (direction, exits) alternatives (subsumption-pruned)."""
-    options: list[tuple[int, frozenset]] = [(NONE, frozenset())]
-    for needed in obligations:
+    the combined (direction, exits mask) alternatives (pruned)."""
+    options: list[tuple[int, int]] = [(NONE, 0)]
+    for needed in bit_indices(obligations):
         bucket = derived.by_state.get(needed)
         if not bucket:
             return []
-        new_options: list[tuple[int, frozenset]] = []
+        new_options: list[tuple[int, int]] = []
         for d1, e1 in options:
             for d2, e2 in bucket:
                 merged = _merge_dir(d1, d2)
@@ -127,23 +164,60 @@ def _discharge(
     return options
 
 
-_EMPTY = frozenset()
+class _SymbolOps:
+    """Per-symbol transitions, indexed for semi-naive fixpoint evaluation.
+
+    ``base`` holds the unconditional conclusions (Branch0 and up-moves);
+    ``stay``/``branch2`` index the dependent rules by the state whose new
+    pairs trigger them; ``down`` lists the child queries.
+    """
+
+    __slots__ = ("base", "stay", "branch2", "down", "closure")
+
+    def __init__(self) -> None:
+        self.base: list[tuple[int, int, int]] = []
+        self.stay: dict[int, list[int]] = {}
+        self.branch2: dict[int, list[tuple[int, int]]] = {}
+        self.down: list[tuple[int, int, int]] = []
+        #: lazily computed fixpoint of the base facts alone (no child
+        #: contributions) — every node with this symbol starts from it.
+        self.closure: _PairSet | None = None
 
 
-def _prepare_rules(automaton: PebbleAutomaton) -> dict[str, list[tuple]]:
-    """Pre-index the transitions by symbol as flat opcode tuples."""
-    prepared: dict[str, list[tuple]] = {}
+def _prepare_rules(
+    automaton: PebbleAutomaton, table: _StateTable
+) -> dict[str, _SymbolOps]:
+    """Pre-index the transitions by symbol over interned state indices."""
+    index = table.index
+    prepared: dict[str, _SymbolOps] = {}
     for (symbol, state, bits), actions in automaton.rules.items():
         if bits != ():  # pragma: no cover - guarded by is_walking
             raise PebbleMachineError("walking automata have no pebble guards")
-        ops = prepared.setdefault(symbol, [])
+        ops = prepared.get(symbol)
+        if ops is None:
+            ops = prepared[symbol] = _SymbolOps()
+        state_id = index[state]
         for action in actions:
             if isinstance(action, Branch0):
-                ops.append(("b0", state))
+                ops.base.append((state_id, NONE, 0))
             elif isinstance(action, Branch2):
-                ops.append(("b2", state, action.left, action.right))
+                left, right = index[action.left], index[action.right]
+                ops.branch2.setdefault(left, []).append((state_id, right))
+                if right != left:
+                    # merge/| are symmetric, so one registration suffices
+                    # when both branches read the same state.
+                    ops.branch2.setdefault(right, []).append((state_id, left))
             elif isinstance(action, Move):
-                ops.append((action.direction, state, action.target))
+                direction, target = action.direction, index[action.target]
+                if direction == "stay":
+                    ops.stay.setdefault(target, []).append(state_id)
+                elif direction == "up-left":
+                    ops.base.append((state_id, LEFT, 1 << target))
+                elif direction == "up-right":
+                    ops.base.append((state_id, RIGHT, 1 << target))
+                else:  # down-left / down-right
+                    side = 0 if direction == "down-left" else 1
+                    ops.down.append((side, state_id, target))
             else:  # pragma: no cover - guarded by is_walking
                 raise PebbleMachineError(
                     "summary construction requires a walking automaton"
@@ -151,74 +225,141 @@ def _prepare_rules(automaton: PebbleAutomaton) -> dict[str, list[tuple]]:
     return prepared
 
 
-def _entry_states(automaton: PebbleAutomaton) -> frozenset:
+def _entry_mask(automaton: PebbleAutomaton, table: _StateTable) -> int:
     """States a *parent* node can query in a child's relation: down-move
     targets, plus the initial state (queried at the root).  Restricting
     relations to these entries collapses many otherwise-distinct summary
     states."""
-    entries = {automaton.initial}
+    mask = 1 << table.index[automaton.initial]
     for actions in automaton.rules.values():
         for action in actions:
             if isinstance(action, Move) and action.direction.startswith("down"):
-                entries.add(action.target)
-    return frozenset(entries)
+                mask |= 1 << table.index[action.target]
+    return mask
 
 
 def _node_relation(
-    prepared: dict[str, list[tuple]],
+    prepared: dict[str, _SymbolOps],
+    table: _StateTable,
     symbol: str,
-    children: tuple[Relation, Relation] | None,
-    entries: frozenset | None = None,
+    children: tuple[dict, dict] | None,
+    entry_mask: int | None = None,
 ) -> Relation:
-    """The summary relation at a node, by least fixpoint."""
-    derived = _PairSet()
-    by_state = derived.by_state
-    ops = prepared.get(symbol, ())
-    # pre-resolve the children's usable pairs, grouped by entry state
-    down: tuple[dict, dict] | None = None
-    if children is not None:
-        grouped: list[dict] = [{}, {}]
-        for side, relation in enumerate(children):
-            for q, direction, exits in relation:
-                if direction == NONE or direction == side:
-                    grouped[side].setdefault(q, []).append(exits)
-        down = (grouped[0], grouped[1])
+    """The summary relation at a node (packed pairs), by least fixpoint.
 
-    changed = True
-    while changed:
-        changed = False
-        for op in ops:
-            kind = op[0]
-            if kind == "b0":
-                changed |= derived.add(op[1], NONE, _EMPTY)
-            elif kind == "stay":
-                for d1, e1 in list(by_state.get(op[2], ())):
-                    changed |= derived.add(op[1], d1, e1)
-            elif kind == "up-left":
-                changed |= derived.add(op[1], LEFT, frozenset([op[2]]))
-            elif kind == "up-right":
-                changed |= derived.add(op[1], RIGHT, frozenset([op[2]]))
-            elif kind == "b2":
-                for d1, e1 in list(by_state.get(op[2], ())):
-                    for d2, e2 in list(by_state.get(op[3], ())):
-                        merged = _merge_dir(d1, d2)
-                        if merged is not None:
-                            changed |= derived.add(op[1], merged, e1 | e2)
-            else:  # down-left / down-right
-                if down is None:
-                    continue
-                side = 0 if kind == "down-left" else 1
-                for exits in down[side].get(op[2], ()):
-                    if exits:
-                        for direction, combined in _discharge(exits, derived):
-                            changed |= derived.add(op[1], direction, combined)
-                    else:
-                        changed |= derived.add(op[1], NONE, _EMPTY)
-    if entries is None:
-        return derived.frozen()
+    ``children`` is ``(left_down, right_down)``: the left child's side-0
+    and the right child's side-1 grouping from :func:`_down_view` — or
+    ``None`` at a leaf.
+
+    Evaluated semi-naively: unconditional conclusions seed a worklist, and
+    each new pair re-fires only the rules indexed on its state (the
+    subsumption-minimal fixpoint is unique, so the evaluation order does
+    not affect the result).
+    """
+    ops = prepared.get(symbol)
+    if ops is None:
+        return frozenset()
+
+    # The closure of the base facts under stay/branch2 is the same at
+    # every node with this symbol; compute it once and start each node's
+    # fixpoint from a copy (semi-naive evaluation is insensitive to
+    # whether those facts arrive pre-closed or through the worklist).
+    closure = ops.closure
+    if closure is None:
+        closure = ops.closure = _PairSet()
+        seed_pending: deque[tuple[int, int, int]] = deque()
+        seed_add = closure.add
+        for state, direction, exits in ops.base:
+            if seed_add(state, direction, exits):
+                seed_pending.append((state, direction, exits))
+        _saturate(ops, closure, seed_pending, {})
+
+    if children is None:
+        derived = closure  # leaves add nothing; read-only below
+    else:
+        derived = _PairSet()
+        derived.by_state = {
+            state: bucket[:] for state, bucket in closure.by_state.items()
+        }
+        add = derived.add
+        pending: deque[tuple[int, int, int]] = deque()
+
+        # waiters[u]: down-rule instances blocked on state u being newly
+        # derivable.  Obligations already dischargeable from the base
+        # closure fire immediately (the worklist no longer replays the
+        # base facts, so registration alone would miss them).
+        waiters: dict[int, list[tuple[int, int]]] = {}
+        for side, target, child_state in ops.down:
+            for exits in children[side].get(child_state, ()):
+                if exits:
+                    instance = (target, exits)
+                    for needed in bit_indices(exits):
+                        waiters.setdefault(needed, []).append(instance)
+                    for merged, combined in _discharge(exits, derived):
+                        if add(target, merged, combined):
+                            pending.append((target, merged, combined))
+                elif add(target, NONE, 0):
+                    pending.append((target, NONE, 0))
+        _saturate(ops, derived, pending, waiters)
+
+    by_state = derived.by_state
+    pack = table.pack
+    if entry_mask is None:
+        return frozenset(
+            pack(state, direction, exits)
+            for state, bucket in by_state.items()
+            for direction, exits in bucket
+        )
     return frozenset(
-        pair for pair in derived.pairs() if pair[0] in entries
+        pack(state, direction, exits)
+        for state, bucket in by_state.items()
+        if (entry_mask >> state) & 1
+        for direction, exits in bucket
     )
+
+
+def _saturate(
+    ops: _SymbolOps,
+    derived: _PairSet,
+    pending: deque,
+    waiters: dict[int, list[tuple[int, int]]],
+) -> None:
+    """Run the semi-naive worklist to fixpoint (mutates ``derived``)."""
+    stay, branch2 = ops.stay, ops.branch2
+    by_state = derived.by_state
+    add = derived.add
+    while pending:
+        state, direction, exits = pending.popleft()
+        for target in stay.get(state, ()):
+            if add(target, direction, exits):
+                pending.append((target, direction, exits))
+        for target, other in branch2.get(state, ()):
+            for d2, e2 in list(by_state.get(other, ())):
+                merged = _merge_dir(direction, d2)
+                if merged is not None:
+                    combined = exits | e2
+                    if add(target, merged, combined):
+                        pending.append((target, merged, combined))
+        for target, obligations in waiters.get(state, ()):
+            for merged, combined in _discharge(obligations, derived):
+                if add(target, merged, combined):
+                    pending.append((target, merged, combined))
+
+
+def _down_view(relation: Relation, table: _StateTable) -> tuple[dict, dict]:
+    """A relation's usable pairs grouped by entry state, per child side:
+    side 0 keeps pairs with direction ``none`` or ``left``, side 1 those
+    with ``none`` or ``right``."""
+    grouped: tuple[dict, dict] = ({}, {})
+    unpack = table.unpack
+    for pair in relation:
+        q, direction, exits = unpack(pair)
+        if direction == NONE:
+            grouped[0].setdefault(q, []).append(exits)
+            grouped[1].setdefault(q, []).append(exits)
+        else:
+            grouped[direction].setdefault(q, []).append(exits)
+    return grouped
 
 
 def walking_automaton_to_ta(
@@ -240,46 +381,91 @@ def walking_automaton_to_ta(
             "place/pick"
         )
     alphabet = automaton.alphabet
-    prepared = _prepare_rules(automaton)
-    entries = _entry_states(automaton) if filter_entries else None
-    leaf_rules: dict[str, set] = {}
-    rules: dict[tuple[str, Relation, Relation], set] = {}
-    known: set[Relation] = set()
-    queue: deque[Relation] = deque()
+    table = _StateTable(automaton)
+    prepared = _prepare_rules(automaton, table)
+    entry_mask = _entry_mask(automaton, table) if filter_entries else None
+    # relations are interned to dense ids; views[rid] caches the per-side
+    # groupings of relation rid so each is computed once, not per product.
+    relation_ids: dict[Relation, int] = {}
+    views: list[tuple[dict, dict]] = []
+    leaf_rules: dict[str, set[int]] = {}
+    rules: dict[tuple[str, int, int], set[int]] = {}
+    queue: deque[int] = deque()
+
+    # The fixpoint at (symbol, left, right) only reads the children's exit
+    # options for that symbol's down-move targets, so product cells whose
+    # child views agree on that projection yield the same relation.  keys
+    # caches the per-rid per-symbol projections, results the fixpoints.
+    internals = sorted(alphabet.internals)
+    down_states: dict[str, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+    for symbol in internals:
+        ops = prepared.get(symbol)
+        down = ops.down if ops is not None else ()
+        down_states[symbol] = (
+            tuple(sorted({c for side, _, c in down if side == 0})),
+            tuple(sorted({c for side, _, c in down if side == 1})),
+        )
+    keys: list[dict[str, tuple[tuple, tuple]]] = []
+    results: dict[tuple, Relation] = {}
+
+    def intern(relation: Relation) -> int:
+        rid = relation_ids.get(relation)
+        if rid is None:
+            rid = relation_ids[relation] = len(views)
+            view = _down_view(relation, table)
+            views.append(view)
+            keys.append({
+                symbol: (
+                    tuple(
+                        (q, tuple(sorted(view[0].get(q, ()))))
+                        for q in wanted[0]
+                    ),
+                    tuple(
+                        (q, tuple(sorted(view[1].get(q, ()))))
+                        for q in wanted[1]
+                    ),
+                )
+                for symbol, wanted in down_states.items()
+            })
+            queue.append(rid)
+        return rid
 
     for symbol in sorted(alphabet.leaves):
-        relation = _node_relation(prepared, symbol, None, entries)
-        leaf_rules[symbol] = {relation}
-        if relation not in known:
-            known.add(relation)
-            queue.append(relation)
+        relation = _node_relation(prepared, table, symbol, None, entry_mask)
+        leaf_rules[symbol] = {intern(relation)}
 
-    processed: set[Relation] = set()
+    processed: list[int] = []
     while queue:
         current = queue.popleft()
-        processed.add(current)
-        for symbol in sorted(alphabet.internals):
+        processed.append(current)
+        for symbol in internals:
             for other in list(processed):
                 for left, right in ((current, other), (other, current)):
                     key = (symbol, left, right)
                     if key in rules:
                         continue
-                    relation = _node_relation(
-                        prepared, symbol, (left, right), entries
+                    shared = (
+                        symbol, keys[left][symbol][0], keys[right][symbol][1]
                     )
-                    rules[key] = {relation}
-                    if relation not in known:
-                        known.add(relation)
-                        queue.append(relation)
+                    relation = results.get(shared)
+                    if relation is None:
+                        relation = results[shared] = _node_relation(
+                            prepared,
+                            table,
+                            symbol,
+                            (views[left][0], views[right][1]),
+                            entry_mask,
+                        )
+                    rules[key] = {intern(relation)}
 
-    accepting = {
-        relation
-        for relation in known
-        if (automaton.initial, NONE, frozenset()) in relation
-    }
+    # acceptance: the packed pair (q0, none, no exits) at the root
+    root_pair = table.pack(table.index[automaton.initial], NONE, 0)
+    accepting = [
+        rid for relation, rid in relation_ids.items() if root_pair in relation
+    ]
     return BottomUpTA(
         alphabet=alphabet,
-        states=known,
+        states=range(len(views)),
         leaf_rules=leaf_rules,
         rules=rules,
         accepting=accepting,

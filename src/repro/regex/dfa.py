@@ -20,6 +20,21 @@ from repro.regex.syntax import Complement, Intersect, Regex, Sym
 from repro.runtime.cache import memoized
 
 
+def reference_algebra_enabled() -> bool:
+    """The ``REPRO_REFERENCE_ALGEBRA`` flag (imported lazily: the regex
+    package is pulled in while ``repro.automata`` is still initializing)."""
+    from repro.automata.bitset import reference_algebra_enabled as enabled
+
+    return enabled()
+
+
+def _reference():
+    """The frozenset oracle module (imported lazily to avoid a cycle)."""
+    from repro.automata import reference
+
+    return reference
+
+
 @dataclass(frozen=True)
 class DFA:
     """A complete DFA.
@@ -109,12 +124,24 @@ class DFA:
 
     def accepted_words(self, max_length: int) -> Iterable[list[str]]:
         """Yield all accepted words of length up to ``max_length``
-        in length-lexicographic order."""
+        in length-lexicographic order.
+
+        The frontier grows as ``|alphabet| ** max_length``; the loop
+        polls the ambient governor's cancellation/deadline (without
+        counting steps) so enumeration stays cooperative."""
+        from repro.runtime.governor import current_governor
+
+        governor = current_governor()
         symbols = sorted(self.alphabet)
         frontier: list[tuple[list[str], int]] = [([], self.start)]
+        pending = 1024
         for _ in range(max_length + 1):
             next_frontier: list[tuple[list[str], int]] = []
             for word, state in frontier:
+                pending -= 1
+                if pending <= 0:
+                    pending = 1024
+                    governor.check()
                 if state in self.accepting:
                     yield word
                 for symbol in symbols:
@@ -137,6 +164,8 @@ class DFA:
 
     def product(self, other: "DFA", combine: Callable[[bool, bool], bool]) -> "DFA":
         """Product construction; ``combine`` decides acceptance."""
+        if reference_algebra_enabled():
+            return _reference().dfa_product(self, other, combine)
         table = tuple(
             combine(a, b) for a in (False, True) for b in (False, True)
         )
@@ -152,32 +181,53 @@ class DFA:
     ) -> "DFA":
         if self.alphabet != other.alphabet:
             raise RegexError("product requires identical alphabets")
-        index: dict[tuple[int, int], int] = {}
+        symbols = sorted(self.alphabet)
+        nb = other.n_states
+        # per-symbol dense successor arrays for both factors
+        mine = {
+            symbol: [self.delta[(s, symbol)] for s in range(self.n_states)]
+            for symbol in symbols
+        }
+        theirs = {
+            symbol: [other.delta[(s, symbol)] for s in range(nb)]
+            for symbol in symbols
+        }
+        my_acc = 0
+        for s in self.accepting:
+            my_acc |= 1 << s
+        their_acc = 0
+        for s in other.accepting:
+            their_acc |= 1 << s
+        # pair (a, b) is encoded as a * nb + b and interned to a dense id
+        index: dict[int, int] = {}
+        codes: list[int] = []
         delta: dict[tuple[int, str], int] = {}
         accepting: set[int] = set()
-        queue = deque()
+        queue: deque[int] = deque()
 
-        def intern(pair: tuple[int, int]) -> int:
-            if pair not in index:
-                index[pair] = len(index)
-                queue.append(pair)
-                if combine(pair[0] in self.accepting, pair[1] in other.accepting):
-                    accepting.add(index[pair])
-            return index[pair]
+        def intern(code: int) -> int:
+            state = index.get(code)
+            if state is None:
+                state = index[code] = len(codes)
+                codes.append(code)
+                queue.append(code)
+                a, b = divmod(code, nb)
+                if combine(bool((my_acc >> a) & 1), bool((their_acc >> b) & 1)):
+                    accepting.add(state)
+            return state
 
-        start = intern((self.start, other.start))
+        start = intern(self.start * nb + other.start)
         while queue:
-            pair = queue.popleft()
-            state = index[pair]
-            for symbol in self.alphabet:
-                succ = (
-                    self.delta[(pair[0], symbol)],
-                    other.delta[(pair[1], symbol)],
+            code = queue.popleft()
+            state = index[code]
+            a, b = divmod(code, nb)
+            for symbol in symbols:
+                delta[(state, symbol)] = intern(
+                    mine[symbol][a] * nb + theirs[symbol][b]
                 )
-                delta[(state, symbol)] = intern(succ)
         return DFA(
             alphabet=self.alphabet,
-            n_states=len(index),
+            n_states=len(codes),
             start=start,
             accepting=frozenset(accepting),
             delta=delta,
@@ -207,43 +257,55 @@ class DFA:
 
     def minimized(self) -> "DFA":
         """Moore partition-refinement minimization (reachable part only)."""
+        if reference_algebra_enabled():
+            return _reference().dfa_minimized(self)
         return memoized("dfa.minimized", (self,), self._minimized)
 
     def _minimized(self) -> "DFA":
         reachable = sorted(self.reachable_states())
         symbols = sorted(self.alphabet)
+        # dense view of the reachable part: position i is state reachable[i]
+        position = {state: i for i, state in enumerate(reachable)}
+        n = len(reachable)
+        succ = [
+            [position[self.delta[(state, symbol)]] for state in reachable]
+            for symbol in symbols
+        ]
+        acc_mask = 0
+        for state in self.accepting:
+            if state in position:
+                acc_mask |= 1 << position[state]
         # initial partition: accepting / non-accepting
-        block_of = {
-            state: (1 if state in self.accepting else 0) for state in reachable
-        }
+        block = [(acc_mask >> i) & 1 for i in range(n)]
         while True:
             signatures: dict[tuple, int] = {}
-            new_block_of: dict[int, int] = {}
-            for state in reachable:
+            new_block = [0] * n
+            for i in range(n):
                 signature = (
-                    block_of[state],
-                    tuple(block_of[self.delta[(state, s)]] for s in symbols),
+                    block[i],
+                    tuple(block[row[i]] for row in succ),
                 )
-                if signature not in signatures:
-                    signatures[signature] = len(signatures)
-                new_block_of[state] = signatures[signature]
-            if len(signatures) == len(set(block_of.values())):
-                block_of = new_block_of
+                block_id = signatures.get(signature)
+                if block_id is None:
+                    block_id = signatures[signature] = len(signatures)
+                new_block[i] = block_id
+            if len(signatures) == len(set(block)):
+                block = new_block
                 break
-            block_of = new_block_of
-        n_blocks = len(set(block_of.values()))
+            block = new_block
+        n_blocks = len(set(block))
         delta = {
-            (block_of[state], symbol): block_of[self.delta[(state, symbol)]]
-            for state in reachable
-            for symbol in symbols
+            (block[i], symbol): block[succ[si][i]]
+            for si, symbol in enumerate(symbols)
+            for i in range(n)
         }
         accepting = frozenset(
-            block_of[state] for state in reachable if state in self.accepting
+            block[i] for i in range(n) if (acc_mask >> i) & 1
         )
         return DFA(
             alphabet=self.alphabet,
             n_states=n_blocks,
-            start=block_of[self.start],
+            start=block[position[self.start]],
             accepting=accepting,
             delta=delta,
         )
@@ -268,6 +330,8 @@ class DFA:
 def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
     """Subset construction, producing a complete DFA over ``alphabet``."""
     alpha = frozenset(alphabet)
+    if reference_algebra_enabled():
+        return _reference().dfa_determinize(nfa, alpha)
     return memoized(
         "dfa.determinize",
         (nfa,),
@@ -277,25 +341,68 @@ def determinize(nfa: NFA, alphabet: Iterable[str]) -> DFA:
 
 
 def _determinize(nfa: NFA, alpha: frozenset[str]) -> DFA:
-    index: dict[frozenset[int], int] = {}
+    symbols = sorted(alpha)
+    n = nfa.n_states
+    # epsilon closure of every single state, as bitmasks, by fixpoint
+    closure = [(1 << s) for s in range(n)]
+    for state, targets in nfa.epsilon.items():
+        for target in targets:
+            closure[state] |= 1 << target
+    changed = True
+    while changed:
+        changed = False
+        for s in range(n):
+            mask = closure[s]
+            gathered = mask
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                gathered |= closure[low.bit_length() - 1]
+            if gathered != mask:
+                closure[s] = gathered
+                changed = True
+    # per-symbol one-step masks (before closure)
+    move: dict[str, list[int]] = {symbol: [0] * n for symbol in symbols}
+    for (state, symbol), targets in nfa.delta.items():
+        if symbol in move:
+            row = move[symbol]
+            for target in targets:
+                row[state] |= closure[target]
+    acc_mask = 0
+    for state in nfa.accepting:
+        acc_mask |= 1 << state
+
+    index: dict[int, int] = {}
     delta: dict[tuple[int, str], int] = {}
     accepting: set[int] = set()
-    queue: deque[frozenset[int]] = deque()
+    queue: deque[int] = deque()
 
-    def intern(states: frozenset[int]) -> int:
-        if states not in index:
-            index[states] = len(index)
-            queue.append(states)
-            if states & nfa.accepting:
-                accepting.add(index[states])
-        return index[states]
+    def intern(mask: int) -> int:
+        state_id = index.get(mask)
+        if state_id is None:
+            state_id = index[mask] = len(index)
+            queue.append(mask)
+            if mask & acc_mask:
+                accepting.add(state_id)
+        return state_id
 
-    start = intern(nfa.initial_states())
+    start_mask = 0
+    for state in nfa.initial_states():
+        start_mask |= 1 << state
+    start = intern(start_mask)
     while queue:
-        states = queue.popleft()
-        state_id = index[states]
-        for symbol in alpha:
-            delta[(state_id, symbol)] = intern(nfa.step(states, symbol))
+        mask = queue.popleft()
+        state_id = index[mask]
+        for symbol in symbols:
+            row = move[symbol]
+            succ = 0
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                succ |= row[low.bit_length() - 1]
+            delta[(state_id, symbol)] = intern(succ)
     return DFA(
         alphabet=alpha,
         n_states=len(index),

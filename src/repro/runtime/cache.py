@@ -92,18 +92,30 @@ def estimate_size(value: Any) -> int:
     once).  Used for the cache's bytes counter and eviction budget; the
     number is an estimate, not an accounting guarantee."""
     seen: set[int] = set()
+    seen_add = seen.add
+    getsizeof = sys.getsizeof
     total = 0
     stack = [value]
     while stack:
         obj = stack.pop()
-        if id(obj) in seen:
+        i = id(obj)
+        if i in seen:
             continue
-        seen.add(id(obj))
+        seen_add(i)
+        cls = obj.__class__
+        if cls is int or cls is str:  # leaf fast path (the common case)
+            total += getsizeof(obj)
+            continue
         try:
-            total += sys.getsizeof(obj)
+            total += getsizeof(obj)
         except TypeError:  # pragma: no cover - exotic objects
             total += 64
-        if isinstance(obj, dict):
+        if cls is dict:
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif cls in (list, tuple, set, frozenset):
+            stack.extend(obj)
+        elif isinstance(obj, dict):
             stack.extend(obj.keys())
             stack.extend(obj.values())
         elif isinstance(obj, (list, tuple, set, frozenset)):
@@ -135,28 +147,86 @@ def stable_repr(obj: Any) -> str:
     field, falling back to ``repr`` only for atoms whose ``repr`` is
     already deterministic (strings, numbers, ``None``).
     """
+    return _stable_repr(obj, _ReprMemo())
+
+
+#: Per-class cache of dataclass field names (``None`` for non-dataclasses).
+_DATACLASS_FIELDS: dict[type, Optional[tuple]] = {}
+
+
+class _ReprMemo:
+    """Memo for :func:`_stable_repr`, shareable across calls.
+
+    Hashable values are keyed by value, so equal-but-distinct objects
+    (e.g. the same product state rebuilt per rule) render once; an
+    ``id``-keyed front cache makes repeat lookups of the *same* object
+    skip value hashing (dataclass hashes are recomputed per lookup, which
+    dominates on interned rule tables).  Unhashable containers use the
+    ``id`` key only.  Every id-keyed object is pinned in ``keep`` so no
+    id is reused while the memo is alive."""
+
+    __slots__ = ("by_value", "by_id", "keep")
+
+    def __init__(self) -> None:
+        self.by_value: dict = {}
+        self.by_id: dict = {}
+        self.keep: list = []
+
+
+def _stable_repr(obj: Any, memo: _ReprMemo) -> str:
+    """:func:`stable_repr` worker; byte-identical to the naive recursion."""
     if isinstance(obj, (str, bytes, int, float, bool, type(None))):
         return repr(obj)
+    cached = memo.by_id.get(id(obj))
+    if cached is not None:
+        return cached
+    try:
+        cached = memo.by_value.get(obj)
+        hashable = True
+    except TypeError:
+        cached = None
+        hashable = False
+    if cached is not None:
+        memo.by_id[id(obj)] = cached
+        memo.keep.append(obj)
+        return cached
     if isinstance(obj, (frozenset, set)):
-        return "{" + ",".join(sorted(stable_repr(item) for item in obj)) + "}"
-    if isinstance(obj, tuple):
-        inner = ",".join(stable_repr(item) for item in obj)
-        return "(" + inner + ("," if len(obj) == 1 else "") + ")"
-    if isinstance(obj, list):
-        return "[" + ",".join(stable_repr(item) for item in obj) + "]"
-    if isinstance(obj, dict):
+        rendered = (
+            "{" + ",".join(sorted(_stable_repr(i, memo) for i in obj)) + "}"
+        )
+    elif isinstance(obj, tuple):
+        inner = ",".join(_stable_repr(i, memo) for i in obj)
+        rendered = "(" + inner + ("," if len(obj) == 1 else "") + ")"
+    elif isinstance(obj, list):
+        rendered = "[" + ",".join(_stable_repr(i, memo) for i in obj) + "]"
+    elif isinstance(obj, dict):
         items = sorted(
-            (stable_repr(key), stable_repr(value))
-            for key, value in obj.items()
+            (_stable_repr(k, memo), _stable_repr(v, memo))
+            for k, v in obj.items()
         )
-        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        rendered = "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    else:
+        cls = type(obj)
+        try:
+            names = _DATACLASS_FIELDS[cls]
+        except KeyError:
+            if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+                names = tuple(f.name for f in dataclasses.fields(obj))
+            else:
+                names = None
+            _DATACLASS_FIELDS[cls] = names
+        if names is None:
+            return repr(obj)
         inner = ",".join(
-            f"{field.name}={stable_repr(getattr(obj, field.name))}"
-            for field in dataclasses.fields(obj)
+            f"{name}={_stable_repr(getattr(obj, name), memo)}"
+            for name in names
         )
-        return f"{type(obj).__name__}({inner})"
-    return repr(obj)
+        rendered = f"{cls.__name__}({inner})"
+    if hashable:
+        memo.by_value[obj] = rendered
+    memo.by_id[id(obj)] = rendered
+    memo.keep.append(obj)
+    return rendered
 
 
 def _digest(tag: str, payload: Any) -> str:
@@ -207,6 +277,13 @@ def _compute_fingerprint(obj: Any, exact: bool) -> str:
         return _regex_fingerprint(obj)
     if isinstance(obj, PebbleAutomaton):
         return _pebble_fingerprint(obj)
+    from repro.automata.top_down import TopDownTA
+    from repro.pebble.transducer import PebbleTransducer
+
+    if isinstance(obj, PebbleTransducer):
+        return _transducer_fingerprint(obj)
+    if isinstance(obj, TopDownTA):
+        return _topdown_fingerprint(obj)
     raise TypeError(f"no structural fingerprint for {type(obj).__name__}")
 
 
@@ -223,23 +300,46 @@ def _ta_state_order(ta: Any) -> list:
     """
     order: dict[Any, int] = {}
     if ta.is_deterministic():
+        # Frontier-restricted discovery over the interned view.  Pairs of
+        # two already-known states were tried in an earlier round and can
+        # only re-yield already-numbered states, so skipping them changes
+        # nothing about the sequence of additions — the numbering is
+        # byte-identical to the naive known x known fixpoint.
+        from repro.automata.bitset import bit_indices, ta_index
+
+        idx = ta_index(ta)
+        states_by_i, intern, n = idx.order, idx.index, idx.n
         for symbol in sorted(ta.leaf_rules):
             for state in ta.leaf_rules[symbol]:  # singleton
                 if state not in order:
                     order[state] = len(order)
         internals = sorted(ta.alphabet.internals)
-        while True:
-            known = sorted(order, key=order.get)
-            grew = False
+        pair = idx.pair
+        known = [intern[state] for state in order]
+        new_ids = set(known)
+        while new_ids:
+            current = list(known)
+            fresh: list[int] = []
             for symbol in internals:
-                for left in known:
-                    for right in known:
-                        for state in ta.rules.get((symbol, left, right), ()):
+                row = pair.get(symbol)
+                if not row:
+                    continue
+                for left in current:
+                    left_new = left in new_ids
+                    base = left * n
+                    for right in current:
+                        if not left_new and right not in new_ids:
+                            continue
+                        tmask = row.get(base + right)
+                        if not tmask:
+                            continue
+                        for target in bit_indices(tmask):
+                            state = states_by_i[target]
                             if state not in order:
                                 order[state] = len(order)
-                                grew = True
-            if not grew:
-                break
+                                fresh.append(target)
+            known.extend(fresh)
+            new_ids = set(fresh)
     for state in sorted(ta.states - set(order), key=stable_repr):
         order[state] = len(order)
     return sorted(order, key=order.get)
@@ -334,18 +434,95 @@ def _regex_fingerprint(expr: Any) -> str:
     return _digest("re", tokens)
 
 
+def _guard_rows(rules: Any, memo: _ReprMemo) -> list:
+    """The sorted guard-table rows of a pebble rule set, rendered.
+
+    Rule keys are (symbol, state, bits) triples whose symbol/bits
+    components repeat heavily, so their tuple rendering is inlined here
+    (producing exactly the string :func:`_stable_repr` would).
+    """
+    render = _stable_repr
+    sym_cache: dict[str, str] = {}
+    bits_cache: dict[tuple, str] = {}
+    rows: list[tuple[str, list[str]]] = []
+    for (symbol, state, bits), actions in rules.items():
+        s = sym_cache.get(symbol)
+        if s is None:
+            s = sym_cache[symbol] = repr(symbol)
+        b = bits_cache.get(bits)
+        if b is None:
+            b = bits_cache[bits] = render(bits, memo)
+        rows.append((
+            f"({s},{render(state, memo)},{b})",
+            [render(action, memo) for action in actions],
+        ))
+    rows.sort()
+    return rows
+
+
 def _pebble_fingerprint(automaton: Any) -> str:
+    # One shared repr memo: the same (equal) state objects appear in
+    # thousands of rule keys and actions, so render each only once.
+    memo = _ReprMemo()
+    render = _stable_repr
+    rows = _guard_rows(automaton.rules, memo)
     payload = [
         sorted(automaton.alphabet.leaves),
         sorted(automaton.alphabet.internals),
-        [sorted(map(stable_repr, level)) for level in automaton.levels],
-        stable_repr(automaton.initial),
-        sorted(
-            (stable_repr(key), [stable_repr(action) for action in actions])
-            for key, actions in automaton.rules.items()
-        ),
+        [
+            sorted(render(state, memo) for state in level)
+            for level in automaton.levels
+        ],
+        render(automaton.initial, memo),
+        rows,
     ]
     return _digest("pa", payload)
+
+
+def _transducer_fingerprint(transducer: Any) -> str:
+    # State names are hashed exactly (no canonical renaming): operations
+    # keyed on a transducer build results that embed its state names, so
+    # a hit must never return an object made of someone else's states.
+    memo = _ReprMemo()
+    render = _stable_repr
+    rows = _guard_rows(transducer.rules, memo)
+    payload = [
+        sorted(transducer.input_alphabet.leaves),
+        sorted(transducer.input_alphabet.internals),
+        sorted(transducer.output_alphabet.leaves),
+        sorted(transducer.output_alphabet.internals),
+        [
+            sorted(render(state, memo) for state in level)
+            for level in transducer.levels
+        ],
+        render(transducer.initial, memo),
+        rows,
+    ]
+    return _digest("pt", payload)
+
+
+def _topdown_fingerprint(ta: Any) -> str:
+    # Top-down type automata are small (DTD-sized), so a plain exact
+    # rendering is cheap; like the transducer fingerprint, state names
+    # are part of the hash because product states embed them.
+    memo = _ReprMemo()
+    render = _stable_repr
+    payload = [
+        sorted(ta.alphabet.leaves),
+        sorted(ta.alphabet.internals),
+        sorted(render(state, memo) for state in ta.states),
+        render(ta.initial, memo),
+        sorted(render(pair, memo) for pair in ta.final),
+        sorted(
+            (render(key, memo), sorted(render(pair, memo) for pair in pairs))
+            for key, pairs in ta.transitions.items()
+        ),
+        sorted(
+            (render(key, memo), sorted(render(q, memo) for q in targets))
+            for key, targets in ta.silent.items()
+        ),
+    ]
+    return _digest("tda", payload)
 
 
 # ---------------------------------------------------------------------------

@@ -107,8 +107,9 @@ def typecheck_forward(
     """
     approximation = approximate_image(transducer)
     tau2 = as_automaton(output_type, transducer.output_alphabet)
-    leak = approximation.difference(tau2).trimmed()
-    witness = leak.witness()
+    # on-the-fly emptiness of approximation ∩ complement(tau2): finds a
+    # leak witness without materializing (or trimming) the product.
+    witness = approximation.product_witness(tau2.complemented())
     return ForwardResult(
         ok=witness is None,
         approximation_states=len(approximation.states),

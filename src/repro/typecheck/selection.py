@@ -197,8 +197,9 @@ def typecheck_selection(
     bindings = binding_type(input_dtd, path)
     element = as_automaton(element_type, bindings.alphabet)
     bindings = as_automaton(bindings, element.alphabet)
-    leak = bindings.difference(element).trimmed()
-    witness = leak.witness()
+    # on-the-fly emptiness of bindings ∩ complement(element) — no
+    # materialized difference automaton.
+    witness = bindings.product_witness(element.complemented())
     return SelectionResult(
         ok=witness is None,
         binding_types_states=len(bindings.states),

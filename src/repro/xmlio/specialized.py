@@ -128,11 +128,15 @@ class SpecializedDTD:
         models).  Deterministic order, suitable for the bounded
         typechecker.
         """
+        from repro.runtime.governor import current_governor
+
+        governor = current_governor()
         known: dict[str, list[UTree]] = {t: [] for t in self.types}
         seen: dict[str, set[UTree]] = {t: set() for t in self.types}
         dfas = {t: self.content_dfa(t) for t in self.types}
         emitted: set[UTree] = set()
         cap = max(8, limit)
+        pending = 1024
         for _ in range(max_depth):
             snapshot = {t: list(trees) for t, trees in known.items()}
             for type_name in sorted(self.types):
@@ -142,6 +146,12 @@ class SpecializedDTD:
                         continue
                     pools = [snapshot[t] for t in word]
                     for combo in itertools.product(*pools):
+                        # poll cooperatively: combination counts explode on
+                        # choice-heavy content models.
+                        pending -= 1
+                        if pending <= 0:
+                            pending = 1024
+                            governor.check()
                         candidate = UTree(self.tag_of[type_name], list(combo))
                         if candidate in seen[type_name]:
                             continue

@@ -31,7 +31,7 @@ def pathological_typecheck():
     """
     from repro.runtime.supervisor import JobSpec
 
-    def build(job_id: str, n: int = 8) -> JobSpec:
+    def build(job_id: str, n: int = 14) -> JobSpec:
         rules = ["r := " + ".".join(f"s{i}*" for i in range(n))]
         for i in range(n):
             rules.append(

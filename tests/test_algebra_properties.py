@@ -96,6 +96,37 @@ class TestDeterminizeKeepSubsets:
         assert all(isinstance(state, frozenset) for state in det.states)
         assert all(state <= original for state in det.states)
 
+    def test_subset_state_printed_form_is_pinned(self):
+        """Subset states render their members in the input automaton's
+        intern-table order — not frozenset iteration order, which
+        follows the per-process hash seed.  The printed form feeds
+        ``stable_repr`` (hence memo keys), so it is pinned here."""
+        ta = BottomUpTA(
+            alphabet=ALPHA,
+            states={"s1", "s0", "s2"},
+            leaf_rules={"a": {"s1", "s0"}, "b": {"s2"}},
+            rules={("f", "s0", "s2"): {"s1", "s2"}},
+            accepting={"s1"},
+        )
+        det = ta.determinized(keep_subsets=True)
+        assert sorted(map(repr, det.states)) == [
+            "{'s0', 's1'}",
+            "{'s1', 's2'}",
+            "{'s2'}",
+            "{}",
+        ]
+        # and the rendering ignores construction order of the automaton
+        # (the intern table is discovery-ordered, not insertion-ordered)
+        twin = BottomUpTA(
+            alphabet=ta.alphabet,
+            states={"s2", "s1", "s0"},
+            leaf_rules={"b": {"s2"}, "a": {"s0", "s1"}},
+            rules={("f", "s0", "s2"): {"s2", "s1"}},
+            accepting={"s1"},
+        )
+        assert sorted(map(repr, twin.determinized(keep_subsets=True).states)) \
+            == sorted(map(repr, det.states))
+
 
 class TestFingerprintStability:
     @given(automaton=AUTOMATA)
@@ -134,3 +165,91 @@ class TestFingerprintStability:
         assert fingerprint(automaton) == fingerprint(twin)
         assert fingerprint(automaton, exact=True) \
             != fingerprint(twin, exact=True)
+
+
+class TestGoldenFingerprints:
+    """Pinned digests: the renaming-invariant fingerprints are the memo
+    keys of every warm cache on disk, so their byte format is frozen.
+    If an intentional format change makes these fail, bump the digests
+    *and* accept that every persisted cache segment is invalidated."""
+
+    def _tau(self) -> BottomUpTA:
+        return BottomUpTA(
+            alphabet=ALPHA,
+            states={"ok"},
+            leaf_rules={"a": {"ok"}},
+            rules={(s, "ok", "ok"): {"ok"} for s in ("f", "g")},
+            accepting={"ok"},
+        )
+
+    def test_tree_automata_digests(self):
+        tau = self._tau()
+        assert fingerprint(tau) == "ta:55ae0c55bae9e3de76d37e963ca03b6a"
+        assert fingerprint(tau.minimized()) \
+            == "ta:00d0db502e24fcd642d34174a6e7a21d"
+        assert fingerprint(tau.complemented().minimized()) \
+            == "ta:6f4e4f110b648211b86fc83e54d4636e"
+
+    def test_regex_and_dfa_digests(self):
+        from repro.regex import compile_regex, concat, star, sym, union
+
+        expr = concat(star(union(sym("a"), sym("b"))), sym("a"))
+        assert fingerprint(expr) == "re:98d02a19242b98413d2303e22fbdb518"
+        dfa = compile_regex(expr, alphabet={"a", "b"})
+        assert fingerprint(dfa) == "dfa:02863bd184bf2354e55412fbc85a88bd"
+
+    def test_pebble_pipeline_digests(self):
+        from repro.lang import Apply, Out, Stylesheet, Template
+        from repro.lang import xslt_to_transducer
+        from repro.pebble import transducer_times_automaton
+        from repro.typecheck.engine import as_automaton, bu_to_td
+        from repro.xmlio import parse_dtd
+
+        sheet = Stylesheet([
+            Template("doc", [Out("D", [Apply()])]),
+            Template("sec", [Out("S", [Apply()])]),
+            Template("par", [Out("P")]),
+        ])
+        machine = xslt_to_transducer(
+            sheet, tags={"doc", "sec", "par"}, root_tag="doc"
+        )
+        assert fingerprint(machine) \
+            == "pt:698c507d448579e3d920059148f1242e"
+        tau2 = parse_dtd("D := S*\nS := P*\nP :=")
+        not_tau2 = bu_to_td(
+            as_automaton(tau2, machine.output_alphabet)
+            .complemented().trimmed()
+        )
+        assert fingerprint(not_tau2) \
+            == "tda:aa18570aa2cc80dcf27b8eaed56b31ba"
+        product = transducer_times_automaton(machine, not_tau2)
+        assert fingerprint(product) \
+            == "pa:a7f19d5ef8758d49f98993d265469efa"
+
+
+class TestBitsetReferenceFingerprints:
+    """The bitset core and the frozenset oracle must produce results
+    with *identical* fingerprints — that is what lets a warm cache
+    written under one representation be read under the other."""
+
+    @given(automaton=AUTOMATA)
+    @settings(max_examples=25, deadline=None)
+    def test_op_results_fingerprint_identically(self, automaton):
+        from repro.automata.bitset import reference_algebra
+        from repro.runtime import clear_cache
+
+        ops = [
+            lambda a: a.determinized(),
+            lambda a: a.minimized(),
+            lambda a: a.determinized().complemented(),
+            lambda a: a.trimmed(),
+        ]
+        for op in ops:
+            clear_cache()
+            with reference_algebra(False):
+                bit = fingerprint(op(automaton))
+            clear_cache()
+            with reference_algebra(True):
+                ora = fingerprint(op(automaton))
+            clear_cache()
+            assert bit == ora

@@ -325,9 +325,12 @@ class TestDegradation:
             RankedAlphabet(leaves={"a", "b"}, internals={"f", "g", "z"})
         )
         started = time.perf_counter()
+        # 0.2 ms: far below the cold pipeline's wall time (~1 ms), so
+        # the deadline reliably lapses mid-pipeline rather than racing
+        # completion.
         result = typecheck(
             machine, tau1, tau2, method="exact",
-            timeout=0.001, fallback=True,
+            timeout=0.0002, fallback=True,
         )
         elapsed = time.perf_counter() - started
         assert result.method == DEGRADED_METHOD
