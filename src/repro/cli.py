@@ -19,10 +19,12 @@ Usage::
                               [--recycle-jobs N] [--recycle-rss-mb M]
                               [--wall-limit S] [--rss-limit-mb M]
                               [--hydrate N] [--no-compact]
-                              [--faults plan.json]
+                              [--faults plan.json] [--max-backlog N]
+                              [--no-brownout] [--latency-budget S]
+                              [--client-timeout S]
     python -m repro submit    [manifest.jsonl] --socket PATH
-                              [--no-wait] [--timeout S]
-                              [--ping | --stats | --shutdown]
+                              [--no-wait] [--timeout S] [--deadline-ms MS]
+                              [--ping | --stats | --health | --shutdown]
 
 DTD files use either the paper's rule notation (``a := b*.c.e``) or
 classic ``<!ELEMENT ...>`` declarations (auto-detected); stylesheets use
@@ -38,15 +40,21 @@ left off.
 ``serve`` runs the long-lived typecheck daemon (see docs/service.md and
 :mod:`repro.runtime.service`): a pre-forked worker pool sharing one
 crash-safe on-disk memo cache under ``--dir``, listening on a unix
-socket.  ``submit`` sends manifest jobs to a running daemon (or, with
-``--ping`` / ``--stats`` / ``--shutdown``, manages it) and exits with
-the most severe job status, like ``batch``.
+socket, with admission control (``--max-backlog``) and a brownout load
+controller that degrades exact→bounded→shed under pressure.  ``submit``
+sends manifest jobs to a running daemon (or, with ``--ping`` /
+``--stats`` / ``--health`` / ``--shutdown``, manages it) and exits with
+the most severe job status, like ``batch``; ``--deadline-ms`` attaches a
+per-job end-to-end deadline the daemon enforces at admission and in
+queue.
 
 Exit codes (see :mod:`repro.errors`): 0 on success, 1 when
 typechecking/validation rejects, 2 on usage or input errors, 3 when a
 resource budget (``--timeout`` / ``--max-steps`` / ``--max-states``) was
 exhausted with no fallback, 4 when a worker crashed or was killed at a
-hard limit.  ``batch`` exits with the most severe job status.
+hard limit, 5 when an overloaded daemon shed the job without running it
+(retryable — back off and resubmit).  ``batch`` exits with the most
+severe job status.
 
 Observability (see docs/observability.md): ``--trace`` on ``run`` /
 ``typecheck`` / ``batch`` prints a span tree on stderr; ``--trace=FILE``
@@ -275,6 +283,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         hydrate_limit=args.hydrate,
         compact_on_start=args.compact,
         fault_plan=fault_plan,
+        max_backlog=args.max_backlog,
+        brownout=args.brownout,
+        latency_budget=args.latency_budget,
+        client_timeout=args.client_timeout,
     )
     daemon = ServiceDaemon(config)
     info = daemon.start()
@@ -313,18 +325,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(json.dumps(response.get("stats", response), indent=2,
                          sort_keys=True))
         return 0
+    if args.health:
+        from repro.errors import EXIT_SHED
+
+        response = client.health()
+        print(json.dumps(response, sort_keys=True))
+        # ready/degraded still serve; overloaded is the retryable signal
+        return EXIT_SHED if response.get("health") == "overloaded" else 0
     if args.shutdown:
         client.shutdown()
         print("submit: daemon draining", file=sys.stderr)
         return 0
     if not args.manifest:
         print("error: a manifest is required unless --ping/--stats/"
-              "--shutdown is given", file=sys.stderr)
+              "--health/--shutdown is given", file=sys.stderr)
         return 2
     specs = load_manifest(args.manifest)
     if not specs:
         print("error: empty manifest", file=sys.stderr)
         return 2
+    if args.deadline_ms is not None:
+        from dataclasses import replace as _replace
+
+        specs = [
+            _replace(spec, deadline_ms=args.deadline_ms) for spec in specs
+        ]
     statuses: list[str] = []
     deferred = 0
     for spec in specs:
@@ -377,9 +402,17 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive")
+    return value
+
+
 # argparse uses the converter's __name__ in its error messages
 _nonnegative_float.__name__ = "seconds"
 _nonnegative_int.__name__ = "count"
+_positive_float.__name__ = "seconds"
 
 
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
@@ -559,6 +592,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm a fault-injection plan in the daemon and its workers "
              "(chaos testing)",
     )
+    serve.add_argument(
+        "--max-backlog", type=_nonnegative_int, default=64, metavar="N",
+        help="per-worker queue cap: submissions beyond it are answered "
+             "'shed' instead of queued (admission control)",
+    )
+    serve.add_argument(
+        "--brownout", action=argparse.BooleanOptionalAction, default=True,
+        help="enable the brownout load controller (pressure levels "
+             "ready/tightened/bounded-only/shed-new; --no-brownout for "
+             "the fixed-budget behaviour)",
+    )
+    serve.add_argument(
+        "--latency-budget", type=_positive_float, default=2.0,
+        metavar="SECONDS",
+        help="p95 queue-latency budget the brownout controller defends",
+    )
+    serve.add_argument(
+        "--client-timeout", type=_positive_float, default=10.0,
+        metavar="SECONDS",
+        help="socket timeout for client connections (slow clients are "
+             "disconnected instead of pinning handler threads)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = commands.add_parser(
@@ -589,6 +644,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--stats", action="store_true",
         help="print the daemon's pool/cache/queue statistics and exit",
+    )
+    submit.add_argument(
+        "--health", action="store_true",
+        help="print the daemon's health (ready/degraded/overloaded) and "
+             "exit: 0 while serving, 5 when overloaded",
+    )
+    submit.add_argument(
+        "--deadline-ms", type=_positive_float, default=None, metavar="MS",
+        help="end-to-end deadline per job: the daemon sheds jobs it "
+             "cannot finish in time instead of starting them",
     )
     submit.add_argument(
         "--shutdown", action="store_true",

@@ -36,6 +36,18 @@ code  meaning
       ``repro submit`` — any job finishing
       ``crashed``/``timeout``/``oom``, including a submission
       fast-failed by an open circuit breaker
+5     the job was **shed** — refused or abandoned by an overloaded
+      daemon *without* being executed: the target worker's backlog was
+      at ``--max-backlog``, the brownout controller reached its
+      ``shed-new`` pressure level, the submission's ``--deadline-ms``
+      was smaller than the estimated cost of the job (shed reason
+      ``predicted-overrun``), or the deadline expired while the job
+      waited in queue (shed reason ``deadline-expired``).  Unlike
+      codes 2 and 4 this is *retryable by design*: nothing ran, no
+      worker was forked, and the same submission is expected to
+      succeed once load subsides — batch callers should back off and
+      resubmit.  ``repro submit --health`` also exits 5 when the
+      daemon reports ``overloaded``.
 ====  ==========================================================
 
 :func:`exit_code_for` implements the exception half of this table and is
@@ -51,6 +63,7 @@ EXIT_TYPE_ERROR = 1
 EXIT_USAGE = 2
 EXIT_EXHAUSTED = 3
 EXIT_CRASHED = 4
+EXIT_SHED = 5
 
 
 class ReproError(Exception):

@@ -62,6 +62,26 @@ config; exercised by the service chaos tests):
                        ``delay`` here wedges the worker so the daemon's
                        wall-limit SIGKILL + respawn path is exercised
 =====================  ===================================================
+
+Overload points (PR 8; exercised by the overload chaos suite):
+
+=========================  ================================================
+``pool:backlog-storm``     in the slot thread after dequeueing a job,
+                           before it executes — a ``delay`` here stalls
+                           consumption so a submit burst piles the backlog
+                           against ``max_backlog`` deterministically
+``job:deadline-expired``   same place, keyed by job id — a ``delay`` makes
+                           an admitted job's queue wait outlive its
+                           ``deadline_ms`` so the expiry answer path
+                           (``shed``/``deadline-expired``, no worker
+                           burned) is exercised
+``client:slow-read``       at the top of a client connection handler — a
+                           ``delay`` stalls the handler before it reads
+                           the request, the deterministic stand-in for a
+                           slow peer; real slow-loris clients (connect,
+                           never send) are bounded by the daemon's
+                           ``client_timeout`` socket timeout
+=========================  ================================================
 """
 
 from __future__ import annotations

@@ -39,10 +39,35 @@ __all__ = [
     "Deadline",
     "ResourceGovernor",
     "NULL_GOVERNOR",
+    "clamp_timeout",
     "current_governor",
     "governed",
     "make_governor",
 ]
+
+
+def clamp_timeout(
+    timeout: Optional[float],
+    remaining: Optional[float],
+    *,
+    headroom: float = 0.8,
+) -> Optional[float]:
+    """Clamp a cooperative ``timeout`` to a propagated deadline.
+
+    ``remaining`` is the seconds left on an end-to-end deadline (e.g. a
+    ``deadline_ms`` carried through the service protocol).  The returned
+    timeout never exceeds ``headroom * remaining`` — the headroom keeps
+    the *cooperative* deadline firing before any hard wall kill at
+    ``remaining``, so an over-deadline job exhausts diagnosably instead
+    of being SIGKILLed into an opaque ``timeout``.  ``None`` inputs mean
+    "unbounded" on that side; with both unset the result stays ``None``.
+    """
+    if remaining is None:
+        return timeout
+    clamped = max(remaining, 0.0) * headroom
+    if timeout is None:
+        return clamped
+    return min(float(timeout), clamped)
 
 
 @dataclass(frozen=True)

@@ -111,6 +111,18 @@ def execute_job(payload: Mapping) -> dict:
     params = payload.get("params") or {}
     if not isinstance(params, Mapping):
         raise SupervisorError("job 'params' must be a mapping")
+    deadline = payload.get("deadline_seconds")
+    if deadline is not None and kind in ("typecheck", "run"):
+        # a propagated end-to-end deadline tightens the job's own
+        # cooperative timeout (the params install the worker's ambient
+        # governor, so this is how the deadline reaches the hot loops);
+        # headroom keeps the governor firing before the hard wall kill.
+        from repro.runtime.governor import clamp_timeout
+
+        params = dict(params)
+        params["timeout"] = clamp_timeout(
+            params.get("timeout"), float(deadline)
+        )
     if kind == "typecheck":
         return _job_typecheck(params)
     if kind == "run":

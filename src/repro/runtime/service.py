@@ -41,12 +41,31 @@ supervision guarantees and adds the warmth:
   in-flight jobs, answers queued-but-unstarted waiters with a
   ``deferred`` acknowledgement (their jobs stay journaled and run on the
   next start), flushes cache segments, retires the pool, and exits 0.
+* **Admission control and brownout (PR 8).**  Queues are bounded: a slot
+  whose backlog is at ``max_backlog`` answers ``shed`` instead of
+  queueing forever, and a submission carrying ``deadline_ms`` is shed
+  up-front when the :class:`_CostEstimator`'s persistent EWMA history
+  predicts the job cannot finish in time (``predicted-overrun``), or
+  while it waits in queue once the deadline passes
+  (``deadline-expired``) — in every shed case *nothing executes* and no
+  worker is burned.  A :class:`_LoadController` samples queue depth and
+  p95 queue latency and steps the daemon through pressure levels
+  (``ready`` → ``tightened`` → ``bounded-only`` → ``shed-new``):
+  under pressure cooperative budgets are tightened, exact typechecking
+  degrades to the bounded falsifier (the cheap tier the paper's
+  Section 5 licenses for rejection), and at the top level new work is
+  shed outright.  The ``health`` verb reports
+  ``ready``/``degraded``/``overloaded`` for load balancers, and slow
+  clients are bounded by a socket timeout instead of pinning handler
+  threads.
 
 Wire protocol (unix socket, one JSON line request → one JSON line
 response per connection)::
 
     {"op": "ping"}                           → {"ok": true, "pid": ...}
     {"op": "stats"}                          → {"ok": true, "stats": {...}}
+    {"op": "health"}                         → {"ok": true, "health": ...,
+                                                "pressure": {...}}
     {"op": "submit", "job": {...JobSpec...},
      "wait": true}                           → {"ok": true, "result": {...}}
     {"op": "shutdown"}                       → {"ok": true, "draining": true}
@@ -65,10 +84,10 @@ import signal
 import socket
 import threading
 import time
-from collections import Counter
-from dataclasses import dataclass, field
+from collections import Counter, deque
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.errors import EXIT_OK, ServiceError, SupervisorError
 from repro.runtime.diskcache import DiskCache
@@ -77,6 +96,7 @@ from repro.runtime.jobs import affinity_key
 from repro.runtime.supervisor import (
     CRASHED,
     OOM,
+    SHED,
     TIMEOUT,
     JobLimits,
     JobResult,
@@ -96,6 +116,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 __all__ = [
     "QUEUE_SCHEMA",
+    "PRESSURE_LEVELS",
     "ServiceConfig",
     "ServiceDaemon",
     "ServiceClient",
@@ -106,6 +127,13 @@ QUEUE_SCHEMA = "repro-queue/v1"
 
 #: Pool-worker statuses that trip the circuit breaker.
 _BREAKER_FAILURES = (CRASHED, TIMEOUT, OOM)
+
+#: Brownout pressure levels, in escalation order.  ``ready`` serves
+#: exactly as configured; ``tightened`` clamps every job's cooperative
+#: budget to the latency budget; ``bounded-only`` additionally degrades
+#: exact typechecking to the bounded falsifier; ``shed-new`` refuses new
+#: submissions outright (queued work still drains).
+PRESSURE_LEVELS = ("ready", "tightened", "bounded-only", "shed-new")
 
 
 # -- configuration -----------------------------------------------------------
@@ -135,6 +163,21 @@ class ServiceConfig:
     poll_interval: float = 0.02
     compact_on_start: bool = True
     fault_plan: Optional[FaultPlan] = None
+    #: per-slot queue cap: a slot at this depth sheds instead of queueing
+    #: (0 = shed everything, useful in tests; ``None`` = unbounded, the
+    #: pre-PR-8 behaviour).
+    max_backlog: Optional[int] = 64
+    #: enable the brownout load controller (pressure levels + health).
+    brownout: bool = True
+    #: the queue-latency budget (seconds) the controller defends; p95
+    #: queue wait beyond this is treated as overload pressure.
+    latency_budget: float = 2.0
+    #: how often the controller samples depth/latency.
+    controller_interval: float = 0.25
+    #: socket timeout for client connections: a slow-loris client is cut
+    #: off after this many seconds instead of pinning a handler thread
+    #: (``None`` = wait forever, the pre-PR-8 behaviour).
+    client_timeout: Optional[float] = 10.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -147,6 +190,14 @@ class ServiceConfig:
             raise ServiceError(
                 "backoff_base must be non-negative and backoff_cap >= base"
             )
+        if self.max_backlog is not None and self.max_backlog < 0:
+            raise ServiceError("max_backlog must be None or non-negative")
+        if self.latency_budget <= 0:
+            raise ServiceError("latency_budget must be positive")
+        if self.controller_interval <= 0:
+            raise ServiceError("controller_interval must be positive")
+        if self.client_timeout is not None and self.client_timeout <= 0:
+            raise ServiceError("client_timeout must be None or positive")
 
     def resolved_socket(self) -> Path:
         if self.socket_path is not None:
@@ -236,12 +287,15 @@ class _CircuitBreaker:
     while open, submissions for that key fast-fail without touching a
     worker.  After ``cooldown`` seconds one trial is let through
     (half-open): success closes the circuit, failure re-opens it
-    immediately.
+    immediately.  ``clock`` is injectable (monotonic seconds) so the
+    half-open property test can drive virtual time.
     """
 
-    def __init__(self, threshold: int, cooldown: float) -> None:
+    def __init__(self, threshold: int, cooldown: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.threshold = threshold
         self.cooldown = cooldown
+        self._clock = clock
         self._lock = threading.Lock()
         self._streak: dict[str, int] = {}
         self._opened_at: dict[str, float] = {}
@@ -252,7 +306,7 @@ class _CircuitBreaker:
             opened = self._opened_at.get(key)
             if opened is None:
                 return True
-            if time.monotonic() - opened < self.cooldown:
+            if self._clock() - opened < self.cooldown:
                 self.fast_failed += 1
                 return False
             del self._opened_at[key]  # half-open: admit one trial
@@ -264,7 +318,7 @@ class _CircuitBreaker:
                 streak = self._streak.get(key, 0) + 1
                 self._streak[key] = streak
                 if streak >= self.threshold:
-                    self._opened_at[key] = time.monotonic()
+                    self._opened_at[key] = self._clock()
             else:
                 self._streak.pop(key, None)
                 self._opened_at.pop(key, None)
@@ -275,6 +329,203 @@ class _CircuitBreaker:
                 "open": sorted(self._opened_at),
                 "fast_failed": self.fast_failed,
             }
+
+
+class _CostEstimator:
+    """Persistent per-affinity-key wall-time history for admission control.
+
+    An EWMA (``ALPHA``-weighted) of each affinity key's executed wall
+    seconds, loaded from ``costs.json`` at start and saved (atomically,
+    fsynced) on drain and periodically — so a daemon restart keeps its
+    sense of which DTDs are expensive.  The admission path compares
+    :meth:`estimate` against a submission's remaining ``deadline_ms``:
+    a job that history says cannot finish in time is shed up-front
+    (``predicted-overrun``) without forking a worker.  Only *executed*
+    outcomes are recorded (timeouts at their observed wall — an input
+    that hits the wall is expensive by definition); shed jobs are not,
+    so the estimator never learns from its own refusals.
+    """
+
+    ALPHA = 0.3
+    #: keep the table bounded; oldest-inserted half is dropped past this.
+    MAX_KEYS = 2048
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._ewma: dict[str, float] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return  # no history yet (or torn by a crash): start cold
+        ewma = data.get("ewma") if isinstance(data, dict) else None
+        if isinstance(ewma, dict):
+            for key, value in ewma.items():
+                try:
+                    self._ewma[str(key)] = float(value)
+                except (TypeError, ValueError):
+                    continue
+
+    def record(self, key: str, wall_seconds: float) -> None:
+        with self._lock:
+            previous = self._ewma.pop(key, None)  # pop+set keeps LRU order
+            self._ewma[key] = (
+                wall_seconds if previous is None
+                else previous + self.ALPHA * (wall_seconds - previous)
+            )
+            self._dirty = True
+            if len(self._ewma) > self.MAX_KEYS:
+                for stale in list(self._ewma)[: self.MAX_KEYS // 2]:
+                    del self._ewma[stale]
+
+    def estimate(self, key: str) -> Optional[float]:
+        with self._lock:
+            return self._ewma.get(key)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ewma)
+
+    def save(self) -> None:
+        """Atomically persist the table (no-op when nothing changed)."""
+        with self._lock:
+            if not self._dirty:
+                return
+            snapshot = dict(self._ewma)
+            self._dirty = False
+        tmp = self.path.with_suffix(".json.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"schema": "repro-costs/v1", "ewma": snapshot},
+                          handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+            _fsync_directory(self.path.parent)
+        except OSError:  # pragma: no cover - full disk etc.
+            pass
+
+
+class _LoadController:
+    """The brownout governor: queue pressure → a graded service level.
+
+    Two signals, sampled every ``interval`` seconds by the daemon's
+    controller thread: *utilization* (total queue depth over
+    ``capacity``, the sum of the per-slot backlog caps) and the *p95
+    queue wait* over a sliding ``window`` of recent jobs.  Either signal
+    maps to a target pressure level (:data:`PRESSURE_LEVELS`); the
+    controller steps **up** immediately (overload must be answered now)
+    but steps **down** one level at a time after ``dwell`` consecutive
+    calm samples — the hysteresis that keeps a draining burst from
+    flapping exact↔bounded on every sample.  Transitions are kept (ring
+    buffer) for ``stats`` and the E17 overload benchmark.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        latency_budget: float,
+        *,
+        interval: float = 0.25,
+        window: float = 5.0,
+        dwell: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.capacity = max(1, capacity)
+        self.latency_budget = latency_budget
+        self.interval = interval
+        self.window = window
+        self.dwell = dwell
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._waits: deque = deque(maxlen=512)  # (observed_at, seconds)
+        self._calm = 0
+        self.level = 0
+        self.transitions: deque = deque(maxlen=64)
+
+    def observe_wait(self, seconds: float) -> None:
+        """Record one job's queue wait (called from the slot threads)."""
+        with self._lock:
+            self._waits.append((self._clock(), seconds))
+
+    def p95_wait(self) -> float:
+        """p95 queue wait over the sliding window (0.0 when idle)."""
+        horizon = self._clock() - self.window
+        with self._lock:
+            recent = [w for (at, w) in self._waits if at >= horizon]
+        if not recent:
+            return 0.0
+        ordered = sorted(recent)
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(0.95 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def evaluate(self, depth: int) -> int:
+        """One controller step for the current queue ``depth``."""
+        utilization = depth / self.capacity
+        p95 = self.p95_wait()
+        target = 0
+        if utilization >= 0.9:
+            target = 3
+        elif utilization >= 0.6:
+            target = 2
+        elif utilization >= 0.3:
+            target = 1
+        if p95 > 2.0 * self.latency_budget:
+            target = max(target, 2)
+        elif p95 > self.latency_budget:
+            target = max(target, 1)
+        with self._lock:
+            if target > self.level:
+                self._transition(target, utilization, p95)
+            elif target < self.level:
+                self._calm += 1
+                if self._calm >= self.dwell:
+                    self._transition(self.level - 1, utilization, p95)
+            else:
+                self._calm = 0
+            return self.level
+
+    def _transition(self, level: int, utilization: float, p95: float) -> None:
+        self.transitions.append({
+            "at": round(self._clock(), 4),
+            "from": PRESSURE_LEVELS[self.level],
+            "to": PRESSURE_LEVELS[level],
+            "utilization": round(utilization, 3),
+            "p95_wait": round(p95, 4),
+        })
+        self.level = level
+        self._calm = 0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            level = self.level
+            transitions = list(self.transitions)
+        return {
+            "level": PRESSURE_LEVELS[level],
+            "capacity": self.capacity,
+            "latency_budget": self.latency_budget,
+            "p95_wait": round(self.p95_wait(), 4),
+            "transitions": transitions,
+        }
+
+
+def _fsync_directory(directory: Path) -> None:
+    """fsync a directory so a just-``os.replace``d entry survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - defensive
+        pass
+    finally:
+        os.close(fd)
 
 
 class _Waiter:
@@ -341,7 +592,18 @@ class ServiceDaemon:
         self._breaker = _CircuitBreaker(
             config.breaker_threshold, config.breaker_cooldown
         )
+        self._costs = _CostEstimator(Path(config.directory) / "costs.json")
+        per_slot = config.max_backlog if config.max_backlog is not None else 64
+        self._controller: Optional[_LoadController] = (
+            _LoadController(
+                capacity=max(1, per_slot) * config.workers,
+                latency_budget=config.latency_budget,
+                interval=config.controller_interval,
+            )
+            if config.brownout else None
+        )
         self._served: Counter = Counter()
+        self._shed_reasons: Counter = Counter()
         self._draining = threading.Event()
         self._stopped = threading.Event()
         self._started = False
@@ -386,6 +648,12 @@ class ServiceDaemon:
             self.cache.compact()
         pending = self._replay_queue()
         self._open_journals()
+        if self.config.fault_plan is not None:
+            # arm the daemon-side points (pool:backlog-storm,
+            # job:deadline-expired, client:slow-read); armed *after*
+            # recovery/compaction so startup chaos semantics are the
+            # workers' alone
+            install_plan(self.config.fault_plan)
         for slot in range(self.config.workers):
             self._spawn(slot)
         for slot in range(self.config.workers):
@@ -401,6 +669,13 @@ class ServiceDaemon:
         )
         accept.start()
         self._threads.append(accept)
+        if self._controller is not None:
+            controller = threading.Thread(
+                target=self._controller_loop, name="serve-brownout",
+                daemon=True,
+            )
+            controller.start()
+            self._threads.append(controller)
         self._started = True
         for spec in pending:
             self._route(spec, _Waiter())  # replay: nobody is waiting
@@ -458,8 +733,11 @@ class ServiceDaemon:
                         pass
             self._queue_handle = None
             self._results_handle = None
+        self._costs.save()
         if self.cache is not None:
             self.cache.close()
+        if self.config.fault_plan is not None:
+            install_plan(None)
         self._release_lock()
         self._stopped.set()
 
@@ -541,6 +819,10 @@ class ServiceDaemon:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.queue_path)
+        # the rename itself must be durable: without a directory fsync a
+        # crash right here can resurrect the pre-replay journal and
+        # re-run jobs whose results were already journaled
+        _fsync_directory(self.directory)
         return pending
 
     def _open_journals(self) -> None:
@@ -666,10 +948,30 @@ class ServiceDaemon:
         digest = hashlib.blake2b(affinity.encode(), digest_size=8).digest()
         return int.from_bytes(digest, "big") % len(self._queues)
 
-    def _route(self, spec: JobSpec, waiter: _Waiter) -> int:
+    def _route(self, spec: JobSpec, waiter: _Waiter,
+               deadline_at: Optional[float] = None) -> int:
+        """Enqueue unconditionally (replay path: the cap never re-sheds
+        work that was already admitted and journaled)."""
         slot = self._slot_for(affinity_key(spec.to_dict()))
-        self._queues[slot].put((spec, waiter))
+        self._queues[slot].put((spec, waiter, time.monotonic(), deadline_at))
         return slot
+
+    def _controller_loop(self) -> None:
+        """Sample queue pressure on a fixed cadence; persist cost history."""
+        controller = self._controller
+        assert controller is not None
+        saves_every = max(1, int(20.0 / controller.interval))
+        ticks = 0
+        while not self._draining.wait(timeout=controller.interval):
+            depth = sum(q.qsize() for q in self._queues)
+            controller.evaluate(depth)
+            if self._tracer is not None and self._tracer.active:
+                self._tracer.metrics.gauge("service.pressure_level").set(
+                    controller.level
+                )
+            ticks += 1
+            if ticks % saves_every == 0:
+                self._costs.save()
 
     def _slot_loop(self, slot: int) -> None:
         tracer = self._tracer
@@ -679,26 +981,76 @@ class ServiceDaemon:
                     item = self._queues[slot].get(timeout=0.1)
                 except queue.Empty:
                     continue
-                spec, waiter = item
-                result = self._execute_on_slot(slot, spec)
+                spec, waiter, enqueued_at, deadline_at = item
+                # chaos points: a ``delay`` here stalls consumption so a
+                # burst piles the backlog / outlives a queued deadline
+                fault_point("pool:backlog-storm", str(slot))
+                fault_point("job:deadline-expired", spec.id)
+                now = time.monotonic()
+                if self._controller is not None:
+                    self._controller.observe_wait(now - enqueued_at)
+                if deadline_at is not None and now >= deadline_at:
+                    # expired while queued: answer shed, burn no worker
+                    result = self._shed_result(
+                        spec, "deadline-expired",
+                        f"deadline of {spec.deadline_ms}ms expired after "
+                        f"{now - enqueued_at:.3f}s in queue; nothing was "
+                        "executed",
+                    )
+                    self._finish(spec, result, waiter)
+                    continue
+                result = self._execute_on_slot(slot, spec, deadline_at)
                 self._finish(spec, result, waiter)
         # drain: whatever never started stays journaled for the next
         # daemon; its waiter learns it was deferred, not lost
         while True:
             try:
-                _, waiter = self._queues[slot].get_nowait()
+                item = self._queues[slot].get_nowait()
             except queue.Empty:
                 break
+            waiter = item[1]
             waiter.deferred = True
             waiter.event.set()
         self._retire(slot)
 
-    def _execute_on_slot(self, slot: int, spec: JobSpec) -> JobResult:
+    def _execute_on_slot(
+        self, slot: int, spec: JobSpec,
+        deadline_at: Optional[float] = None,
+    ) -> JobResult:
         limits = (
             spec.limits if spec.limits is not None else self.config.limits
         )
         handle = self._ensure_worker(slot)
         payload = spec.to_dict()
+        pressure = self._controller.level if self._controller else 0
+        remaining = (
+            deadline_at - time.monotonic()
+            if deadline_at is not None else None
+        )
+        if remaining is not None:
+            # propagate the end-to-end deadline: the worker installs a
+            # cooperative Deadline from this (jobs.execute_job clamps the
+            # params timeout) and the hard wall backs it up
+            payload["deadline_seconds"] = max(remaining, 0.001)
+            wall_limit = limits.wall_seconds
+            if wall_limit is None or wall_limit > remaining:
+                limits = replace(limits, wall_seconds=max(remaining, 0.001))
+        if pressure >= 1:
+            # tightened budgets: no single job may hold a worker longer
+            # than the latency budget the controller is defending
+            budget = self.config.latency_budget
+            payload["deadline_seconds"] = min(
+                payload.get("deadline_seconds", budget), budget
+            )
+            wall_limit = limits.wall_seconds
+            if wall_limit is None or wall_limit > budget:
+                limits = replace(limits, wall_seconds=budget)
+        if (pressure >= 2 and spec.kind == "typecheck"
+                and payload["params"].get("method", "exact") == "exact"):
+            # bounded-only: the cheap falsifier tier (paper §5) for
+            # everyone until pressure subsides
+            payload["params"] = dict(payload["params"])
+            payload["params"]["method"] = "bounded"
         payload["limits"] = limits.to_dict()
         payload["fault_key"] = f"{spec.id}#1"
         tracer = current_tracer()
@@ -733,6 +1085,13 @@ class ServiceDaemon:
                 spec, 1, outcome, killed, exitcode, wall, limits
             )
             span.set(status=record["status"])
+        if pressure > 0:
+            record.setdefault("detail", {})["brownout"] = \
+                PRESSURE_LEVELS[pressure]
+        # feed the admission cost model with what execution actually cost
+        # (timeouts count at their observed wall: hitting the wall *is*
+        # the cost signal admission needs)
+        self._costs.record(affinity_key(spec.to_dict()), wall)
         if outcome is None or killed is not None:
             # the incumbent is dead or condemned: make sure it is gone,
             # and remember the streak for respawn backoff
@@ -806,11 +1165,29 @@ class ServiceDaemon:
 
     def submit(self, spec: JobSpec, *, wait: bool = True,
                timeout: Optional[float] = None) -> dict:
-        """Accept one job; the response dict mirrors the wire protocol."""
+        """Accept one job; the response dict mirrors the wire protocol.
+
+        Admission control, in order: a draining daemon defers; the
+        ``shed-new`` pressure level sheds; an open circuit breaker
+        fast-fails; a ``deadline_ms`` the cost history says cannot be
+        met sheds (``predicted-overrun``); a backlog at ``max_backlog``
+        sheds.  Every shed is journaled to the results log (never the
+        queue journal — a shed job must not be replayed) and executes
+        nothing.
+        """
         if self._draining.is_set():
             # journaled, acknowledged, executed by the next daemon
             self._journal_queue(spec)
             return {"ok": True, "deferred": True, "id": spec.id}
+        if self._controller is not None and self._controller.level >= 3:
+            result = self._shed_result(
+                spec, "overload",
+                "daemon at pressure level shed-new: queue depth or p95 "
+                "queue latency exceeded the overload thresholds; retry "
+                "after backoff",
+            )
+            return {"ok": True, "result": result.to_jsonable(),
+                    "shed": "overload"}
         affinity = affinity_key(spec.to_dict())
         if not self._breaker.allow(affinity):
             result = JobResult(
@@ -828,11 +1205,39 @@ class ServiceDaemon:
             self._served[result.status] += 1
             return {"ok": True, "result": result.to_jsonable(),
                     "fast_failed": True}
+        deadline_at = (
+            time.monotonic() + spec.deadline_ms / 1000.0
+            if spec.deadline_ms is not None else None
+        )
+        if deadline_at is not None:
+            estimate = self._costs.estimate(affinity)
+            remaining = deadline_at - time.monotonic()
+            if estimate is not None and estimate > remaining:
+                result = self._shed_result(
+                    spec, "predicted-overrun",
+                    f"estimated cost {estimate:.3f}s for affinity "
+                    f"{affinity} exceeds the {remaining * 1000:.0f}ms "
+                    "remaining deadline; nothing was executed",
+                )
+                return {"ok": True, "result": result.to_jsonable(),
+                        "shed": "predicted-overrun"}
+        slot = self._slot_for(affinity)
+        cap = self.config.max_backlog
+        if cap is not None and self._queues[slot].qsize() >= cap:
+            result = self._shed_result(
+                spec, "backlog",
+                f"slot {slot} backlog is at max_backlog={cap}; retry "
+                "after backoff",
+            )
+            return {"ok": True, "result": result.to_jsonable(),
+                    "shed": "backlog"}
         self._journal_queue(spec)
         waiter = _Waiter()
         with self._waiters_lock:
             self._waiters[spec.id] = waiter
-        self._route(spec, waiter)
+        self._queues[slot].put(
+            (spec, waiter, time.monotonic(), deadline_at)
+        )
         if not wait:
             return {"ok": True, "queued": spec.id}
         if not waiter.event.wait(timeout):
@@ -842,11 +1247,29 @@ class ServiceDaemon:
         assert waiter.result is not None
         return {"ok": True, "result": waiter.result.to_jsonable()}
 
+    def _shed_result(self, spec: JobSpec, reason: str,
+                     message: str) -> JobResult:
+        """Build, journal and count a ``shed`` outcome (nothing executed)."""
+        result = JobResult(
+            id=spec.id, status=SHED, attempts=0, wall_seconds=0.0,
+            detail={"shed": reason, "error": message},
+        )
+        self._journal_result(result)
+        self._served[SHED] += 1
+        self._shed_reasons[reason] += 1
+        if self._tracer is not None and self._tracer.active:
+            self._tracer.metrics.counter(f"service.shed.{reason}").inc()
+        return result
+
     def _finish(self, spec: JobSpec, result: JobResult,
                 waiter: _Waiter) -> None:
-        self._journal_result(result)
-        self._breaker.record(affinity_key(spec.to_dict()), result.status)
-        self._served[result.status] += 1
+        if result.status != SHED:
+            # shed outcomes are journaled by _shed_result and must not
+            # touch the breaker: nothing executed, so they are evidence
+            # of *load*, not of the input's health
+            self._journal_result(result)
+            self._breaker.record(affinity_key(spec.to_dict()), result.status)
+            self._served[result.status] += 1
         with self._waiters_lock:
             self._waiters.pop(spec.id, None)
         waiter.result = result
@@ -892,6 +1315,13 @@ class ServiceDaemon:
             "served": dict(self._served),
             "replayed": self.replayed,
             "queued": sum(q.qsize() for q in self._queues),
+            "max_backlog": self.config.max_backlog,
+            "shed": dict(self._shed_reasons),
+            "pressure": (
+                self._controller.snapshot()
+                if self._controller is not None else None
+            ),
+            "cost_model": {"keys": len(self._costs)},
             "breaker": self._breaker.snapshot(),
             "cache": cache_stats,
             "workers": [
@@ -914,6 +1344,29 @@ class ServiceDaemon:
             ],
         }
 
+    def health(self) -> dict:
+        """The load-balancer view: one word plus the pressure snapshot.
+
+        ``ready`` (level 0), ``degraded`` (tightened / bounded-only) or
+        ``overloaded`` (shed-new).  A draining daemon is ``overloaded``
+        for admission purposes — it defers everything.
+        """
+        level = self._controller.level if self._controller is not None else 0
+        if self._draining.is_set() or level >= 3:
+            health = "overloaded"
+        elif level >= 1:
+            health = "degraded"
+        else:
+            health = "ready"
+        return {
+            "health": health,
+            "draining": self._draining.is_set(),
+            "pressure": (
+                self._controller.snapshot()
+                if self._controller is not None else None
+            ),
+        }
+
     # -- the socket server -------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -925,7 +1378,8 @@ class ServiceDaemon:
                 continue
             except OSError:
                 break  # socket closed: we are draining
-            client.settimeout(None)
+            # a slow-loris client must not pin a handler thread forever
+            client.settimeout(self.config.client_timeout)
             threading.Thread(
                 target=self._handle_client, args=(client,),
                 name="serve-conn", daemon=True,
@@ -935,6 +1389,9 @@ class ServiceDaemon:
         with client:
             stream = client.makefile("rwb")
             try:
+                # chaos: a ``delay`` here makes *this daemon* the slow
+                # peer, holding the client's socket without reading
+                fault_point("client:slow-read", str(client.fileno()))
                 raw = stream.readline()
                 if not raw:
                     return
@@ -962,6 +1419,8 @@ class ServiceDaemon:
                     "draining": self._draining.is_set()}
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "health":
+            return {"ok": True, **self.health()}
         if op == "shutdown":
             threading.Thread(
                 target=self.drain, name="serve-drain", daemon=True
@@ -1034,6 +1493,9 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
 
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})

@@ -20,7 +20,10 @@ adds:
   ``ok`` / ``type-error`` / ``usage-error`` / ``exhausted`` (cooperative
   budget, with the governor's diagnostics) / ``timeout`` (SIGKILL at the
   wall limit) / ``oom`` (SIGKILL at the RSS limit, or the rlimit
-  backstop) / ``crashed`` (died without reporting).
+  backstop) / ``crashed`` (died without reporting).  An eighth status,
+  ``shed``, is produced only *without* execution: an expired
+  ``deadline_ms`` before an attempt starts, or the service daemon's
+  admission control refusing the job under load.
 * **Retry with degradation** — a declarative :class:`RetryPolicy`
   (attempts, exponential backoff, deterministic jitter) re-runs hard
   failures; on a *resource* failure the retried job is degraded — exact
@@ -66,6 +69,7 @@ from repro.errors import (
     EXIT_CRASHED,
     EXIT_EXHAUSTED,
     EXIT_OK,
+    EXIT_SHED,
     EXIT_TYPE_ERROR,
     EXIT_USAGE,
     FaultInjected,
@@ -82,6 +86,7 @@ __all__ = [
     "TYPE_ERROR",
     "USAGE_ERROR",
     "EXHAUSTED",
+    "SHED",
     "TIMEOUT",
     "OOM",
     "CRASHED",
@@ -105,12 +110,18 @@ OK = "ok"
 TYPE_ERROR = "type-error"
 USAGE_ERROR = "usage-error"
 EXHAUSTED = "exhausted"
+SHED = "shed"
 TIMEOUT = "timeout"
 OOM = "oom"
 CRASHED = "crashed"
 
-#: Every status a job can finish with, exactly one per job.
-STATUSES = (OK, TYPE_ERROR, USAGE_ERROR, EXHAUSTED, TIMEOUT, OOM, CRASHED)
+#: Every status a job can finish with, exactly one per job.  ``shed`` is
+#: special: workers never produce it — only an overloaded service daemon
+#: answers it, at admission or while the job waits in queue, and always
+#: *without* executing anything (``attempts`` is 0), so a shed job is
+#: retryable by construction.
+STATUSES = (OK, TYPE_ERROR, USAGE_ERROR, EXHAUSTED, SHED, TIMEOUT, OOM,
+            CRASHED)
 
 #: Statuses caused by resource blow-ups — these trigger degradation.
 RESOURCE_FAILURES = (TIMEOUT, OOM, EXHAUSTED)
@@ -121,13 +132,19 @@ _STATUS_EXIT = {
     TYPE_ERROR: EXIT_TYPE_ERROR,
     USAGE_ERROR: EXIT_USAGE,
     EXHAUSTED: EXIT_EXHAUSTED,
+    SHED: EXIT_SHED,
     TIMEOUT: EXIT_CRASHED,
     OOM: EXIT_CRASHED,
     CRASHED: EXIT_CRASHED,
 }
 
-#: Severity order for the batch exit code (highest wins).
-_SEVERITY = (CRASHED, OOM, TIMEOUT, EXHAUSTED, USAGE_ERROR, TYPE_ERROR, OK)
+#: Severity order for the batch exit code (highest wins).  ``shed`` sits
+#: below the execution failures — a batch that both crashed a job and had
+#: one shed reports the crash — but above the input-classification
+#: statuses, so "the daemon refused work" is never masked by an ordinary
+#: type-error in the same batch.
+_SEVERITY = (CRASHED, OOM, TIMEOUT, EXHAUSTED, SHED, USAGE_ERROR,
+             TYPE_ERROR, OK)
 
 #: Schema tag on every result-log line.  v2 added the tag itself and the
 #: ``job_id`` field inside each ``detail.stats.cache`` delta block; v1
@@ -251,13 +268,23 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One unit of supervised work (one line of a batch manifest)."""
+    """One unit of supervised work (one line of a batch manifest).
+
+    ``deadline_ms``, when set, is the caller's end-to-end latency budget
+    in milliseconds, counted from *admission* (the moment the runtime
+    first sees the spec).  The service daemon uses it for admission
+    control — a job whose estimated cost exceeds the remaining deadline
+    is shed without forking a worker — and every runtime propagates the
+    remaining time into the attempt as both the hard wall clamp and the
+    worker's ambient cooperative :class:`~repro.runtime.governor.Deadline`.
+    """
 
     id: str
     kind: str
     params: dict = field(default_factory=dict)
     limits: Optional[JobLimits] = None
     retry: Optional[RetryPolicy] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.id or not isinstance(self.id, str):
@@ -267,6 +294,10 @@ class JobSpec:
                 f"job {self.id!r}: unknown kind {self.kind!r}; expected one "
                 f"of {', '.join(JOB_KINDS)}"
             )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise SupervisorError(
+                f"job {self.id!r}: deadline_ms must be positive"
+            )
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "JobSpec":
@@ -274,6 +305,7 @@ class JobSpec:
             raise SupervisorError(f"manifest entry is not an object: {data!r}")
         limits = data.get("limits")
         retry = data.get("retry")
+        deadline_ms = data.get("deadline_ms")
         params = data.get("params")
         if params is None:
             # tolerate flat manifests: everything that is not a known
@@ -281,7 +313,7 @@ class JobSpec:
             params = {
                 key: value
                 for key, value in data.items()
-                if key not in ("id", "kind", "limits", "retry")
+                if key not in ("id", "kind", "limits", "retry", "deadline_ms")
             }
         return cls(
             id=str(data.get("id", "")),
@@ -289,6 +321,7 @@ class JobSpec:
             params=dict(params),
             limits=JobLimits.from_dict(limits) if limits else None,
             retry=RetryPolicy.from_dict(retry) if retry else None,
+            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
         )
 
     def to_dict(self) -> dict:
@@ -298,6 +331,8 @@ class JobSpec:
             payload["limits"] = self.limits.to_dict()
         if self.retry is not None:
             payload["retry"] = self.retry.to_dict()
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
 
@@ -548,13 +583,20 @@ class Supervisor:
         effective = spec
         history: list[dict] = []
         started = time.monotonic()
+        deadline_at = (
+            started + spec.deadline_ms / 1000.0
+            if spec.deadline_ms is not None
+            else None
+        )
         resource_failures = 0
         tracer = current_tracer()
         with tracer.span(f"job:{spec.id}", kind=spec.kind) as job_span:
             for attempt in range(1, policy.max_attempts + 1):
                 with tracer.span("attempt", job=spec.id,
                                  attempt=attempt) as attempt_span:
-                    outcome = self._run_attempt(effective, limits, attempt)
+                    outcome = self._run_attempt(
+                        effective, limits, attempt, deadline_at=deadline_at
+                    )
                     attempt_span.set(status=outcome["status"])
                 history.append(outcome)
                 status = outcome["status"]
@@ -591,12 +633,47 @@ class Supervisor:
         )
 
     def _run_attempt(
-        self, spec: JobSpec, limits: JobLimits, attempt: int
+        self,
+        spec: JobSpec,
+        limits: JobLimits,
+        attempt: int,
+        *,
+        deadline_at: Optional[float] = None,
     ) -> dict:
-        """One worker subprocess, monitored to SIGKILL, classified."""
+        """One worker subprocess, monitored to SIGKILL, classified.
+
+        ``deadline_at`` (a ``time.monotonic`` instant) is the job's
+        propagated end-to-end deadline: an attempt starting with no time
+        left is answered ``shed``/``deadline-expired`` without forking,
+        and a live attempt gets its hard wall clamped to the remaining
+        time plus ``payload["deadline_seconds"]`` so the worker installs
+        a cooperative deadline of its own.
+        """
+        remaining = (
+            deadline_at - time.monotonic() if deadline_at is not None else None
+        )
+        if remaining is not None and remaining <= 0:
+            return {
+                "attempt": attempt,
+                "wall_seconds": 0.0,
+                "kind": spec.kind,
+                "status": SHED,
+                "detail": {
+                    "shed": "deadline-expired",
+                    "error": (
+                        f"deadline of {spec.deadline_ms}ms expired before "
+                        "the attempt started; nothing was executed"
+                    ),
+                },
+            }
         payload = spec.to_dict()
         payload["limits"] = limits.to_dict()
         payload["fault_key"] = f"{spec.id}#{attempt}"
+        if remaining is not None:
+            payload["deadline_seconds"] = remaining
+            wall = limits.wall_seconds
+            if wall is None or wall > remaining:
+                limits = replace(limits, wall_seconds=remaining)
         tracer = current_tracer()
         if tracer.active:
             payload["trace"] = True

@@ -50,6 +50,7 @@ from __future__ import annotations
 import json
 import sys
 import time
+from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
 from threading import RLock
@@ -142,28 +143,52 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming count/sum/min/max of observed values.
+    """Streaming count/sum/min/max plus recent-window percentiles.
 
     No buckets: the pipeline's distributions are heavy-tailed across many
     orders of magnitude (Theorem 4.8), so fixed buckets would mislead;
-    count + sum + extremes are what the span-tree summaries need.
+    count + sum + extremes are what the span-tree summaries need.  For
+    load control (the service's brownout governor keys off p95 queue
+    latency) a bounded window of the most recent observations is kept,
+    so :meth:`percentile` reflects *current* behaviour, stays O(window)
+    in memory forever, and decays once a burst has drained.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_recent")
+
+    #: observations retained for :meth:`percentile` (memory bound).
+    WINDOW = 256
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._recent: deque = deque(maxlen=self.WINDOW)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self._recent.append(value)
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile (0–100) of the recent window.
+
+        Nearest-rank over the last :data:`WINDOW` observations; ``None``
+        when nothing has been observed yet.
+        """
+        if not self._recent:
+            return None
+        ordered = sorted(self._recent)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * len(ordered))) - 1))
+        if p <= 0:
+            rank = 0
+        return ordered[rank]
 
     def to_jsonable(self) -> dict:
         return {
@@ -172,6 +197,8 @@ class Histogram:
             "total": self.total,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
         }
 
 

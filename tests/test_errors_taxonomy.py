@@ -11,7 +11,11 @@ code  meaning
 2     usage or input error (bad flags, malformed DTD/XML/manifest)
 3     a resource budget was exhausted with no fallback
 4     a worker crashed or was killed at a hard limit
+5     the service shed the job before execution (retryable)
 ====  =========================================================
+
+The ``shed`` path (exit 5) is exercised end-to-end in
+``tests/test_service_overload.py`` — it only exists behind the daemon.
 """
 
 from __future__ import annotations
