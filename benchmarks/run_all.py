@@ -8,8 +8,10 @@ and span counts per pipeline phase — the ``phases`` key of each
 experiment record) and pass/fail totals per experiment, then measures
 the E10 typechecking suite cached vs. uncached plus the overhead of
 tracing itself (traced vs. untraced warm runs, the ``trace_overhead``
-section), and writes everything to one schema-versioned JSON file
-(``BENCH_<revision>.json`` by default)::
+section) and of verdict certification (the same warm suite under
+``REPRO_AUDIT`` off/witness/full, the ``audit_overhead`` section —
+witness mode is gated at ≤10% overhead), and writes everything to one
+schema-versioned JSON file (``BENCH_<revision>.json`` by default)::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
 
@@ -287,6 +289,69 @@ def run_e10_baseline(path: Path, output: Path) -> dict:
     }
 
 
+#: Ceiling on what witness-mode certification may add to the warm E10
+#: wall.  Witness mode replays type-error evidence only and skips
+#: healthy ``ok`` verdicts entirely, so it must be close to free; the
+#: sweep fails if it is not.  ``full`` mode pays for its randomized
+#: falsification of exact-ok verdicts and is reported without a gate.
+AUDIT_WITNESS_MAX_OVERHEAD_PCT = 10.0
+
+
+def run_audit_baseline(path: Path) -> dict:
+    """The warm E10 suite under ``REPRO_AUDIT`` off/witness/full — the
+    ``audit_overhead`` section.
+
+    Runs after :func:`run_e10_baseline`, so the memo table is warm and
+    the deltas isolate the certification work itself.  Each mode is
+    measured twice and the faster wall kept (same best-of-N idea the
+    timing modules use: the minimum is the least noisy estimator of the
+    true cost).  Witness overhead beyond
+    ``AUDIT_WITNESS_MAX_OVERHEAD_PCT`` fails the sweep.
+    """
+    previous = os.environ.get("REPRO_AUDIT")
+    runs: dict[str, dict] = {}
+    try:
+        for mode in ("off", "witness", "full"):
+            os.environ["REPRO_AUDIT"] = mode
+            first = run_experiment(
+                path, f"e10_typecheck[audit-{mode}]", trace=False
+            )
+            second = run_experiment(
+                path, f"e10_typecheck[audit-{mode}-rerun]", trace=False
+            )
+            best = first if first["seconds"] <= second["seconds"] else second
+            best = dict(best, name=f"e10_typecheck[audit-{mode}]")
+            best["ok"] = first["ok"] and second["ok"]
+            runs[mode] = best
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_AUDIT", None)
+        else:
+            os.environ["REPRO_AUDIT"] = previous
+
+    off = runs["off"]["seconds"]
+
+    def overhead_pct(mode: str) -> float | None:
+        if off <= 0:
+            return None
+        return round((runs[mode]["seconds"] - off) / off * 100.0, 2)
+
+    witness_overhead = overhead_pct("witness")
+    return {
+        "runs": [runs["off"], runs["witness"], runs["full"]],
+        "off_seconds": off,
+        "witness_seconds": runs["witness"]["seconds"],
+        "full_seconds": runs["full"]["seconds"],
+        "witness_overhead_pct": witness_overhead,
+        "full_overhead_pct": overhead_pct("full"),
+        "witness_max_overhead_pct": AUDIT_WITNESS_MAX_OVERHEAD_PCT,
+        "witness_within_budget": (
+            witness_overhead is not None
+            and witness_overhead <= AUDIT_WITNESS_MAX_OVERHEAD_PCT
+        ),
+    }
+
+
 def run_service_baseline() -> dict:
     """Cold vs restart-warm daemon on a small E10-style suite (E16).
 
@@ -465,6 +530,9 @@ def main(argv: list[str] | None = None) -> int:
     print("== e10 cached-vs-uncached baseline ==", flush=True)
     baseline = run_e10_baseline(BENCH_DIR / "bench_e10_typecheck.py", output)
 
+    print("== e10 audit-overhead baseline ==", flush=True)
+    audit = run_audit_baseline(BENCH_DIR / "bench_e10_typecheck.py")
+
     print("== e16 service cold-vs-restart-warm baseline ==", flush=True)
     service = run_service_baseline()
 
@@ -482,12 +550,13 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": experiments,
         "step_drift": drift,
         "baseline_e10": baseline,
+        "audit_overhead": audit,
         "baseline_e16_service": service,
         "baseline_e17_overload": overload,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
 
-    failures = [rec for rec in experiments + baseline["runs"]
+    failures = [rec for rec in experiments + baseline["runs"] + audit["runs"]
                 if not rec["ok"]]
     total = sum(rec["seconds"] for rec in experiments)
     print(f"\nwrote {output}")
@@ -515,6 +584,13 @@ def main(argv: list[str] | None = None) -> int:
           f"{overhead['warm_untraced_seconds']:.3f}s); disabled vs "
           f"{overhead['prior_revision']}: "
           f"{overhead['disabled_overhead_pct']}%")
+    print(f"audit overhead on e10 warm: witness "
+          f"{audit['witness_overhead_pct']}% "
+          f"(≤{audit['witness_max_overhead_pct']}% required), full "
+          f"{audit['full_overhead_pct']}% "
+          f"(off {audit['off_seconds']:.3f}s, witness "
+          f"{audit['witness_seconds']:.3f}s, full "
+          f"{audit['full_seconds']:.3f}s)")
     print(f"e16 service: cold {service['cold_seconds']:.3f}s vs "
           f"restart-warm {service['warm_seconds']:.3f}s "
           f"(speedup {service['speedup_warm_vs_cold']}x, "
@@ -527,6 +603,12 @@ def main(argv: list[str] | None = None) -> int:
         for rec in failures:
             print(f"FAILED: {rec['name']} (exit {rec['exit_code']})",
                   file=sys.stderr)
+        return 1
+    if not audit["witness_within_budget"]:
+        print(f"ERROR: witness-mode audit overhead "
+              f"{audit['witness_overhead_pct']}% exceeds the "
+              f"{audit['witness_max_overhead_pct']}% budget",
+              file=sys.stderr)
         return 1
     if drift.get("failed"):
         return 1

@@ -8,6 +8,7 @@ Usage::
                               [--timeout S] [--max-steps N]
                               [--max-states N] [--no-fallback]
                               [--no-cache] [--cache-stats]
+                              [--audit off|witness|full]
     python -m repro run       --stylesheet sheet.xsl document.xml
                               [--timeout S] [--max-steps N]
     python -m repro batch     manifest.jsonl --results results.jsonl
@@ -15,6 +16,7 @@ Usage::
                               [--wall-limit S] [--rss-limit-mb M]
                               [--max-attempts K] [--retry-delay S]
                               [--no-degrade] [--faults plan.json]
+                              [--audit off|witness|full]
     python -m repro serve     --dir state/ [--socket PATH] [--workers N]
                               [--recycle-jobs N] [--recycle-rss-mb M]
                               [--wall-limit S] [--rss-limit-mb M]
@@ -22,9 +24,12 @@ Usage::
                               [--faults plan.json] [--max-backlog N]
                               [--no-brownout] [--latency-budget S]
                               [--client-timeout S]
+                              [--audit off|witness|full]
     python -m repro submit    [manifest.jsonl] --socket PATH
                               [--no-wait] [--timeout S] [--deadline-ms MS]
                               [--ping | --stats | --health | --shutdown]
+    python -m repro audit     results.jsonl --manifest manifest.jsonl
+                              [--mode witness|full] [--max-steps N]
 
 DTD files use either the paper's rule notation (``a := b*.c.e``) or
 classic ``<!ELEMENT ...>`` declarations (auto-detected); stylesheets use
@@ -48,13 +53,23 @@ the most severe job status, like ``batch``; ``--deadline-ms`` attaches a
 per-job end-to-end deadline the daemon enforces at admission and in
 queue.
 
+Audit & certification (see docs/architecture.md and :mod:`repro.audit`):
+``--audit witness`` re-certifies every ``type-error`` verdict's evidence
+with the trusted interpreters before reporting it; ``--audit full``
+additionally runs seeded randomized falsification against exact ``ok``
+verdicts.  The ``REPRO_AUDIT`` environment variable is the ambient form
+(an explicit flag or job param wins).  ``repro audit`` re-certifies a
+results/checkpoint JSONL offline, cross-referencing job inputs from the
+manifest.  A refuted verdict is reported ``miscompiled`` and exits 6.
+
 Exit codes (see :mod:`repro.errors`): 0 on success, 1 when
 typechecking/validation rejects, 2 on usage or input errors, 3 when a
 resource budget (``--timeout`` / ``--max-steps`` / ``--max-states``) was
 exhausted with no fallback, 4 when a worker crashed or was killed at a
 hard limit, 5 when an overloaded daemon shed the job without running it
-(retryable — back off and resubmit).  ``batch`` exits with the most
-severe job status.
+(retryable — back off and resubmit), 6 when the audit refuted a verdict
+(``miscompiled`` — the answer cannot be trusted).  ``batch`` exits with
+the most severe job status.
 
 Observability (see docs/observability.md): ``--trace`` on ``run`` /
 ``typecheck`` / ``batch`` prints a span tree on stderr; ``--trace=FILE``
@@ -74,7 +89,12 @@ import os
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError, ResourceExhausted, exit_code_for
+from repro.errors import (
+    EXIT_MISCOMPILED,
+    ReproError,
+    ResourceExhausted,
+    exit_code_for,
+)
 from repro.lang import apply_stylesheet, parse_stylesheet, xslt_to_transducer
 from repro.runtime import (
     Tracer,
@@ -152,6 +172,7 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             max_steps=args.max_steps,
             max_states=args.max_states,
             fallback=args.fallback,
+            audit=args.audit,
         )
     if args.cache_stats:
         counters = result.stats.get("cache", {})
@@ -175,23 +196,53 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             "degraded to the bounded falsifier",
             file=sys.stderr,
         )
+    audit_report = result.stats.get("audit")
     if result.ok:
         if result.method == "exact":
             qualifier = ""
+            confidence = "exact proof"
         else:
             qualifier = (
                 f" (on {result.stats.get('inputs_checked', '?')} "
                 "sample inputs)"
             )
+            confidence = "bounded — not a proof"
         print(f"typechecks{qualifier}")
-        return 0
+        print(f"verdict: ok ({confidence})")
+        return _audit_verdict(audit_report, 0)
     print("DOES NOT typecheck")
     print("  counterexample input: ",
           to_xml(decode(result.counterexample_input)))
     if result.counterexample_output is not None:
         print("  ill-typed output:     ",
               to_xml(decode(result.counterexample_output)))
-    return 1
+    return _audit_verdict(audit_report, 1)
+
+
+def _audit_verdict(report, exit_code: int) -> int:
+    """Print the audit line (when one ran) and escalate a refutation.
+
+    A ``failed`` audit means the verdict cannot be trusted — exit
+    :data:`~repro.errors.EXIT_MISCOMPILED` regardless of what the engine
+    claimed.
+    """
+    if not report:
+        return exit_code
+    line = f"audit: {report.get('status')} (mode={report.get('mode')}"
+    if report.get("replay_steps"):
+        line += f", replay_steps={report['replay_steps']}"
+    if report.get("seed") is not None:
+        line += (f", seed={report['seed']}, "
+                 f"inputs_tried={report.get('inputs_tried', 0)}")
+    line += ")"
+    print(line)
+    if report.get("reason"):
+        print(f"  {report['reason']}")
+    if report.get("status") == "failed":
+        print("MISCOMPILED: the audit refuted this verdict; "
+              "do not trust it", file=sys.stderr)
+        return EXIT_MISCOMPILED
+    return exit_code
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -207,6 +258,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not specs:
         print("error: empty manifest", file=sys.stderr)
         return 2
+    if args.audit and args.audit != "off":
+        from dataclasses import replace as _replace
+
+        specs = [
+            _replace(spec, params={**spec.params, "audit": args.audit})
+            if spec.kind == "typecheck" and "audit" not in spec.params
+            else spec
+            for spec in specs
+        ]
     fault_plan = None
     if args.faults:
         fault_plan = FaultPlan.from_dict(
@@ -287,6 +347,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         brownout=args.brownout,
         latency_budget=args.latency_budget,
         client_timeout=args.client_timeout,
+        audit=args.audit,
     )
     daemon = ServiceDaemon(config)
     info = daemon.start()
@@ -385,6 +446,57 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     for status in _SEVERITY:
         if status in statuses:
             return _STATUS_EXIT[status]
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    from repro.audit import FAILED, audit_record
+    from repro.runtime.supervisor import load_manifest
+
+    params_by_id = {
+        spec.id: spec.params for spec in load_manifest(args.manifest)
+    }
+    counts: Counter = Counter()
+    failed: list[str] = []
+    total = 0
+    for raw in Path(args.results).read_text().splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        total += 1
+        record = json.loads(raw)
+        job_id = str(record.get("id") or record.get("job_id")
+                     or f"line-{total}")
+        params = params_by_id.get(job_id)
+        if params is None:
+            # a result line with no manifest entry cannot be replayed —
+            # report it, never silently pass it
+            counts["unmatched"] += 1
+            print(json.dumps(
+                {"id": job_id, "audit": {"status": "unmatched"}},
+                sort_keys=True,
+            ))
+            continue
+        report = audit_record(
+            record, params, mode=args.mode, max_steps=args.max_steps
+        )
+        counts[report.status] += 1
+        if report.status == FAILED:
+            failed.append(job_id)
+        print(json.dumps({"id": job_id, "audit": report.to_jsonable()},
+                         sort_keys=True))
+    summary = " ".join(
+        f"{status}={count}" for status, count in sorted(counts.items())
+    )
+    print(
+        f"audit: {total} record(s)" + (f" [{summary}]" if summary else ""),
+        file=sys.stderr,
+    )
+    if failed:
+        print("MISCOMPILED: " + ", ".join(sorted(failed)), file=sys.stderr)
+        return EXIT_MISCOMPILED
     return 0
 
 
@@ -487,6 +599,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="report the memo table's hit/miss/eviction counters for "
              "this run on stderr",
     )
+    check.add_argument(
+        "--audit", choices=["off", "witness", "full"], default=None,
+        help="certify the verdict with the trusted interpreters before "
+             "reporting it: 'witness' replays type-error evidence, "
+             "'full' also falsification-tests exact ok verdicts; a "
+             "refuted verdict exits 6 (env: REPRO_AUDIT)",
+    )
     _add_trace_argument(check)
     check.add_argument("stylesheet")
     check.set_defaults(func=_cmd_typecheck)
@@ -535,6 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--faults", default=None, metavar="PLAN.JSON",
         help="arm a fault-injection plan in every worker (chaos testing)",
+    )
+    batch.add_argument(
+        "--audit", choices=["off", "witness", "full"], default=None,
+        help="audit every typecheck job's verdict in the worker; a "
+             "refuted verdict is reported 'miscompiled' (exit 6) and "
+             "its memo lineage quarantined",
     )
     _add_trace_argument(batch)
     batch.add_argument(
@@ -614,6 +739,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="socket timeout for client connections (slow clients are "
              "disconnected instead of pinning handler threads)",
     )
+    serve.add_argument(
+        "--audit", choices=["off", "witness", "full"], default="off",
+        help="certify every typecheck verdict before journaling it; a "
+             "refuted verdict is served 'miscompiled' and its memo "
+             "lineage quarantined from both cache tiers",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = commands.add_parser(
@@ -660,6 +791,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="ask the daemon to drain gracefully and exit",
     )
     submit.set_defaults(func=_cmd_submit)
+
+    audit = commands.add_parser(
+        "audit",
+        help="re-certify a results/checkpoint JSONL offline against "
+             "its manifest (one audit line per record; exit 6 if any "
+             "verdict is refuted)",
+    )
+    audit.add_argument(
+        "results", help="JSONL results log from batch/submit/serve",
+    )
+    audit.add_argument(
+        "--manifest", required=True, metavar="PATH",
+        help="the manifest the results were computed from (supplies "
+             "the stylesheet and DTDs for replay)",
+    )
+    audit.add_argument(
+        "--mode", choices=["witness", "full"], default="witness",
+        help="'witness' replays type-error evidence; 'full' also "
+             "falsification-tests exact ok verdicts",
+    )
+    audit.add_argument(
+        "--max-steps", type=_nonnegative_int, default=500_000, metavar="N",
+        help="audit step budget per record (exhaustion yields "
+             "'skipped', never a hang)",
+    )
+    audit.set_defaults(func=_cmd_audit)
     return parser
 
 

@@ -48,6 +48,17 @@ code  meaning
       succeed once load subsides — batch callers should back off and
       resubmit.  ``repro submit --health`` also exits 5 when the
       daemon reports ``overloaded``.
+6     the audit **refuted** the verdict (``miscompiled``): the
+      independent certification replay (:mod:`repro.audit`) could not
+      reproduce the recorded evidence — the counterexample does not
+      replay, or falsification found an ill-typed output behind an
+      ``ok`` answer.  The answer itself is untrustworthy (a
+      miscompile, cache corruption, or routing bug), which is *worse*
+      than a crash: the service quarantines the memo entries the job
+      touched and recomputes on resubmit.  Raised by
+      ``repro typecheck --audit``, ``repro audit``, and any
+      batch/submit run whose most severe job status was
+      ``miscompiled``.
 ====  ==========================================================
 
 :func:`exit_code_for` implements the exception half of this table and is
@@ -64,6 +75,7 @@ EXIT_USAGE = 2
 EXIT_EXHAUSTED = 3
 EXIT_CRASHED = 4
 EXIT_SHED = 5
+EXIT_MISCOMPILED = 6
 
 
 class ReproError(Exception):

@@ -25,7 +25,7 @@ from repro.pebble.output_automaton import (
 )
 from repro.pebble.product import transducer_times_automaton
 from repro.pebble.quotient import quotient_pebble_automaton
-from repro.pebble.run import evaluate
+from repro.pebble.run import evaluate, replay_output
 from repro.pebble.starfree import (
     decide_membership,
     encode_string,
@@ -72,6 +72,7 @@ __all__ = [
     "transducer_times_automaton",
     "quotient_pebble_automaton",
     "evaluate",
+    "replay_output",
     "decide_membership",
     "encode_string",
     "pebbles_needed",

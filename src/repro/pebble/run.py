@@ -190,3 +190,24 @@ def evaluate(
         return None
     assert isinstance(result, BTree)
     return result
+
+
+def replay_output(
+    transducer: PebbleTransducer,
+    tree: BTree,
+    max_steps: int = 1_000_000,
+    governor: Optional[ResourceGovernor] = None,
+) -> tuple[Optional[BTree], int]:
+    """Metered trusted replay for the audit subsystem (:mod:`repro.audit`).
+
+    Runs :func:`evaluate` under ``governor`` when given, otherwise under a
+    *fresh local* governor — never the ambient one — so an audit replay is
+    budgeted independently of the run it is checking.  Returns
+    ``(output, steps)`` where ``steps`` is the governor's cumulative tick
+    count after the replay; raises exactly what :func:`evaluate` raises.
+    """
+    gov = governor if governor is not None else ResourceGovernor(
+        budget=Budget(max_steps=max_steps)
+    )
+    output = evaluate(transducer, tree, governor=gov)
+    return output, gov.steps

@@ -55,7 +55,7 @@ import sys
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from typing import Any, Callable, Hashable, Iterator, Optional
+from typing import Any, Callable, Hashable, Iterable, Iterator, Optional
 
 from repro.runtime.governor import current_governor
 from repro.runtime.trace import current_tracer
@@ -74,6 +74,8 @@ __all__ = [
     "install_persistent",
     "current_persistent",
     "persistent_tier",
+    "tracked_keys",
+    "quarantine_keys",
 ]
 
 #: Defaults for the process-wide table; tuned so a heavy typechecking
@@ -587,6 +589,20 @@ class MemoCache:
                 self._bytes -= evicted_size
                 self.evictions += 1
 
+    def invalidate(self, key: Hashable) -> bool:
+        """Evict ``key`` if present (the quarantine path).
+
+        Unlike LRU eviction this is a *correctness* action — the audit
+        found the entry's lineage untrustworthy — so it is counted
+        separately from ``evictions``.
+        """
+        with self._lock:
+            entry = self._table.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry[1]
+            return True
+
     def clear(self) -> None:
         """Drop every entry (counters are kept; see :meth:`reset_stats`)."""
         with self._lock:
@@ -651,6 +667,76 @@ GLOBAL_CACHE = MemoCache(
 #: typed: ``get(key, default)`` and ``put(key, value)`` over the
 #: canonical string keys of :func:`memo_key`.
 _PERSISTENT: Optional[Any] = None
+
+#: When set (see :func:`tracked_keys`), every memoized operation adds its
+#: canonical key here — the audit uses this to know exactly which memo
+#: entries a run's verdict depended on, so a refuted verdict can
+#: quarantine its whole lineage instead of nuking the cache.
+_TRACKED: Optional[set] = None
+
+
+@contextmanager
+def tracked_keys() -> Iterator[set]:
+    """Collect the memo keys of every operation run inside the block.
+
+    Nests (the innermost tracker wins) and costs one ``is None`` check
+    per memoized call when inactive, so leaving it off is free.
+    """
+    global _TRACKED
+    previous = _TRACKED
+    keys: set = set()
+    _TRACKED = keys
+    try:
+        yield keys
+    finally:
+        _TRACKED = previous
+
+
+def quarantine_keys(
+    keys: Iterable[Hashable], reason: str = "", purge: bool = False
+) -> dict:
+    """Evict ``keys`` from *both* memo tiers (the audit's quarantine).
+
+    The in-memory entries are invalidated outright; with a persistent
+    tier installed that supports quarantine (the service workers'
+    :class:`~repro.runtime.diskcache.DiskCache`), the on-disk records are
+    tombstoned and journaled to ``quarantine.jsonl`` so no future worker
+    or daemon incarnation can re-serve them.  Returns eviction counts.
+
+    ``purge=True`` widens the quarantine to *everything*: every
+    in-memory entry and every live disk record, not just ``keys``.  Memo
+    entries carry no dependency lineage, so the tracked key set bounds
+    only what a run *touched* — a memo hit short-circuits the
+    computation of its ancestors, which may be just as poisoned and
+    would feed the recomputation.  A refuted verdict therefore indicts
+    the whole tier: rebuilding a cache is cheap, serving a second wrong
+    answer is not.
+    """
+    key_list = list(keys)
+    memory = sum(1 for key in key_list if GLOBAL_CACHE.invalidate(key))
+    if purge:
+        memory += GLOBAL_CACHE.stats().get("entries", 0)
+        GLOBAL_CACHE.clear()
+    disk = _PERSISTENT
+    disk_count = 0
+    if disk is not None:
+        disk_keys = key_list
+        if purge and hasattr(disk, "keys"):
+            disk_keys = sorted(set(map(str, key_list)) | set(disk.keys()))
+        if hasattr(disk, "quarantine"):
+            disk_count = disk.quarantine(disk_keys, reason=reason)
+        elif hasattr(disk, "invalidate"):
+            disk_count = sum(
+                1 for key in disk_keys if disk.invalidate(key)
+            )
+    counts = {
+        "keys": len(key_list),
+        "memory_evicted": memory,
+        "disk_quarantined": disk_count,
+    }
+    if purge:
+        counts["purged"] = True
+    return counts
 
 
 def install_persistent(disk: Optional[Any]) -> None:
@@ -728,6 +814,8 @@ def memoized(
         if not cache.enabled:
             return compute()
         key = memo_key(operation, inputs, extra, exact)
+        if _TRACKED is not None:
+            _TRACKED.add(key)
         value = cache.lookup(key)
         if value is not MemoCache._MISS:
             current_governor().tick()
@@ -755,6 +843,8 @@ def memoized(
         # content hash), so it gets its own leaf span
         with tracer.span("fingerprint"):
             key = memo_key(operation, inputs, extra, exact)
+        if _TRACKED is not None:
+            _TRACKED.add(key)
         value = cache.lookup(key)
         if value is not MemoCache._MISS:
             current_governor().tick()

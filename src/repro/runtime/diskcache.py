@@ -27,6 +27,16 @@ Design, driven by the failure modes it must survive:
   (:meth:`DiskCache.recover`) the torn tail is truncated away for good.
   Everything fsynced before the kill — every *committed* record — is
   recovered intact.
+* **Tombstoned quarantine.**  When the audit (:mod:`repro.audit`)
+  refutes a verdict, the memo entries it depended on are *quarantined*
+  (:meth:`DiskCache.quarantine`): each key gets a tombstone record
+  appended to a fresh segment — which sorts after every segment written
+  so far, so any future scan (refresh, recovery, a brand-new instance)
+  sees the tombstone *after* the poisoned record and drops the key —
+  and the action is journaled to ``quarantine.jsonl`` for forensics.
+  A later :meth:`put` of a recomputed value supersedes the tombstone
+  the same way; compaction drops both the poisoned record and the
+  tombstone for good.
 * **fcntl-locked compaction.**  Superseded and duplicate records (two
   workers computing the same key concurrently is legal: memoized values
   are deterministic, so duplicates are identical) are squeezed out by
@@ -42,13 +52,18 @@ Fault points (armed only by chaos tests, see
 halves of a record append — a ``crash`` action there produces a real
 torn tail; ``cache:stale-lock`` fires inside compaction's lock
 acquisition — an ``exception`` action there simulates an unyielding
-holder.
+holder; ``cache:poison-entry`` fires at the top of :meth:`DiskCache.put`
+— an ``exception`` action there persists a *semantically corrupted*
+value behind a perfectly valid checksum (a bottom-up automaton with its
+accepting set complemented), the corruption class that no checksum can
+catch and only the audit replay (:mod:`repro.audit`) detects.
 """
 
 from __future__ import annotations
 
 import hashlib
 import io
+import json
 import os
 import pickle
 import struct
@@ -66,10 +81,14 @@ try:  # pragma: no cover - exercised implicitly on every POSIX platform
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["DiskCache", "RECORD_MAGIC", "SEGMENT_SUFFIX"]
+__all__ = ["DiskCache", "RECORD_MAGIC", "TOMBSTONE_MAGIC", "SEGMENT_SUFFIX"]
 
 #: Frame marker opening every record; bumping it versions the format.
 RECORD_MAGIC = b"\xabRS1"
+
+#: Frame marker of a quarantine tombstone: same framing as a record but
+#: zero value bytes; parsing one *removes* the key from the index.
+TOMBSTONE_MAGIC = b"\xabRT1"
 
 #: Fixed-size portion after the magic: key length, value length, digest.
 _HEADER = struct.Struct("<II16s")
@@ -159,6 +178,8 @@ class DiskCache:
         self.oversize_skipped = 0
         self.compactions = 0
         self.compactions_skipped = 0
+        self.quarantined = 0
+        self.poisoned_writes = 0
         self._discard_orphan_tmp()
         self.refresh(force=True)
 
@@ -186,7 +207,9 @@ class DiskCache:
             frame = handle.read(len(RECORD_MAGIC) + _HEADER.size)
             if len(frame) < len(RECORD_MAGIC) + _HEADER.size:
                 break
-            if not frame.startswith(RECORD_MAGIC):
+            if not frame.startswith(
+                (RECORD_MAGIC, TOMBSTONE_MAGIC)
+            ):
                 break  # scribbled frame: stop at the last good boundary
             key_len, value_len, digest = _HEADER.unpack(
                 frame[len(RECORD_MAGIC):]
@@ -199,6 +222,10 @@ class DiskCache:
             if _checksum(key_bytes, value_bytes) != digest:
                 break  # torn or corrupted: nothing past it is trusted
             good = handle.tell()
+            if frame.startswith(TOMBSTONE_MAGIC):
+                # quarantine tombstone: the key's last record is dead
+                self._index.pop(key_bytes, None)
+                continue
             value_offset = good - value_len
             self._index[key_bytes] = _IndexEntry(
                 path, value_offset, value_len, digest, key_len
@@ -383,6 +410,17 @@ class DiskCache:
         with self._lock:
             if key_bytes in self._index:
                 return True  # deterministic values: a duplicate adds nothing
+            if active_plan() is not None:
+                try:
+                    fault_point("cache:poison-entry", key)
+                except FaultInjected:
+                    # chaos hook: persist a semantically corrupted value
+                    # behind a valid checksum — invisible to every
+                    # integrity check, catchable only by the audit replay
+                    poisoned = _poison_value(value)
+                    if poisoned is not value:
+                        value = poisoned
+                        self.poisoned_writes += 1
             try:
                 value_bytes = pickle.dumps(
                     value, protocol=pickle.HIGHEST_PROTOCOL
@@ -430,6 +468,81 @@ class DiskCache:
             if self._writer is not None:
                 self._writer.flush()
                 os.fsync(self._writer.fileno())
+
+    # -- quarantine --------------------------------------------------------
+
+    @property
+    def quarantine_path(self) -> Path:
+        """The quarantine journal (one JSON line per quarantine action)."""
+        return self.directory / "quarantine.jsonl"
+
+    def _tombstone(self, key_bytes: bytes) -> bool:
+        """Append a tombstone for ``key_bytes`` and drop it from the
+        index.  Caller holds the lock and has rolled the writer onto a
+        fresh segment (ordering!); returns whether the key was live."""
+        present = key_bytes in self._index
+        record = (
+            TOMBSTONE_MAGIC
+            + _HEADER.pack(len(key_bytes), 0, _checksum(key_bytes, b""))
+            + key_bytes
+        )
+        writer = self._open_writer()
+        offset = writer.tell()
+        writer.write(record)
+        assert self._writer_path is not None
+        self._scanned[self._writer_path] = offset + len(record)
+        self._index.pop(key_bytes, None)
+        return present
+
+    def invalidate(self, key: str) -> bool:
+        """Tombstone ``key``: dropped from the index *and* superseded on
+        disk, durably, so no future scan — an incremental refresh, a
+        startup recovery, or a brand-new instance over the same
+        directory — can re-serve the old record.  The tombstone goes
+        into a fresh segment (created now, hence sorting after every
+        segment holding the dead record) and is fsynced immediately:
+        quarantine is a correctness action, not an optimisation.
+        Returns ``True`` when the key was live."""
+        with self._lock:
+            self._close_writer()
+            present = self._tombstone(key.encode("utf-8"))
+            self.flush()
+            if present:
+                self.quarantined += 1
+            return present
+
+    def quarantine(self, keys: Any, reason: str = "") -> int:
+        """Tombstone every key in ``keys`` and journal the action.
+
+        The batch shares one fresh tombstone segment and one fsync, then
+        one line is appended to :attr:`quarantine_path`::
+
+            {"schema": "repro-quarantine/v1", "at": ..., "pid": ...,
+             "reason": ..., "keys": [...], "evicted": N}
+
+        Returns the number of keys that were actually live."""
+        key_list = [str(key) for key in keys]
+        with self._lock:
+            self._close_writer()
+            evicted = 0
+            for key in key_list:
+                if self._tombstone(key.encode("utf-8")):
+                    evicted += 1
+            self.flush()
+            self.quarantined += evicted
+            entry = {
+                "schema": "repro-quarantine/v1",
+                "at": time.time(),
+                "pid": os.getpid(),
+                "reason": reason,
+                "keys": key_list,
+                "evicted": evicted,
+            }
+            with open(self.quarantine_path, "a", encoding="utf-8") as out:
+                out.write(json.dumps(entry, sort_keys=True) + "\n")
+                out.flush()
+                os.fsync(out.fileno())
+            return evicted
 
     def close(self) -> None:
         """Flush, fsync and close the writer (the instance stays readable)."""
@@ -591,4 +704,30 @@ class DiskCache:
                 "oversize_skipped": self.oversize_skipped,
                 "compactions": self.compactions,
                 "compactions_skipped": self.compactions_skipped,
+                "quarantined": self.quarantined,
+                "poisoned_writes": self.poisoned_writes,
             }
+
+
+def _poison_value(value: Any) -> Any:
+    """A semantically corrupted variant of ``value`` (chaos only).
+
+    Bottom-up tree automata get their accepting set complemented —
+    flipping the verdict of anything downstream of the entry while
+    leaving the object perfectly well-formed.  Values of other shapes
+    are returned unchanged (the fault is then a no-op for them).
+    """
+    states = getattr(value, "states", None)
+    accepting = getattr(value, "accepting", None)
+    if isinstance(states, frozenset) and isinstance(accepting, frozenset):
+        try:
+            return type(value)(
+                alphabet=value.alphabet,
+                states=states,
+                leaf_rules=value.leaf_rules,
+                rules=value.rules,
+                accepting=states - accepting,
+            )
+        except Exception:  # noqa: BLE001 - defensive: leave unpoisoned
+            return value
+    return value

@@ -82,6 +82,26 @@ Overload points (PR 8; exercised by the overload chaos suite):
                            never send) are bounded by the daemon's
                            ``client_timeout`` socket timeout
 =========================  ================================================
+
+Audit points (PR 9; exercised by the audit chaos suite — both are armed
+with the ``exception`` action, which the host code *catches* and turns
+into the corruption it models rather than letting it propagate):
+
+=======================  ==================================================
+``cache:poison-entry``   at the top of the disk cache's ``put`` — the
+                         caught exception makes it persist a
+                         *semantically corrupted* value (a bottom-up
+                         automaton with its accepting set complemented)
+                         behind a perfectly valid checksum: the silent
+                         corruption class only the audit replay
+                         (:mod:`repro.audit`) can catch
+``audit:flip-verdict``   at the top of the audit replay — the caught
+                         exception makes the auditor certify the
+                         *negated* verdict, so a correct answer must come
+                         back ``failed``; proves the ``miscompiled``
+                         escalation/quarantine path end-to-end without
+                         needing a real engine bug
+=======================  ==================================================
 """
 
 from __future__ import annotations

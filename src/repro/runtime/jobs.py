@@ -12,7 +12,7 @@ Job parameter schema (the ``params`` of a manifest entry)::
 
     typecheck: stylesheet|stylesheet_text, input_dtd|input_dtd_text,
                output_dtd|output_dtd_text, method, max_inputs,
-               timeout, max_steps, max_states, fallback
+               timeout, max_steps, max_states, fallback, audit
     run:       stylesheet|stylesheet_text, document|document_text,
                timeout, max_steps
     validate:  dtd|dtd_text, document|document_text
@@ -25,6 +25,15 @@ are given the inline text wins.
 is ``ok`` or ``type-error``; resource exhaustion propagates as
 :class:`~repro.errors.ResourceExhausted` (the worker classifies it
 ``exhausted``), malformed inputs as the usual parse errors.
+
+With ``audit`` set (``"witness"``/``"full"``, or via the ``REPRO_AUDIT``
+environment variable) a typecheck job certifies its own verdict before
+reporting (:mod:`repro.audit`).  A refuted verdict is escalated to
+``status: "miscompiled"`` and — because this worker owns the memo tiers
+that fed the bad answer — the memo keys the run depended on are
+quarantined right here, from both the in-memory table and the persistent
+disk tier, before the outcome is sent (``outcome["quarantine"]`` carries
+the eviction counts).
 """
 
 from __future__ import annotations
@@ -155,9 +164,26 @@ def _job_typecheck(params: Mapping) -> dict:
         max_steps=params.get("max_steps"),
         max_states=params.get("max_states"),
         fallback=bool(params.get("fallback", False)),
+        audit=params.get("audit"),
     )
     outcome = result.to_jsonable()
     outcome["status"] = "ok" if result.ok else "type-error"
+    audit = result.stats.get("audit")
+    if isinstance(audit, Mapping) and audit.get("status") == "failed":
+        # The audit refuted this verdict: escalate, and quarantine both
+        # memo tiers *in this worker* (it owns them).  The purge is
+        # deliberately total — memo hits short-circuit their ancestors,
+        # so the tracked keys bound what the run touched, not the
+        # poisoned closure that fed it; only dropping everything
+        # guarantees the resubmission recomputes from first principles.
+        from repro.runtime.cache import quarantine_keys
+
+        outcome["status"] = "miscompiled"
+        outcome["quarantine"] = quarantine_keys(
+            audit.get("quarantine_keys") or (),
+            reason=f"audit refuted a {result.method} verdict",
+            purge=True,
+        )
     return outcome
 
 

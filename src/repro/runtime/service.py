@@ -95,6 +95,7 @@ from repro.runtime.faults import FaultPlan, fault_point, install_plan
 from repro.runtime.jobs import affinity_key
 from repro.runtime.supervisor import (
     CRASHED,
+    MISCOMPILED,
     OOM,
     SHED,
     TIMEOUT,
@@ -178,8 +179,20 @@ class ServiceConfig:
     #: off after this many seconds instead of pinning a handler thread
     #: (``None`` = wait forever, the pre-PR-8 behaviour).
     client_timeout: Optional[float] = 10.0
+    #: audit mode forced onto every typecheck job (:mod:`repro.audit`):
+    #: ``"witness"`` certifies type-error evidence before a result is
+    #: journaled, ``"full"`` additionally falsifies exact ``ok``
+    #: verdicts.  A refuted verdict comes back ``miscompiled`` (the
+    #: worker quarantines its memo lineage from both cache tiers) and is
+    #: journaled as such; counters surface via ``stats``/``health``.
+    audit: str = "off"
 
     def __post_init__(self) -> None:
+        if self.audit not in ("off", "witness", "full"):
+            raise ServiceError(
+                f"unknown audit mode {self.audit!r}; expected off, "
+                f"witness, or full"
+            )
         if self.workers < 1:
             raise ServiceError("workers must be at least 1")
         if self.recycle_jobs < 1:
@@ -604,6 +617,8 @@ class ServiceDaemon:
         )
         self._served: Counter = Counter()
         self._shed_reasons: Counter = Counter()
+        self._audit_outcomes: Counter = Counter()
+        self._quarantined_keys = 0
         self._draining = threading.Event()
         self._stopped = threading.Event()
         self._started = False
@@ -1051,6 +1066,12 @@ class ServiceDaemon:
             # everyone until pressure subsides
             payload["params"] = dict(payload["params"])
             payload["params"]["method"] = "bounded"
+        if (self.config.audit != "off" and spec.kind == "typecheck"
+                and "audit" not in payload["params"]):
+            # certification before journaling: the worker audits its own
+            # verdict (and quarantines its memo tiers on refutation)
+            payload["params"] = dict(payload["params"])
+            payload["params"]["audit"] = self.config.audit
         payload["limits"] = limits.to_dict()
         payload["fault_key"] = f"{spec.id}#1"
         tracer = current_tracer()
@@ -1106,6 +1127,15 @@ class ServiceDaemon:
         cache = record.get("detail", {}).get("stats", {}).get("cache")
         if isinstance(cache, dict):
             cache["job_id"] = spec.id
+        detail = record.get("detail", {})
+        audit_report = detail.get("stats", {}).get("audit")
+        if isinstance(audit_report, dict) and audit_report.get("status"):
+            self._audit_outcomes[str(audit_report["status"])] += 1
+        quarantine = detail.get("quarantine")
+        if isinstance(quarantine, dict):
+            self._quarantined_keys += int(
+                quarantine.get("disk_quarantined", 0)
+            )
         return JobResult(
             id=spec.id,
             status=record["status"],
@@ -1323,6 +1353,12 @@ class ServiceDaemon:
             ),
             "cost_model": {"keys": len(self._costs)},
             "breaker": self._breaker.snapshot(),
+            "audit": {
+                "mode": self.config.audit,
+                "outcomes": dict(self._audit_outcomes),
+                "miscompiled": self._served.get(MISCOMPILED, 0),
+                "quarantined_keys": self._quarantined_keys,
+            },
             "cache": cache_stats,
             "workers": [
                 {
@@ -1365,6 +1401,11 @@ class ServiceDaemon:
                 self._controller.snapshot()
                 if self._controller is not None else None
             ),
+            "audit": {
+                "mode": self.config.audit,
+                "miscompiled": self._served.get(MISCOMPILED, 0),
+                "quarantined_keys": self._quarantined_keys,
+            },
         }
 
     # -- the socket server -------------------------------------------------

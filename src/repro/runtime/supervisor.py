@@ -68,6 +68,7 @@ from typing import Callable, Mapping, Optional, Sequence
 from repro.errors import (
     EXIT_CRASHED,
     EXIT_EXHAUSTED,
+    EXIT_MISCOMPILED,
     EXIT_OK,
     EXIT_SHED,
     EXIT_TYPE_ERROR,
@@ -90,6 +91,7 @@ __all__ = [
     "TIMEOUT",
     "OOM",
     "CRASHED",
+    "MISCOMPILED",
     "STATUSES",
     "JobLimits",
     "RetryPolicy",
@@ -114,14 +116,18 @@ SHED = "shed"
 TIMEOUT = "timeout"
 OOM = "oom"
 CRASHED = "crashed"
+MISCOMPILED = "miscompiled"
 
 #: Every status a job can finish with, exactly one per job.  ``shed`` is
 #: special: workers never produce it — only an overloaded service daemon
 #: answers it, at admission or while the job waits in queue, and always
 #: *without* executing anything (``attempts`` is 0), so a shed job is
-#: retryable by construction.
+#: retryable by construction.  ``miscompiled`` is the audit's verdict:
+#: the job *completed* but its answer failed independent certification
+#: (:mod:`repro.audit`), which outranks every other failure — a crash is
+#: loud, a wrong answer is silent.
 STATUSES = (OK, TYPE_ERROR, USAGE_ERROR, EXHAUSTED, SHED, TIMEOUT, OOM,
-            CRASHED)
+            CRASHED, MISCOMPILED)
 
 #: Statuses caused by resource blow-ups — these trigger degradation.
 RESOURCE_FAILURES = (TIMEOUT, OOM, EXHAUSTED)
@@ -136,15 +142,18 @@ _STATUS_EXIT = {
     TIMEOUT: EXIT_CRASHED,
     OOM: EXIT_CRASHED,
     CRASHED: EXIT_CRASHED,
+    MISCOMPILED: EXIT_MISCOMPILED,
 }
 
 #: Severity order for the batch exit code (highest wins).  ``shed`` sits
 #: below the execution failures — a batch that both crashed a job and had
 #: one shed reports the crash — but above the input-classification
 #: statuses, so "the daemon refused work" is never masked by an ordinary
-#: type-error in the same batch.
-_SEVERITY = (CRASHED, OOM, TIMEOUT, EXHAUSTED, SHED, USAGE_ERROR,
-             TYPE_ERROR, OK)
+#: type-error in the same batch.  ``miscompiled`` tops the order: every
+#: other failure is honest about failing, while a refuted verdict means
+#: the system *lied* and nothing downstream of it can be trusted.
+_SEVERITY = (MISCOMPILED, CRASHED, OOM, TIMEOUT, EXHAUSTED, SHED,
+             USAGE_ERROR, TYPE_ERROR, OK)
 
 #: Schema tag on every result-log line.  v2 added the tag itself and the
 #: ``job_id`` field inside each ``detail.stats.cache`` delta block; v1

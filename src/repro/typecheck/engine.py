@@ -38,6 +38,7 @@ are enumerated as documents and encoded.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
@@ -209,6 +210,7 @@ def typecheck(
     max_states: Optional[int] = None,
     fallback: bool = False,
     governor: Optional[ResourceGovernor] = None,
+    audit: Optional[str] = None,
 ) -> TypecheckResult:
     """Decide (or refute) ``T(tau1) ⊆ tau2``.
 
@@ -242,16 +244,56 @@ def typecheck(
     :func:`repro.runtime.tracing`), ``stats["trace"]`` additionally
     carries the per-phase span summary of this call — span count, root
     wall time, and per-span-name count/wall/steps aggregates.
+
+    ``audit`` arms independent verdict certification (:mod:`repro.audit`):
+    ``"witness"`` replays the counterexample evidence of every
+    ``type-error`` verdict with the trusted interpreters (cache
+    disabled); ``"full"`` additionally runs seeded randomized
+    falsification against exact ``ok`` verdicts.  The report lands in
+    ``stats["audit"]`` (status, replay steps, seed); a ``failed`` status
+    means the verdict is *refuted* — the caller (CLI, batch worker,
+    service) escalates it to the ``miscompiled`` outcome, and
+    ``stats["audit"]["quarantine_keys"]`` then lists every memo key the
+    run depended on so both cache tiers can be quarantined.  ``None``
+    defers to the ``REPRO_AUDIT`` environment variable; ``"off"`` (the
+    default) adds zero overhead.
     """
     tracer = current_tracer()
     cache_before = cache_stats()
+    audit_mode = "off"
+    if audit is not None or os.environ.get("REPRO_AUDIT"):
+        from repro.audit import resolve_audit_mode
+
+        audit_mode = resolve_audit_mode(audit)
     with tracer.span("typecheck", method=method) as span:
-        result = _typecheck_dispatch(
-            transducer, input_type, output_type, method, max_inputs,
-            max_depth,
-            timeout=timeout, max_steps=max_steps, max_states=max_states,
-            fallback=fallback, governor=governor,
-        )
+        if audit_mode == "off":
+            result = _typecheck_dispatch(
+                transducer, input_type, output_type, method, max_inputs,
+                max_depth,
+                timeout=timeout, max_steps=max_steps, max_states=max_states,
+                fallback=fallback, governor=governor,
+            )
+        else:
+            from repro.audit import FAILED, audit_result
+            from repro.runtime.cache import tracked_keys
+
+            with tracked_keys() as touched:
+                result = _typecheck_dispatch(
+                    transducer, input_type, output_type, method,
+                    max_inputs, max_depth,
+                    timeout=timeout, max_steps=max_steps,
+                    max_states=max_states,
+                    fallback=fallback, governor=governor,
+                )
+            with tracer.span("audit", mode=audit_mode):
+                report = audit_result(
+                    transducer, input_type, output_type, result,
+                    mode=audit_mode,
+                )
+            result.stats["audit"] = report.to_jsonable()
+            if report.status == FAILED:
+                # hand the quarantine lineage to whoever escalates this
+                result.stats["audit"]["quarantine_keys"] = sorted(touched)
     cache_after = cache_stats()
     result.stats["cache"] = {
         "enabled": cache_after["enabled"],

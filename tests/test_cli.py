@@ -92,6 +92,65 @@ class TestTypecheck:
         assert code == 0
         assert "sample inputs" in capsys.readouterr().out
 
+    def test_exact_verdict_is_labeled_a_proof(self, files, capsys):
+        assert main(["typecheck", "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"],
+                     files["sheet.xsl"]]) == 0
+        assert "verdict: ok (exact proof)" in capsys.readouterr().out
+
+    def test_bounded_verdict_is_labeled_not_a_proof(self, files, capsys):
+        assert main(["typecheck", "--method", "bounded",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"],
+                     files["sheet.xsl"]]) == 0
+        assert "verdict: ok (bounded — not a proof)" in \
+            capsys.readouterr().out
+
+    def test_audit_witness_certifies_type_error(self, files, capsys):
+        code = main(["typecheck", "--audit", "witness",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["bad.dtd"], files["sheet.xsl"]])
+        assert code == 1  # a *certified* type error is still exit 1
+        output = capsys.readouterr().out
+        assert "DOES NOT typecheck" in output
+        assert "audit: certified (mode=witness" in output
+
+    def test_audit_full_certifies_ok(self, files, capsys):
+        code = main(["typecheck", "--audit", "full",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "audit: certified (mode=full" in output
+        assert "seed=" in output
+
+    def test_audit_witness_skips_exact_ok(self, files, capsys):
+        code = main(["typecheck", "--audit", "witness",
+                     "--input-dtd", files["in.dtd"],
+                     "--output-dtd", files["good.dtd"], files["sheet.xsl"]])
+        assert code == 0
+        assert "audit: skipped" in capsys.readouterr().out
+
+    def test_refuted_verdict_exits_6(self, files, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"points": {"audit:flip-verdict": {"action": "exception"}}}'
+        )
+        from repro.runtime.faults import FaultPlan, injected_faults
+        import json as _json
+
+        with injected_faults(
+            FaultPlan.from_dict(_json.loads(plan.read_text()))
+        ):
+            code = main(["typecheck", "--audit", "witness",
+                         "--input-dtd", files["in.dtd"],
+                         "--output-dtd", files["good.dtd"],
+                         files["sheet.xsl"]])
+        assert code == 6
+        captured = capsys.readouterr()
+        assert "audit: failed" in captured.out
+        assert "MISCOMPILED" in captured.err
+
     def test_budget_with_fallback_degrades(self, files, capsys):
         # the default --fallback turns an exhausted exact run into a
         # bounded verdict; the bad DTD still yields its counterexample.
@@ -184,3 +243,88 @@ class TestTypecheck:
         code = main(["validate", "--dtd", "/nonexistent.dtd",
                      files["doc.xml"]])
         assert code == 2
+
+
+class TestAuditCommand:
+    """``repro audit``: offline re-certification of a results log."""
+
+    import json as _json
+
+    def manifest_and_results(self, files, tmp_path, capsys):
+        jobs = [
+            {"id": "good", "kind": "typecheck",
+             "params": {"stylesheet": files["sheet.xsl"],
+                        "input_dtd": files["in.dtd"],
+                        "output_dtd": files["good.dtd"]}},
+            {"id": "bad", "kind": "typecheck",
+             "params": {"stylesheet": files["sheet.xsl"],
+                        "input_dtd": files["in.dtd"],
+                        "output_dtd": files["bad.dtd"]}},
+        ]
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            "".join(self._json.dumps(job) + "\n" for job in jobs)
+        )
+        results = tmp_path / "r.jsonl"
+        assert main(["batch", str(manifest),
+                     "--results", str(results)]) == 1
+        capsys.readouterr()
+        return manifest, results
+
+    def test_clean_log_recertifies(self, files, tmp_path, capsys):
+        manifest, results = self.manifest_and_results(
+            files, tmp_path, capsys
+        )
+        code = main(["audit", str(results), "--manifest", str(manifest)])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [self._json.loads(line)
+                 for line in captured.out.splitlines()]
+        by_id = {line["id"]: line["audit"]["status"] for line in lines}
+        assert by_id == {"good": "skipped", "bad": "certified"}
+        assert "certified=1" in captured.err
+
+    def test_full_mode_falsifies_ok_verdicts(self, files, tmp_path,
+                                             capsys):
+        manifest, results = self.manifest_and_results(
+            files, tmp_path, capsys
+        )
+        code = main(["audit", str(results), "--manifest", str(manifest),
+                     "--mode", "full"])
+        assert code == 0
+        assert "certified=2" in capsys.readouterr().err
+
+    def test_tampered_log_exits_6(self, files, tmp_path, capsys):
+        manifest, results = self.manifest_and_results(
+            files, tmp_path, capsys
+        )
+        lines = [self._json.loads(line)
+                 for line in results.read_text().splitlines()]
+        for line in lines:
+            if line["id"] == "bad":
+                # forge a well-typed "counterexample": the replay must
+                # refute it
+                line["detail"]["counterexample_output"] = \
+                    "<out><thing/></out>"
+        results.write_text(
+            "".join(self._json.dumps(line) + "\n" for line in lines)
+        )
+        code = main(["audit", str(results), "--manifest", str(manifest)])
+        assert code == 6
+        captured = capsys.readouterr()
+        assert "failed=1" in captured.err
+        assert "MISCOMPILED: bad" in captured.err
+
+    def test_unmatched_records_are_reported(self, files, tmp_path,
+                                            capsys):
+        manifest, results = self.manifest_and_results(
+            files, tmp_path, capsys
+        )
+        with open(results, "a") as handle:
+            handle.write(self._json.dumps(
+                {"id": "stranger", "status": "ok", "detail": {}}
+            ) + "\n")
+        code = main(["audit", str(results), "--manifest", str(manifest)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "unmatched=1" in captured.err

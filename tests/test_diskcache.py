@@ -362,3 +362,111 @@ def test_stats_snapshot_shape(tmp_path):
     assert stats["stores"] == 1
     assert stats["bytes"] > 0
     assert json.dumps(stats)  # JSON-able for the service's stats op
+
+
+# -- quarantine tombstones (PR 9) --------------------------------------------
+
+
+def _tombstone_cache(tmp_path) -> DiskCache:
+    cache = DiskCache(tmp_path / "cache", sync="always")
+    cache.put("keep", "good")
+    cache.put("bad", "poisoned")
+    return cache
+
+
+def test_invalidate_is_a_durable_tombstone(tmp_path):
+    cache = _tombstone_cache(tmp_path)
+    assert cache.invalidate("bad") is True
+    assert cache.invalidate("bad") is False  # already dead
+    assert cache.get("bad", "MISS") == "MISS"
+    assert cache.get("keep") == "good"
+    assert cache.stats()["quarantined"] == 1
+    cache.close()
+
+    # a brand-new instance over the same directory must respect the
+    # tombstone: the dead record is still in an older segment, but the
+    # tombstone's fresh segment sorts after it (last wins)
+    fresh = DiskCache(tmp_path / "cache")
+    assert fresh.get("bad", "MISS") == "MISS"
+    assert fresh.get("keep") == "good"
+    assert len(fresh) == 1
+
+
+def test_reput_after_invalidate_supersedes_the_tombstone(tmp_path):
+    cache = _tombstone_cache(tmp_path)
+    cache.invalidate("bad")
+    assert cache.put("bad", "recomputed")  # index was popped: a real put
+    assert cache.get("bad") == "recomputed"
+    cache.close()
+
+    fresh = DiskCache(tmp_path / "cache")
+    assert fresh.get("bad") == "recomputed"
+
+
+def test_quarantine_batch_tombstones_and_journals(tmp_path):
+    cache = DiskCache(tmp_path / "cache", sync="always")
+    for i in range(4):
+        cache.put(f"k{i}", i)
+    evicted = cache.quarantine(["k1", "k3", "ghost"],
+                               reason="audit refuted a verdict")
+    assert evicted == 2
+    assert cache.stats()["quarantined"] == 2
+    assert cache.get("k0") == 0 and cache.get("k2") == 2
+    assert cache.get("k1", "MISS") == "MISS"
+
+    entry = json.loads(cache.quarantine_path.read_text().splitlines()[0])
+    assert entry["schema"] == "repro-quarantine/v1"
+    assert entry["keys"] == ["k1", "k3", "ghost"]
+    assert entry["evicted"] == 2
+    assert entry["reason"] == "audit refuted a verdict"
+    assert entry["pid"] == os.getpid()
+
+
+def test_compaction_drops_tombstones_and_dead_records(tmp_path):
+    cache = _tombstone_cache(tmp_path)
+    cache.invalidate("bad")
+    cache.close()
+
+    compactor = DiskCache(tmp_path / "cache")
+    assert compactor.compact()
+    assert compactor.get("keep") == "good"
+    assert compactor.get("bad", "MISS") == "MISS"
+    assert compactor.stats()["segments"] == 1
+    compactor.close()
+
+    fresh = DiskCache(tmp_path / "cache")
+    assert fresh.get("keep") == "good"
+    assert fresh.get("bad", "MISS") == "MISS"
+
+
+def test_poison_fault_corrupts_behind_a_valid_checksum(tmp_path):
+    # the corruption class only the audit replay can catch: the value is
+    # semantically wrong, but every framing/checksum check passes
+    from repro.automata import BottomUpTA
+    from repro.trees import RankedAlphabet
+
+    alphabet = RankedAlphabet(leaves={"a", "b"}, internals={"f"})
+    automaton = BottomUpTA(
+        alphabet=alphabet,
+        states={"ok"},
+        leaf_rules={"a": {"ok"}},
+        rules={("f", "ok", "ok"): {"ok"}},
+        accepting={"ok"},
+    )
+    cache = DiskCache(tmp_path / "cache", sync="always")
+    plan = FaultPlan(points={
+        "cache:poison-entry": FaultSpec(action="exception"),
+    })
+    with injected_faults(plan):
+        assert cache.put("automaton", automaton)
+        cache.put("scalar", 42)  # non-automata shapes pass unharmed
+    assert cache.stats()["poisoned_writes"] == 1
+    assert cache.get("scalar") == 42
+    poisoned = cache.get("automaton")
+    assert poisoned.accepting == frozenset()  # complemented
+    assert cache.stats()["corrupt_reads"] == 0  # checksum is *valid*
+    cache.close()
+
+    fresh = DiskCache(tmp_path / "cache")
+    assert fresh.get("automaton").accepting == frozenset()
+    assert fresh.stats()["corrupt_reads"] == 0

@@ -12,10 +12,14 @@ code  meaning
 3     a resource budget was exhausted with no fallback
 4     a worker crashed or was killed at a hard limit
 5     the service shed the job before execution (retryable)
+6     the audit refuted the verdict (``miscompiled``)
 ====  =========================================================
 
 The ``shed`` path (exit 5) is exercised end-to-end in
 ``tests/test_service_overload.py`` — it only exists behind the daemon.
+The ``miscompiled`` path (exit 6) is exercised in ``tests/test_audit.py``
+and ``tests/test_audit_chaos.py``; the status-severity ordering test
+below pins where it ranks.
 """
 
 from __future__ import annotations
@@ -126,6 +130,44 @@ def test_cli_batch_exit_code_is_most_severe_status(workspace, capsys):
     assert main(["batch", str(manifest),
                  "--results",
                  str(workspace / "r2.jsonl")]) == EXIT_TYPE_ERROR
+    capsys.readouterr()
+
+
+def test_miscompiled_is_the_most_severe_status():
+    from repro.errors import EXIT_MISCOMPILED
+    from repro.runtime.supervisor import (
+        _SEVERITY,
+        _STATUS_EXIT,
+        CRASHED,
+        MISCOMPILED,
+        STATUSES,
+    )
+
+    assert MISCOMPILED in STATUSES
+    assert _STATUS_EXIT[MISCOMPILED] == EXIT_MISCOMPILED == 6
+    # worse than a crash: every other failure is honest about failing
+    assert _SEVERITY.index(MISCOMPILED) < _SEVERITY.index(CRASHED)
+    assert set(_SEVERITY) == set(STATUSES)
+
+
+def test_cli_batch_miscompiled_exit_code(workspace, capsys):
+    manifest = workspace / "flip.jsonl"
+    manifest.write_text(json.dumps({
+        "id": "flip", "kind": "typecheck",
+        "params": {"stylesheet_text": IDENTITY_SHEET,
+                   "input_dtd_text": TINY_DTD,
+                   "output_dtd_text": TINY_DTD},
+    }) + "\n")
+    plan = workspace / "plan.json"
+    plan.write_text(json.dumps(
+        {"points": {"audit:flip-verdict": {"action": "exception"}}}
+    ))
+    from repro.errors import EXIT_MISCOMPILED
+
+    code = main(["batch", str(manifest),
+                 "--results", str(workspace / "rflip.jsonl"),
+                 "--audit", "witness", "--faults", str(plan)])
+    assert code == EXIT_MISCOMPILED
     capsys.readouterr()
 
 
