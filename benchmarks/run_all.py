@@ -10,7 +10,9 @@ the E10 typechecking suite cached vs. uncached plus the overhead of
 tracing itself (traced vs. untraced warm runs, the ``trace_overhead``
 section) and of verdict certification (the same warm suite under
 ``REPRO_AUDIT`` off/witness/full, the ``audit_overhead`` section —
-witness mode is gated at ≤10% overhead), and writes everything to one
+witness mode is gated at ≤10% overhead) and the fast typechecking
+routes against the exact pipeline (the ``routing`` section — verdict
+agreement is a hard gate), then writes everything to one
 schema-versioned JSON file (``BENCH_<revision>.json`` by default)::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
@@ -499,6 +501,108 @@ def run_overload_baseline() -> dict:
     }
 
 
+def run_routing_baseline() -> dict:
+    """The fast routes against the exact pipeline on the route-eligible
+    example machines — the ``routing`` section.
+
+    Every applicable method (``exact`` always; ``fast``/``lazy`` when
+    the classifier admits the machine) runs cold (cache cleared first,
+    best of two) on each case.  Verdict agreement across routes is a
+    hard gate — the sweep fails on any disagreement — and the committed
+    per-route walls let a revision diff show when a fast route stops
+    beating the pipeline it exists to avoid.
+    """
+    from repro.automata.bottom_up import BottomUpTA
+    from repro.pebble.builders import (
+        copy_transducer,
+        exponential_transducer,
+        rotation_transducer,
+    )
+    from repro.trees.alphabet import RankedAlphabet
+    from repro.typecheck import classify, typecheck
+
+    def universal(alphabet) -> BottomUpTA:
+        return BottomUpTA(
+            alphabet=alphabet, states={"x"},
+            leaf_rules={s: {"x"} for s in sorted(alphabet.leaves)},
+            rules={(s, "x", "x"): {"x"}
+                   for s in sorted(alphabet.internals)},
+            accepting={"x"},
+        )
+
+    alpha = RankedAlphabet(leaves={"a", "b"}, internals={"f", "g"})
+    rot_alpha = RankedAlphabet(leaves={"s", "a"}, internals={"r", "f"})
+    all_a = BottomUpTA(
+        alphabet=alpha, states={"ok"},
+        leaf_rules={"a": {"ok"}},
+        rules={(s, "ok", "ok"): {"ok"} for s in ("f", "g")},
+        accepting={"ok"},
+    )
+    expo = exponential_transducer(alpha)
+    rot = rotation_transducer(rot_alpha, pivot="s", root_symbol="r")
+    cases = [
+        ("copy-ok", copy_transducer(alpha), universal(alpha),
+         universal(alpha)),
+        ("copy-type-error", copy_transducer(alpha), universal(alpha),
+         all_a),
+        ("exponential-ok", expo, all_a, universal(expo.output_alphabet)),
+        ("rotation-ok", rot, universal(rot_alpha),
+         universal(rot.output_alphabet)),
+    ]
+
+    previous = GLOBAL_CACHE.enabled
+    GLOBAL_CACHE.enabled = True
+    records = []
+    agreements = []
+    try:
+        for name, machine, tau1, tau2 in cases:
+            decision = classify(machine)
+            methods = ["exact"]
+            if decision.fast_eligible:
+                methods.append("fast")
+            if decision.lazy_eligible:
+                methods.append("lazy")
+            runs = {}
+            for method in methods:
+                walls = []
+                for _ in range(2):
+                    clear_cache()
+                    start = time.perf_counter()
+                    result = typecheck(
+                        machine, tau1, tau2, method=method
+                    )
+                    walls.append(time.perf_counter() - start)
+                runs[method] = {
+                    "ok": result.ok,
+                    "method": result.method,
+                    "seconds": round(min(walls), 4),
+                }
+            verdicts = {run["ok"] for run in runs.values()}
+            agree = len(verdicts) == 1
+            agreements.append(agree)
+            routed = {"fast-td": "fast", "lazy-backward": "lazy"}.get(
+                decision.route
+            )
+            routed_wall = runs[routed]["seconds"] if routed else None
+            records.append({
+                "name": name,
+                "route": decision.route,
+                "verdicts_agree": agree,
+                "runs": runs,
+                "speedup_route_vs_exact": (
+                    round(runs["exact"]["seconds"] / routed_wall, 3)
+                    if routed_wall else None
+                ),
+            })
+    finally:
+        GLOBAL_CACHE.enabled = previous
+        clear_cache()
+    return {
+        "cases": records,
+        "verdicts_agree": all(agreements),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -539,6 +643,9 @@ def main(argv: list[str] | None = None) -> int:
     print("== e17 overload burst baseline ==", flush=True)
     overload = run_overload_baseline()
 
+    print("== routing fast-paths-vs-exact baseline ==", flush=True)
+    routing = run_routing_baseline()
+
     drift = step_drift(experiments, _prior_bench(output))
 
     report = {
@@ -553,6 +660,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit_overhead": audit,
         "baseline_e16_service": service,
         "baseline_e17_overload": overload,
+        "routing": routing,
     }
     output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -599,6 +707,11 @@ def main(argv: list[str] | None = None) -> int:
           f"{overload['shed_rate_pct']}% shed, admitted p95 "
           f"{overload['admitted_p95_wall_seconds']}s, brownout "
           f"{' -> '.join(overload['brownout_transitions']) or '(flat)'}")
+    for case in routing["cases"]:
+        speedup = case["speedup_route_vs_exact"]
+        note = f"{speedup}x vs exact" if speedup else "exact only"
+        print(f"routing {case['name']}: route {case['route']} ({note}, "
+              f"agree={case['verdicts_agree']})")
     if failures:
         for rec in failures:
             print(f"FAILED: {rec['name']} (exit {rec['exit_code']})",
@@ -609,6 +722,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{audit['witness_overhead_pct']}% exceeds the "
               f"{audit['witness_max_overhead_pct']}% budget",
               file=sys.stderr)
+        return 1
+    if not routing["verdicts_agree"]:
+        print("ERROR: typechecking routes disagree on a routing "
+              "baseline case", file=sys.stderr)
         return 1
     if drift.get("failed"):
         return 1

@@ -78,7 +78,8 @@ from repro.runtime.governor import Budget, ResourceGovernor, governed
 from repro.runtime.trace import current_tracer
 from repro.trees.ranked import BTree
 from repro.typecheck.engine import (
-    DEGRADED_METHOD,
+    DEGRADED_SUFFIX,
+    EXACT_METHODS,
     TypeLike,
     TypecheckResult,
     _input_instances,
@@ -264,14 +265,15 @@ def audit_result(
                     checks=tuple(checks), replay_steps=gov.steps,
                     flipped=flipped,
                 )
-            if result.method != "exact":
+            if result.method not in EXACT_METHODS:
                 caveat = (
                     "bounded ok is not a proof; only the explored "
                     "inputs are covered"
                 )
-                if result.method == DEGRADED_METHOD:
+                if result.method.endswith(DEGRADED_SUFFIX):
+                    route = result.method[: -len(DEGRADED_SUFFIX)]
                     caveat = (
-                        "exact run exhausted its budget and degraded "
+                        f"{route} run exhausted its budget and degraded "
                         "to the bounded falsifier; " + caveat
                     )
                 return AuditReport(

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro validate  --dtd schema.dtd document.xml
     python -m repro typecheck --input-dtd in.dtd --output-dtd out.dtd \
-                              stylesheet.xsl [--method exact|bounded]
+                              stylesheet.xsl [--method auto|exact|bounded|fast|lazy]
                               [--timeout S] [--max-steps N]
                               [--max-states N] [--no-fallback]
                               [--no-cache] [--cache-stats]
@@ -109,6 +109,7 @@ from repro.runtime import (
 )
 from repro.trees import decode
 from repro.typecheck import typecheck
+from repro.typecheck.engine import DEGRADED_SUFFIX, EXACT_METHODS
 from repro.xmlio import DTD, parse_dtd, parse_dtd_xml, parse_xml, to_xml
 
 #: ``--trace`` with no FILE operand (tree on stderr, no JSONL).
@@ -186,19 +187,23 @@ def _cmd_typecheck(args: argparse.Namespace) -> int:
             + f" enabled={'yes' if counters.get('enabled') else 'no'}",
             file=sys.stderr,
         )
-    degraded = result.method.startswith("exact-exhausted")
+    degraded = result.method.endswith(DEGRADED_SUFFIX)
     if degraded:
         exhausted = result.stats.get("exact_exhausted", {})
+        route = result.method[: -len(DEGRADED_SUFFIX)]
         print(
-            "note: exact engine ran out of "
+            f"note: {route} engine ran out of "
             f"{exhausted.get('reason', 'budget')} in phase "
             f"{exhausted.get('phase', '?')!r}; "
             "degraded to the bounded falsifier",
             file=sys.stderr,
         )
+    routing = result.stats.get("routing")
+    if routing is not None and routing.get("requested") == "auto":
+        print(f"method: {result.method} (auto)", file=sys.stderr)
     audit_report = result.stats.get("audit")
     if result.ok:
-        if result.method == "exact":
+        if result.method in EXACT_METHODS:
             qualifier = ""
             confidence = "exact proof"
         else:
@@ -579,8 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument("--input-dtd", required=True)
     check.add_argument("--output-dtd", required=True)
-    check.add_argument("--method", choices=["exact", "bounded"],
-                       default="exact")
+    check.add_argument("--method",
+                       choices=["auto", "exact", "bounded", "fast", "lazy"],
+                       default="auto",
+                       help="decision procedure: auto routes to the "
+                            "cheapest exact method (docs/algorithms.md)")
     check.add_argument("--max-inputs", type=int, default=50,
                        help="input budget for the bounded engine")
     _add_budget_arguments(check, states=True)

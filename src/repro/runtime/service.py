@@ -1061,9 +1061,10 @@ class ServiceDaemon:
             if wall_limit is None or wall_limit > budget:
                 limits = replace(limits, wall_seconds=budget)
         if (pressure >= 2 and spec.kind == "typecheck"
-                and payload["params"].get("method", "exact") == "exact"):
+                and payload["params"].get("method", "exact") != "bounded"):
             # bounded-only: the cheap falsifier tier (paper §5) for
-            # everyone until pressure subsides
+            # everyone until pressure subsides (covers every exact-class
+            # route — auto/exact/fast/lazy)
             payload["params"] = dict(payload["params"])
             payload["params"]["method"] = "bounded"
         if (self.config.audit != "off" and spec.kind == "typecheck"

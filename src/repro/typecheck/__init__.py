@@ -1,11 +1,18 @@
 """Typechecking for XML transformers (paper, Section 4)."""
 
 from repro.typecheck.engine import (
+    EXACT_METHODS,
     TypecheckResult,
     as_automaton,
     bad_input_language,
     inverse_type,
     typecheck,
+)
+from repro.typecheck.routing import (
+    RouteDecision,
+    classify,
+    typecheck_fast,
+    typecheck_lazy,
 )
 from repro.typecheck.forward import (
     ForwardResult,
@@ -19,11 +26,16 @@ from repro.typecheck.selection import (
 )
 
 __all__ = [
+    "EXACT_METHODS",
     "TypecheckResult",
     "as_automaton",
     "bad_input_language",
     "inverse_type",
     "typecheck",
+    "RouteDecision",
+    "classify",
+    "typecheck_fast",
+    "typecheck_lazy",
     "ForwardResult",
     "approximate_image",
     "typecheck_forward",

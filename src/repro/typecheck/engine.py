@@ -67,8 +67,19 @@ from repro.xmlio.specialized import SpecializedDTD
 
 TypeLike = Union[BottomUpTA, DTD, SpecializedDTD]
 
-#: ``method`` string of results produced by the degradation policy.
-DEGRADED_METHOD = "exact-exhausted→bounded"
+#: Suffix marking a result produced by the degradation policy (the
+#: exhausted route's name is the prefix: ``exact-exhausted→bounded``,
+#: ``fast-td-exhausted→bounded``, ...).
+DEGRADED_SUFFIX = "-exhausted→bounded"
+
+#: ``method`` string of a degraded ``method="exact"`` run (the common
+#: case; kept as a constant for backward compatibility).
+DEGRADED_METHOD = "exact" + DEGRADED_SUFFIX
+
+#: ``method`` values whose verdicts are exact proofs / genuine
+#: counterexamples (audit certifies these; the bounded falsifier and
+#: degraded results are not in this set).
+EXACT_METHODS = frozenset({"exact", "fast-td", "lazy-backward"})
 
 _BOUNDED_CAVEAT = (
     "ok=True from the bounded falsifier only means no counterexample was "
@@ -214,9 +225,27 @@ def typecheck(
 ) -> TypecheckResult:
     """Decide (or refute) ``T(tau1) ⊆ tau2``.
 
-    ``method="exact"`` runs the Theorem 4.4 decision procedure;
-    ``method="bounded"`` enumerates up to ``max_inputs`` instances of the
-    input type and checks each (a sound falsifier).
+    ``method`` selects the decision procedure (the full decision tree is
+    documented in ``docs/algorithms.md``):
+
+    * ``"auto"`` — classify the transducer
+      (:func:`repro.typecheck.routing.classify`) and run the cheapest
+      exact route: the polynomial ``fast-td`` checker for deterministic
+      linear top-down machines, ``lazy-backward`` on-the-fly emptiness
+      for other one-pebble machines, the Theorem 4.4 pipeline otherwise.
+      The route actually taken is the result's ``method`` and its
+      rationale lands in ``stats["routing"]``.
+    * ``"exact"`` — the Theorem 4.4 decision procedure, unconditionally
+      (no classification).
+    * ``"fast"`` / ``"lazy"`` — force the corresponding fast route;
+      raises :class:`~repro.errors.TypecheckError` when the transducer
+      is not eligible.
+    * ``"bounded"`` — enumerate up to ``max_inputs`` instances of the
+      input type and check each (a sound falsifier, not a proof).
+
+    Every route except ``"bounded"`` is exact: ``ok=True`` is a proof
+    and counterexamples are genuine (``EXACT_METHODS`` lists the
+    result-``method`` values with this property).
 
     Resource governance (the procedure is non-elementary, Theorem 4.8):
 
@@ -225,9 +254,10 @@ def typecheck(
       ``governor`` overrides them.  When a budget runs out the run raises
       :class:`~repro.errors.ResourceExhausted` carrying the phase reached
       and the budget consumed.
-    * With ``fallback=True``, an exhausted *exact* run degrades to the
-      bounded falsifier instead of raising.  The result's ``method`` is
-      ``"exact-exhausted→bounded"`` and ``stats`` records the exhaustion
+    * With ``fallback=True``, an exhausted exact-class run (any route)
+      degrades to the bounded falsifier instead of raising.  The
+      result's ``method`` is ``"<route>-exhausted→bounded"`` (e.g.
+      ``"exact-exhausted→bounded"``) and ``stats`` records the exhaustion
       diagnostics (``exact_exhausted``) plus the falsifier's caveat.  The
       fallback re-arms the wall-clock deadline (``timeout``) but drops
       step/state budgets: those exist to stop the exact pipeline's
@@ -336,7 +366,7 @@ def _typecheck_dispatch(
     fallback: bool,
     governor: Optional[ResourceGovernor],
 ) -> TypecheckResult:
-    if method not in ("exact", "bounded"):
+    if method not in ("auto", "exact", "bounded", "fast", "lazy"):
         raise TypecheckError(f"unknown method {method!r}")
     gov = governor if governor is not None else make_governor(
         timeout, max_steps, max_states
@@ -352,13 +382,63 @@ def _typecheck_dispatch(
             return _typecheck_bounded(
                 transducer, input_type, output_type, max_inputs, max_depth
             )
+
+    # resolve the exact-class route.  method="exact" bypasses the
+    # classifier entirely — it is the pre-routing code path, byte for
+    # byte (no extra spans, no routing stats).
+    decision = None
+    if method == "exact":
+        route = "exact"
+    else:
+        from repro.typecheck import routing
+
+        with tracer.span("route:classify"):
+            decision = routing.classify(transducer)
+        if method == "auto":
+            route = decision.route
+        elif method == "fast":
+            if not decision.fast_eligible:
+                raise TypecheckError(
+                    "method='fast' forced, but the transducer is outside "
+                    "the fast top-down fragment: "
+                    + "; ".join(decision.reasons)
+                )
+            route = routing.FAST_TD
+        else:  # method == "lazy"
+            if not decision.lazy_eligible:
+                raise TypecheckError(
+                    "method='lazy' forced, but lazy backward inference "
+                    "needs a single head; this transducer uses "
+                    f"{transducer.k} pebbles"
+                )
+            route = routing.LAZY_BACKWARD
+
+    if route == "exact":
+        runner, span_name = _typecheck_exact, "exact"
+    elif route == "fast-td":
+        from repro.typecheck import routing
+
+        runner, span_name = routing.typecheck_fast, "route:fast-td"
+    else:
+        from repro.typecheck import routing
+
+        runner, span_name = routing.typecheck_lazy, "route:lazy-backward"
+
+    def attach(result: TypecheckResult) -> TypecheckResult:
+        if decision is not None:
+            result.stats["routing"] = {
+                "requested": method,
+                **decision.to_jsonable(),
+            }
+        return result
+
     if gov is None:
-        with tracer.span("exact"):
-            return _typecheck_exact(transducer, input_type, output_type)
+        with tracer.span(span_name):
+            return attach(runner(transducer, input_type, output_type))
     try:
-        with governed(gov), gov.phase("exact"), tracer.span("exact"):
-            return _typecheck_exact(
-                transducer, input_type, output_type, governor=gov
+        with governed(gov), gov.phase(span_name), tracer.span(span_name):
+            return attach(
+                runner(transducer, input_type, output_type, governor=gov)
             )
     except ResourceExhausted as exhausted:
         if not fallback:
@@ -381,13 +461,14 @@ def _typecheck_dispatch(
         stats["exact_exhausted"] = exhausted.progress()
         if result.ok:
             stats["caveat"] = _BOUNDED_CAVEAT
-        return TypecheckResult(
+        degraded = TypecheckResult(
             ok=result.ok,
-            method=DEGRADED_METHOD,
+            method=route + DEGRADED_SUFFIX,
             counterexample_input=result.counterexample_input,
             counterexample_output=result.counterexample_output,
             stats=stats,
         )
+        return attach(degraded)
 
 
 def _typecheck_exact(
